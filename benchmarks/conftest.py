@@ -1,0 +1,19 @@
+"""Benchmark-suite helpers: every benchmark also emits its table/series.
+
+Rendered outputs land in ``benchmarks/output/`` so the regenerated
+tables/figures can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it as an artifact."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

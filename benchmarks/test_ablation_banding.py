@@ -1,0 +1,58 @@
+"""Ablation: fixed band width — throughput gained vs alignment score lost.
+
+Banding is the paper's main search-space pruning lever (kernels #11-13).
+Sweeping the band half-width on noisy 128-base read pairs shows the
+trade-off a deployer navigates: narrow bands multiply throughput but start
+truncating indel-rich optimal paths.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import format_table
+from repro.kernels import get_kernel
+from repro.kernels.variants import make_banded
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+LENGTH = 128
+BANDS = (4, 8, 16, 32, 64)
+
+
+def sweep_bands():
+    base = get_kernel(1)
+    ref = random_dna(LENGTH, seed=5)
+    qry = mutated_copy(ref, seed=6, error_rate=0.15)[:LENGTH]
+    qry = qry + ref[len(qry):]  # equalise lengths for banded-global validity
+    exact = align(base, qry, ref, n_pe=16)
+    rows = [("none", exact.score, exact.cycles.compute_cycles, 1.0, 100.0)]
+    for band in BANDS:
+        spec = make_banded(base, band)
+        result = align(spec, qry, ref, n_pe=16)
+        rows.append(
+            (
+                band,
+                result.score,
+                result.cycles.compute_cycles,
+                exact.cycles.compute_cycles / result.cycles.compute_cycles,
+                100.0 * result.score / exact.score,
+            )
+        )
+    return rows, exact
+
+
+def test_ablation_band_width(benchmark):
+    rows, exact = benchmark.pedantic(sweep_bands, rounds=2, iterations=1)
+    emit(
+        "ablation_banding",
+        format_table(
+            headers=["band", "score", "compute cycles", "speedup", "% of optimal"],
+            rows=rows,
+            title="Ablation — fixed band width (kernel #1 base, 128 bp, 15% error)",
+        ),
+    )
+    banded = rows[1:]
+    # speedup grows monotonically as the band narrows
+    speedups = [r[3] for r in banded]
+    assert speedups == sorted(speedups, reverse=True)
+    # a generous band is lossless; the narrowest may truncate the optimum
+    assert banded[-1][1] == exact.score          # band 64: exact
+    assert all(r[1] <= exact.score for r in banded)

@@ -1,0 +1,57 @@
+"""Ablation: host-side scheduling (Section 4, step 6).
+
+"Effective scheduling is important to optimize device utilization" — the
+host must batch inputs and use multi-threading across the N_K channels.
+This ablation sweeps batch size and channel count to show when dispatch
+overhead starts starving the blocks.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import format_table
+from repro.host import AlignmentBatch, HostScheduler
+from repro.kernels import get_kernel
+from repro.synth.throughput import cycles_per_alignment
+
+N_B = 16
+BATCHES = (16, 64, 256, 1024)
+CHANNELS = (1, 2, 4)
+
+
+def sweep_scheduling():
+    cycles = cycles_per_alignment(get_kernel(2), 32, 256, 256)
+    rows = []
+    for n_k in CHANNELS:
+        for batch_size in BATCHES:
+            batch = AlignmentBatch()
+            for _ in range(batch_size):
+                batch.add(cycles)
+            result = HostScheduler(n_k=n_k, n_b=N_B).run(batch)
+            rows.append(
+                (n_k, batch_size, result.makespan_cycles,
+                 100.0 * result.utilization,
+                 result.throughput(250.0))
+            )
+    return rows
+
+
+def test_ablation_scheduling(benchmark):
+    rows = benchmark(sweep_scheduling)
+    emit(
+        "ablation_scheduler",
+        format_table(
+            headers=["N_K", "batch", "makespan", "utilization %", "aln/s"],
+            rows=rows,
+            title=f"Ablation — host batching across channels (kernel #2, "
+                  f"N_B={N_B} per channel)",
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # bigger batches amortise dispatch: utilization grows with batch size
+    for n_k in CHANNELS:
+        utils = [by_key[(n_k, b)][3] for b in BATCHES]
+        assert utils == sorted(utils)
+    # at a fixed large batch, more channels give more throughput
+    throughputs = [by_key[(n_k, 1024)][4] for n_k in CHANNELS]
+    assert throughputs == sorted(throughputs)
+    # well-batched devices approach full utilization
+    assert by_key[(4, 1024)][3] > 90.0

@@ -1,0 +1,51 @@
+"""Ablation: banked vs shared traceback memory (Section 5.2).
+
+The back-end gives each PE a dedicated pointer bank so all N_PE pointers
+of a wavefront commit in one cycle.  Without banking, a shared memory
+with one write port serialises those writes, inflating the effective
+initiation interval to ~N_PE.  This ablation quantifies how much of the
+design's throughput that single optimization carries.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import format_table
+from repro.kernels import get_kernel
+from repro.synth.throughput import cycles_per_alignment, throughput_alignments_per_sec
+
+N_PES = (4, 8, 16, 32, 64)
+
+
+def sweep_banking():
+    spec = get_kernel(2)
+    rows = []
+    for n_pe in N_PES:
+        banked = cycles_per_alignment(spec, n_pe, 256, 256, ii=1)
+        # one shared write port: II limited by n_pe pointer writes/wavefront
+        shared = cycles_per_alignment(spec, n_pe, 256, 256, ii=n_pe)
+        rows.append(
+            (
+                n_pe,
+                throughput_alignments_per_sec(banked, 250.0, 1),
+                throughput_alignments_per_sec(shared, 250.0, 1),
+                banked and shared / banked,
+            )
+        )
+    return rows
+
+
+def test_ablation_tb_banking(benchmark):
+    rows = benchmark(sweep_banking)
+    emit(
+        "ablation_tb_banking",
+        format_table(
+            headers=["N_PE", "banked aln/s", "shared-port aln/s", "cycle ratio"],
+            rows=rows,
+            title="Ablation — banked vs single-port traceback memory (kernel #2)",
+        ),
+    )
+    # banking always wins, and its advantage grows with N_PE
+    ratios = [r[3] for r in rows]
+    assert all(r > 1.0 for r in ratios)
+    assert ratios == sorted(ratios)
+    # at 32 PEs banking carries the large majority of the throughput
+    assert dict(zip(N_PES, ratios))[32] > 3.0

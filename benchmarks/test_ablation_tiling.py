@@ -1,0 +1,59 @@
+"""Ablation: tile size and overlap vs alignment optimality and cycles.
+
+The GACT heuristic's two knobs: bigger tiles and bigger overlaps both
+improve path optimality at the cost of device cycles.  This sweep
+regenerates the trade-off curve a deployer would use to size the on-chip
+traceback memory.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import format_table
+from repro.kernels import get_kernel
+from repro.reference.rescore import rescore_affine
+from repro.systolic import align
+from repro.tiling import tiled_align
+from tests.conftest import mutated_copy, random_dna
+
+READ_LEN = 600
+CONFIGS = ((64, 16), (128, 16), (128, 48), (256, 32), (256, 96))
+
+
+def sweep_tiling():
+    spec = get_kernel(2)
+    params = spec.default_params
+    ref = random_dna(READ_LEN, seed=15)
+    qry = mutated_copy(ref, seed=16, error_rate=0.12)
+    optimal = align(
+        spec, qry, ref, n_pe=32, max_query_len=len(qry), max_ref_len=len(ref)
+    ).score
+    rows = []
+    for tile, overlap in CONFIGS:
+        tiled = tiled_align(spec, qry, ref, tile_size=tile, overlap=overlap, n_pe=32)
+        score = rescore_affine(
+            tiled.alignment, qry, ref, params.match, params.mismatch,
+            params.gap_open, params.gap_extend,
+        )
+        rows.append(
+            (f"{tile}/{overlap}", tiled.n_tiles, tiled.total_cycles,
+             score, 100.0 * score / optimal)
+        )
+    return rows, optimal
+
+
+def test_ablation_tiling(benchmark):
+    rows, optimal = benchmark.pedantic(sweep_tiling, rounds=2, iterations=1)
+    emit(
+        "ablation_tiling",
+        format_table(
+            headers=["tile/overlap", "tiles", "cycles", "score", "% of optimal"],
+            rows=rows,
+            title=f"Ablation — GACT tile size & overlap ({READ_LEN} bp read, "
+                  f"optimal score {optimal})",
+        ),
+    )
+    by_cfg = {r[0]: r for r in rows}
+    # larger overlap at fixed tile size never hurts optimality
+    assert by_cfg["128/48"][3] >= by_cfg["128/16"][3]
+    assert by_cfg["256/96"][3] >= by_cfg["256/32"][3]
+    # every configuration recovers most of the optimum
+    assert all(r[4] > 85.0 for r in rows)

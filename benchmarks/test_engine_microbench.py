@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the simulator itself (not a paper figure).
+
+Measures the functional systolic engine's cell-update rate and the
+row-major oracle for comparison — useful when sizing functional
+verification campaigns (the paper's C-simulation step).
+"""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.reference import oracle_align
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+LENGTH = 96
+
+
+@pytest.fixture(scope="module")
+def dna_pair():
+    reference = random_dna(LENGTH, seed=1)
+    query = mutated_copy(reference, seed=2)[:LENGTH]
+    return query, reference
+
+
+@pytest.mark.parametrize("kid", (1, 2, 5))
+def test_systolic_engine_speed(benchmark, dna_pair, kid):
+    spec = get_kernel(kid)
+    query, reference = dna_pair
+    result = benchmark(align, spec, query, reference, n_pe=16)
+    assert result.score is not None
+
+
+def test_oracle_speed(benchmark, dna_pair):
+    spec = get_kernel(1)
+    query, reference = dna_pair
+    result = benchmark(oracle_align, spec, query, reference)
+    assert result.score is not None
+
+
+def test_synthesis_flow_speed(benchmark):
+    """One full trace -> resources -> timing -> throughput pass."""
+    from repro.synth import LaunchConfig, synthesize
+
+    report = benchmark(
+        synthesize, get_kernel(2), LaunchConfig(n_pe=32, n_b=16, n_k=4)
+    )
+    assert report.feasible

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 3 (N_PE / N_B scaling of kernels #1 and #9).
+
+Emits both sweeps per kernel (throughput + LUT/FF/BRAM/DSP) and checks the
+published shapes: near-linear then saturating N_PE scaling, perfectly
+linear N_B scaling, flat vs scaling DSP, and the BRAM -> LUTRAM dip at
+N_PE = 64.  Also reports the DSP-imposed N_B cap for DTW (paper: 24).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments import fig3
+
+
+@pytest.mark.parametrize("kernel_id", (1, 9))
+def test_fig3(benchmark, kernel_id):
+    def run():
+        return fig3.sweep_npe(kernel_id), fig3.sweep_nb(kernel_id)
+
+    npe_points, nb_points = benchmark(run)
+    from repro.experiments.plots import plot_fig3_throughput
+
+    emit(
+        f"fig3_kernel{kernel_id}",
+        fig3.render(kernel_id)
+        + f"\nDTW N_B cap (DSP-limited): {fig3.dtw_nb_cap()} (paper: 24)\n\n"
+        + plot_fig3_throughput(kernel_id),
+    )
+    thr_npe = [p.alignments_per_sec for p in npe_points]
+    assert thr_npe == sorted(thr_npe)
+    assert thr_npe[-1] / thr_npe[-2] < thr_npe[1] / thr_npe[0]  # saturation
+    thr_nb = [p.alignments_per_sec for p in nb_points]
+    for point, thr in zip(nb_points, thr_nb):
+        assert thr == pytest.approx(thr_nb[0] * point.n_b, rel=1e-6)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 4 (DP-HLS vs GACT / BSW / SquiggleFilter).
+
+Throughput margins must land near the published 7.7 % / 16.8 % / 8.16 %
+and LUT/FF usage must stay comparable.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    comparisons = benchmark(fig4.build_fig4)
+    emit("fig4", fig4.render(comparisons))
+    for c in comparisons:
+        assert c.rtl_aln_per_sec >= c.dp_hls_aln_per_sec
+        assert abs(c.margin_pct - c.paper_margin_pct) < 3.0
+        assert 0.8 < c.rtl_lut / c.dp_hls_lut <= 1.0

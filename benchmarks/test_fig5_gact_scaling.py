@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 5 (kernel #2 vs GACT over N_PE, N_B = 1).
+
+The two throughput curves must stay parallel (constant relative gap) and
+the LUT/FF difference must stay a constant fraction — the signature of
+two implementations of the same linear systolic array.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark):
+    points = benchmark(fig5.build_fig5)
+    from repro.experiments.plots import plot_fig5
+
+    emit("fig5", fig5.render(points) + "\n\n" + plot_fig5())
+    ratios = [p.dp_hls_aln_per_sec / p.gact_aln_per_sec for p in points]
+    assert max(ratios) - min(ratios) < 0.12
+    lut_gap = [p.dp_hls_lut / p.gact_lut for p in points]
+    assert max(lut_gap) - min(lut_gap) < 0.05

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Fig. 6 (iso-cost CPU and GPU comparison).
+
+Checks the paper's headline speedups: SeqAn3 within its 1.5-2.7x band,
+Minimap2 ~12x, EMBOSS ~32x, GASAL2 spanning ~5.8-17.7x, CUDASW++ ~1.41x.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig6
+from repro.experiments.paper_values import (
+    FIG6_CUDASW_SPEEDUP,
+    FIG6_EMBOSS_SPEEDUP,
+    FIG6_GASAL2_BAND,
+    FIG6_MINIMAP2_SPEEDUP,
+    FIG6_SEQAN_BAND,
+)
+
+
+def test_fig6(benchmark):
+    def run():
+        return fig6.build_cpu_panel(), fig6.build_gpu_panel()
+
+    cpu, gpu = benchmark(run)
+    from repro.experiments.plots import plot_fig6
+
+    emit("fig6", fig6.render() + "\n\n" + plot_fig6())
+
+    seqan = [r.speedup for r in cpu if r.baseline == "SeqAn3"]
+    assert FIG6_SEQAN_BAND[0] * 0.9 <= min(seqan)
+    assert max(seqan) <= FIG6_SEQAN_BAND[1] * 1.1
+
+    mm2 = next(r for r in cpu if r.baseline == "Minimap2").speedup
+    assert abs(mm2 - FIG6_MINIMAP2_SPEEDUP) / FIG6_MINIMAP2_SPEEDUP < 0.25
+
+    emboss = next(r for r in cpu if r.baseline == "EMBOSS Water").speedup
+    assert abs(emboss - FIG6_EMBOSS_SPEEDUP) / FIG6_EMBOSS_SPEEDUP < 0.25
+
+    gasal = [r.speedup for r in gpu if r.baseline == "GASAL2"]
+    assert abs(min(gasal) - FIG6_GASAL2_BAND[0]) / FIG6_GASAL2_BAND[0] < 0.2
+    assert abs(max(gasal) - FIG6_GASAL2_BAND[1]) / FIG6_GASAL2_BAND[1] < 0.2
+
+    cudasw = next(r for r in gpu if r.baseline == "CUDASW++4.0").speedup
+    assert abs(cudasw - FIG6_CUDASW_SPEEDUP) / FIG6_CUDASW_SPEEDUP < 0.15

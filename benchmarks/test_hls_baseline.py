@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Section 7.5 (DP-HLS #3 vs Vitis Genomics SW).
+
+The paper measures DP-HLS 32.6 % faster at matched configuration.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import hls_cmp
+
+
+def test_hls_baseline(benchmark):
+    comparison = benchmark(hls_cmp.build_hls_comparison)
+    emit("hls_baseline", hls_cmp.render())
+    assert comparison.gain_pct > 20.0
+    assert abs(comparison.gain_pct - comparison.paper_gain_pct) < 8.0

@@ -1,0 +1,22 @@
+"""Benchmark: device portability of the kernel generator.
+
+Retargets a kernel sample to a mid-range (Alveo U50) and an embedded
+(ZU7EV) part via design-space exploration; every kernel must remain
+deployable everywhere, with throughput ordered by fabric size.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import portability
+
+
+def test_portability(benchmark):
+    rows = benchmark.pedantic(
+        portability.build_portability, rounds=2, iterations=1
+    )
+    emit("portability", portability.render(rows))
+    table = portability.throughput_by_device(rows)
+    f1 = table["xcvu9p-flgb2104-2-i"]
+    u50 = table["xcu50-fsvh2104-2-e"]
+    embedded = table["xczu7ev-ffvc1156-2-e"]
+    for kid in f1:
+        assert f1[kid] >= u50[kid] >= embedded[kid] > 0

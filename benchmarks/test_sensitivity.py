@@ -1,0 +1,20 @@
+"""Benchmark: robustness of the reproduction to its calibrated constants.
+
+Perturbs each fitted constant by ±20-25 % and re-measures the headline
+quantities; no claimed direction (DP-HLS beats SeqAn3, RTL beats DP-HLS
+by a modest margin) may flip.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    rows = benchmark.pedantic(sensitivity.run_sensitivity, rounds=2, iterations=1)
+    emit("sensitivity", sensitivity.render(rows))
+    for row in rows:
+        if row.output == "seqan_min_speedup":
+            assert row.perturbed_value > 1.0
+        if row.output == "gact_margin_pct":
+            assert 0.0 < row.perturbed_value < 20.0
+        assert abs(row.relative_change) < 0.30

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 / Fig. 1 (the kernel taxonomy).
+
+Checks that the registry spans all four variation axes of Fig. 1 —
+alphabets, scoring families, traceback strategies and pruning — i.e. the
+paper's versatility claim is structural, not incidental.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.build_table1)
+    emit("table1", table1.render(rows))
+    assert len(rows) == 15
+    alphabets = {r.alphabet for r in rows}
+    assert {"dna", "protein", "profile_dna", "complex_signal",
+            "int_signal"} <= alphabets
+    scorings = {r.scoring for r in rows}
+    assert {"linear", "affine", "two-piece affine"} <= scorings
+    tracebacks = {r.traceback for r in rows}
+    assert {"global", "local", "semi-global", "overlap",
+            "none (score only)"} <= tracebacks
+    assert any("fixed band" in r.pruning for r in rows)
+    objectives = {r.objective for r in rows}
+    assert objectives == {"max", "min"}

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (15-kernel performance summary).
+
+Reports, per kernel: 32-PE block LUT/FF/BRAM/DSP utilization, the optimal
+(N_PE, N_B, N_K), Fmax, II, and device throughput — alongside the paper's
+published throughput.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2.build_table2)
+    emit("table2", table2.render(rows))
+    assert len(rows) == 15
+    for row in rows:
+        ratio = row.alignments_per_sec / row.paper_alignments_per_sec
+        assert 0.5 < ratio < 2.0

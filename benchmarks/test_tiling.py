@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the Section 7.3 tiling demonstration.
+
+Long PBSIM-like reads aligned through kernel #2 with GACT tiling; the
+observed tile count must match the closed form (the paper notes DP-HLS
+and GACT use the same number of tiles, keeping their relative throughput
+constant for long alignments).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments import tiling_exp
+
+
+def test_tiling(benchmark):
+    results = benchmark.pedantic(
+        tiling_exp.run_tiling,
+        kwargs=dict(n_reads=1, read_length=1000, tile_size=256, overlap=64),
+        rounds=2, iterations=1,
+    )
+    emit("tiling", tiling_exp.render(results))
+    for r in results:
+        assert abs(r.n_tiles - r.expected_n_tiles) <= 2
+        assert r.stitched_score > 0

@@ -1,0 +1,39 @@
+"""Benchmark: the functional-verification campaign (Section 6.1/6.2).
+
+The paper's "functionally verified" claim for all 15 kernels rests on
+bulk simulated workloads.  This benchmark runs a two-tier campaign
+(textbook-vs-oracle on every pair, full engine on a sample) across every
+kernel and asserts a clean pass.
+"""
+
+from benchmarks.conftest import emit
+from repro.campaign import run_campaign
+from repro.experiments.report import format_table
+from repro.kernels import KERNELS
+
+
+def run_all():
+    reports = []
+    for kid in sorted(KERNELS):
+        reports.append(
+            run_campaign(kid, n_pairs=6, engine_sample=1, max_length=32,
+                         seed=kid)
+        )
+    return reports
+
+
+def test_verification_campaign(benchmark):
+    reports = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    emit(
+        "verification_campaign",
+        format_table(
+            headers=["#", "kernel", "pairs", "engine sample", "verdict"],
+            rows=[
+                (r.kernel_id, r.kernel_name, r.pairs, r.engine_sample,
+                 "PASS" if r.passed else "FAIL")
+                for r in reports
+            ],
+            title="Functional verification campaign (all 15 kernels)",
+        ),
+    )
+    assert all(r.passed for r in reports)

@@ -1,0 +1,50 @@
+"""Design-space exploration: find a kernel's optimal (N_PE, N_B, N_K).
+
+Table 2's per-kernel "Optimal (N_PE, N_B, N_K)" columns come from exactly
+this search: sweep the parallelism knobs, keep configurations that fit the
+device, and pick the highest-throughput point.  The same trade-off the
+paper describes appears here — more PEs help until wavefront parallelism
+saturates, after which spending area on more independent blocks wins.
+
+Run:  python examples/design_space_exploration.py [kernel_id]
+"""
+
+import sys
+
+from repro import get_kernel
+from repro.synth.dse import explore, pareto_frontier
+
+
+def main() -> None:
+    kernel_id = int(sys.argv[1]) if len(sys.argv) > 1 else 9  # DTW by default
+    spec = get_kernel(kernel_id)
+    result = explore(spec)
+    best = result.best
+    print(
+        f"kernel #{kernel_id} ({spec.name}): {result.explored} configurations "
+        f"explored, {len(result.feasible)} feasible\n"
+    )
+
+    top = sorted(result.feasible, key=lambda r: -r.alignments_per_sec)[:8]
+    print(f"{'N_PE':>5} {'N_B':>4} {'N_K':>4} {'aln/s':>12} {'LUT%':>7} {'DSP%':>7} {'BRAM%':>7}")
+    for r in top:
+        c = r.config
+        print(
+            f"{c.n_pe:>5} {c.n_b:>4} {c.n_k:>4} {r.alignments_per_sec:>12.3e} "
+            f"{r.utilization_pct('lut'):>7.2f} {r.utilization_pct('dsp'):>7.2f} "
+            f"{r.utilization_pct('bram'):>7.2f}"
+        )
+
+    frontier = pareto_frontier(result)
+    print(
+        f"\nthroughput-vs-LUT Pareto frontier: {len(frontier)} points "
+        f"(LUT {frontier[0].utilization_pct('lut'):.1f}% .. "
+        f"{frontier[-1].utilization_pct('lut'):.1f}%)"
+    )
+
+    print("\nselected configuration:")
+    print(best.summary())
+
+
+if __name__ == "__main__":
+    main()

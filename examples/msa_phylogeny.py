@@ -1,0 +1,61 @@
+"""Multiple sequence alignment of a gene family (kernel #8's application).
+
+Table 1 motivates profile alignment with multiple sequence alignment
+(CLUSTALW/MUSCLE).  This script evolves a small gene family from a common
+ancestor, builds the UPGMA guide tree from kernel #1 distances, aligns
+the family progressively with kernel #8, and prints the alignment plus
+the tree — the full CLUSTALW recipe on DP-HLS kernels.
+
+Run:  python examples/msa_phylogeny.py
+"""
+
+from repro.apps.msa import progressive_msa
+from repro.data.genome import random_genome
+
+
+def mutated_copy(sequence, seed, rate):
+    import numpy as np
+
+    rng = np.random.RandomState(seed)
+    out = []
+    for base in sequence:
+        roll = rng.rand()
+        if roll < rate / 3:
+            continue
+        if roll < 2 * rate / 3:
+            out.append(int(rng.randint(0, 4)))
+        if roll < rate:
+            out.append(int((base + 1 + rng.randint(0, 3)) % 4))
+        else:
+            out.append(int(base))
+    return tuple(out)
+
+
+def main() -> None:
+    ancestor = random_genome(48, seed=101, repeat_fraction=0.0)
+    family = {
+        "ancestor": ancestor,
+        "close_a": mutated_copy(ancestor, 1, 0.05),
+        "close_b": mutated_copy(ancestor, 2, 0.05),
+        "distant": mutated_copy(ancestor, 3, 0.25),
+    }
+    names = list(family)
+    msa = progressive_msa(list(family.values()))
+
+    print(f"{len(family)} sequences, alignment of {msa.n_columns} columns, "
+          f"mean pairwise identity {100 * msa.identity():.1f}%\n")
+    rendered = msa.pretty().split("\n")
+    for name, row in zip(names, rendered):
+        print(f"{name:>10}  {row}")
+
+    def show(node) -> str:
+        if isinstance(node, int):
+            return names[node]
+        return f"({show(node[0])}, {show(node[1])})"
+
+    print(f"\nguide tree: {show(msa.guide_tree)}")
+    assert msa.identity() > 0.7
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Applications built on top of the DP-HLS kernels.
+
+Table 1 motivates each kernel with a bioinformatics application; this
+package builds three of those applications end-to-end from the library's
+public API, demonstrating how a deployed DP-HLS device would actually be
+driven:
+
+* :mod:`repro.apps.msa` — progressive multiple sequence alignment
+  (CLUSTALW-style) on the profile-alignment kernel (#8);
+* :mod:`repro.apps.read_mapper` — seed-and-extend short-read mapping
+  (BWA-MEM-style) on the semi-global kernel (#7);
+* :mod:`repro.apps.assembler` — greedy overlap-layout-consensus assembly
+  (CANU-style) on the overlap kernel (#6).
+"""
+
+from repro.apps.assembler import greedy_assemble
+from repro.apps.msa import progressive_msa
+from repro.apps.read_mapper import ReadMapper
+
+__all__ = ["progressive_msa", "ReadMapper", "greedy_assemble"]

@@ -1,0 +1,84 @@
+"""Greedy overlap-layout-consensus assembly on the overlap kernel (#6).
+
+The CANU/Flye shape (Table 1's application for kernel #6): all read pairs
+are scored with overlap alignment (suffix of one read against the prefix
+of another), and the highest-scoring overlaps are greedily merged until
+no overlap clears the threshold.  Error-free reads reconstruct their
+source region exactly (a tested invariant); noisy reads yield contigs of
+approximately the right length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kernels import get_kernel
+from repro.systolic import align
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """A suffix(a) -> prefix(b) overlap candidate."""
+
+    a: int
+    b: int
+    score: float
+    a_start: int   # offset in read a where the overlap begins
+    b_end: int     # offset in read b where the overlap ends
+
+
+def best_overlap(
+    read_a: Sequence[int], read_b: Sequence[int], n_pe: int = 16
+) -> Optional[Tuple[float, int, int]]:
+    """Best suffix(a)/prefix(b) overlap via kernel #6.
+
+    Returns ``(score, a_start, b_end)`` or ``None`` when the optimal
+    overlap path is not a suffix->prefix join (e.g. b contained in a).
+    """
+    kernel = get_kernel(6)
+    result = align(kernel, read_a, read_b, n_pe=n_pe)
+    # A suffix->prefix join: the path must start at a's last row and end
+    # at b's first column.
+    start_i, _start_j = result.start
+    end_i, end_j = result.end
+    if start_i != len(read_a) or end_j != 0:
+        return None
+    return result.score, end_i, result.start[1]
+
+
+def _merge(read_a, read_b, b_end: int):
+    """Concatenate a with b's unaligned tail."""
+    return tuple(read_a) + tuple(read_b[b_end:])
+
+
+def greedy_assemble(
+    reads: Sequence[Sequence[int]],
+    min_overlap_score: float = 20.0,
+    n_pe: int = 16,
+) -> List[Tuple[int, ...]]:
+    """Assemble reads into contigs by repeated best-overlap merging."""
+    if not reads:
+        return []
+    contigs: List[Optional[Tuple[int, ...]]] = [tuple(r) for r in reads]
+    while True:
+        best: Optional[Overlap] = None
+        for a, read_a in enumerate(contigs):
+            if read_a is None:
+                continue
+            for b, read_b in enumerate(contigs):
+                if a == b or read_b is None:
+                    continue
+                found = best_overlap(read_a, read_b, n_pe=n_pe)
+                if found is None:
+                    continue
+                score, a_start, b_end = found
+                if score < min_overlap_score:
+                    continue
+                if best is None or score > best.score:
+                    best = Overlap(a, b, score, a_start, b_end)
+        if best is None:
+            break
+        contigs[best.a] = _merge(contigs[best.a], contigs[best.b], best.b_end)
+        contigs[best.b] = None
+    return [c for c in contigs if c is not None]

@@ -1,0 +1,109 @@
+"""Anchor chaining — the 1-D DP between seeding and extension.
+
+Minimap2 (the source of kernels #5/#12/#13) sits a chaining DP between
+k-mer seeding and DP extension: co-linear seed hits ("anchors") are
+chained by a 1-D recurrence that rewards covered bases and penalises
+diagonal drift, and the best chain selects the region the 2-D kernel then
+aligns.  This is the same DP that dedicated accelerators target (the
+paper cites Liyanage et al.'s chaining accelerator), implemented here as
+the host-side companion of :class:`repro.apps.read_mapper.ReadMapper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One exact seed match: read[read_pos : read_pos+length] ==
+    reference[ref_pos : ref_pos+length]."""
+
+    read_pos: int
+    ref_pos: int
+    length: int
+
+    @property
+    def diagonal(self) -> int:
+        """The alignment diagonal this anchor supports."""
+        return self.ref_pos - self.read_pos
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A scored co-linear chain of anchors."""
+
+    anchors: Tuple[Anchor, ...]
+    score: float
+
+    @property
+    def read_span(self) -> Tuple[int, int]:
+        """[start, end) interval covered on the read."""
+        first, last = self.anchors[0], self.anchors[-1]
+        return first.read_pos, last.read_pos + last.length
+
+    @property
+    def ref_span(self) -> Tuple[int, int]:
+        """[start, end) interval covered on the reference."""
+        first, last = self.anchors[0], self.anchors[-1]
+        return first.ref_pos, last.ref_pos + last.length
+
+
+def chain_anchors(
+    anchors: Sequence[Anchor],
+    max_gap: int = 128,
+    gap_weight: float = 0.5,
+) -> Optional[Chain]:
+    """Best chain under the minimap2-style recurrence.
+
+    ``f(i) = length(i) + max(0, max_{j<i} f(j) - cost(j, i))`` where a
+    predecessor must precede the anchor on both axes within ``max_gap``,
+    and ``cost`` charges ``gap_weight`` per base of diagonal drift plus a
+    small distance term.
+    """
+    if not anchors:
+        return None
+    if max_gap < 1:
+        raise ValueError(f"max_gap must be >= 1, got {max_gap}")
+    order = sorted(anchors, key=lambda a: (a.read_pos, a.ref_pos))
+    n = len(order)
+    best_score = [float(a.length) for a in order]
+    parent: List[Optional[int]] = [None] * n
+    for i in range(n):
+        ai = order[i]
+        for j in range(i - 1, -1, -1):
+            aj = order[j]
+            dx = ai.read_pos - (aj.read_pos + aj.length)
+            dy = ai.ref_pos - (aj.ref_pos + aj.length)
+            if dx < 0 or dy < 0:
+                continue  # overlapping or out of order
+            if dx > max_gap or dy > max_gap:
+                continue
+            drift = abs(ai.diagonal - aj.diagonal)
+            cost = gap_weight * drift + 0.01 * min(dx, dy)
+            candidate = best_score[j] + ai.length - cost
+            if candidate > best_score[i]:
+                best_score[i] = candidate
+                parent[i] = j
+    end = max(range(n), key=lambda i: best_score[i])
+    chain: List[Anchor] = []
+    cursor: Optional[int] = end
+    while cursor is not None:
+        chain.append(order[cursor])
+        cursor = parent[cursor]
+    chain.reverse()
+    return Chain(anchors=tuple(chain), score=best_score[end])
+
+
+def anchors_from_index(
+    read: Sequence[int],
+    index,
+    k: int,
+) -> List[Anchor]:
+    """Collect anchors from a {k-mer: positions} index (mapper helper)."""
+    anchors: List[Anchor] = []
+    for offset in range(0, len(read) - k + 1):
+        for pos in index.get(tuple(read[offset:offset + k]), ()):
+            anchors.append(Anchor(read_pos=offset, ref_pos=pos, length=k))
+    return anchors

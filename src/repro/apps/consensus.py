@@ -1,0 +1,54 @@
+"""Consensus polishing — the "C" of overlap-layout-consensus assembly.
+
+Noisy long reads covering the same locus vote on every position: the
+reads are multiple-aligned (progressive MSA over kernels #1/#8) and each
+alignment column takes its majority symbol, with gap-majority columns
+dropped.  With enough coverage the consensus recovers the true sequence
+even when every individual read is error-ridden — the property long-read
+assemblers like CANU (Table 1, kernel #6) depend on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.apps.msa import GAP, progressive_msa
+
+
+def consensus(
+    reads: Sequence[Sequence[int]], n_pe: int = 8
+) -> Tuple[int, ...]:
+    """Majority-vote consensus of reads covering the same locus.
+
+    Ties at a column go to the smallest symbol code (deterministic); a
+    column where gaps hold the strict majority is dropped entirely.
+    """
+    if not reads:
+        raise ValueError("consensus needs at least one read")
+    if len(reads) == 1:
+        return tuple(reads[0])
+    msa = progressive_msa(list(reads), n_pe=n_pe)
+    out: List[int] = []
+    n_rows = len(msa.rows)
+    for col in range(msa.n_columns):
+        counts = Counter(row[col] for row in msa.rows)
+        gaps = counts.pop(GAP, 0)
+        if not counts or gaps > n_rows / 2:
+            continue
+        best = max(sorted(counts), key=lambda sym: counts[sym])
+        out.append(best)
+    return tuple(out)
+
+
+def polish_contig(
+    contig: Sequence[int],
+    reads: Sequence[Sequence[int]],
+    n_pe: int = 8,
+) -> Tuple[int, ...]:
+    """Polish an assembled contig with its supporting reads.
+
+    The contig itself participates in the vote (it is one more observation
+    of the locus), which is how assemblers seed the consensus.
+    """
+    return consensus([tuple(contig)] + [tuple(r) for r in reads], n_pe=n_pe)

@@ -1,0 +1,43 @@
+"""Baseline comparators (Section 6.3).
+
+The paper compares DP-HLS against software libraries on CPU/GPU cloud
+instances and against hand-written RTL accelerators.  None of those can
+run here, so each baseline is a *model* with two halves:
+
+* **functional** — the algorithms themselves are executed by
+  :mod:`repro.reference.classic` (they are our correctness oracles);
+* **performance** — documented throughput models: cells-per-second
+  constants for the software libraries (with the iso-cost normalisation
+  of :mod:`repro.baselines.costmodel`) and cycle models for the RTL
+  accelerators, which overlap query loading and matrix initialization
+  with compute — exactly the optimization the paper says DP-HLS forgoes
+  (Section 7.3) and the mechanism behind its 7.7-16.8 % throughput gap.
+"""
+
+from repro.baselines.costmodel import (
+    C4_8XLARGE_USD_HR,
+    F1_2XLARGE_USD_HR,
+    P3_2XLARGE_USD_HR,
+    iso_cost_factor,
+)
+from repro.baselines.cpu import EmbossWaterModel, Minimap2Model, SeqAn3Model
+from repro.baselines.gpu import CudaSW4Model, Gasal2Model
+from repro.baselines.hls import VitisGenomicsSWModel
+from repro.baselines.rtl import BSW, GACT, SQUIGGLEFILTER, RtlBaseline
+
+__all__ = [
+    "iso_cost_factor",
+    "F1_2XLARGE_USD_HR",
+    "C4_8XLARGE_USD_HR",
+    "P3_2XLARGE_USD_HR",
+    "SeqAn3Model",
+    "Minimap2Model",
+    "EmbossWaterModel",
+    "Gasal2Model",
+    "CudaSW4Model",
+    "VitisGenomicsSWModel",
+    "RtlBaseline",
+    "GACT",
+    "BSW",
+    "SQUIGGLEFILTER",
+]

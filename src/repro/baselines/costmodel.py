@@ -1,0 +1,23 @@
+"""Iso-cost normalisation across AWS instance types (Section 6.3).
+
+The paper compares throughput per dollar: baseline throughputs measured on
+CPU/GPU instances are scaled by the price ratio to the F1 FPGA instance
+before computing speedups.
+"""
+
+from __future__ import annotations
+
+#: AWS on-demand prices the paper quotes (USD per hour).
+F1_2XLARGE_USD_HR = 1.650   # FPGA (DP-HLS)
+C4_8XLARGE_USD_HR = 1.591   # 36-core CPU (SeqAn3 / Minimap2 / EMBOSS)
+P3_2XLARGE_USD_HR = 3.060   # NVIDIA V100 GPU (GASAL2 / CUDASW++)
+
+
+def iso_cost_factor(baseline_usd_hr: float, fpga_usd_hr: float = F1_2XLARGE_USD_HR) -> float:
+    """Multiplier applied to a baseline's raw throughput for iso-cost compare.
+
+    A baseline running on hardware twice as expensive gets half credit.
+    """
+    if baseline_usd_hr <= 0 or fpga_usd_hr <= 0:
+        raise ValueError("instance prices must be positive")
+    return fpga_usd_hr / baseline_usd_hr

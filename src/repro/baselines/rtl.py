@@ -1,0 +1,89 @@
+"""Hand-optimised RTL accelerator models: GACT, BSW, SquiggleFilter.
+
+All three baselines are linear systolic arrays like DP-HLS (Section 6.3),
+so their cycle model is the DP-HLS model *minus* the overheads the RTL
+designers optimised away: query loading and DP-matrix initialization are
+overlapped with computation (Section 7.3 names exactly this as the source
+of DP-HLS's 7.7-16.8 % throughput gap).  Resources track the DP-HLS block
+closely, except the RTL designs spend no DSPs on traceback-address
+pre-computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.spec import KernelSpec
+from repro.kernels import get_kernel
+from repro.synth.resources import ResourceEstimate, estimate_resources
+from repro.synth.throughput import cycles_per_alignment
+
+
+@dataclass(frozen=True)
+class RtlBaseline:
+    """One published RTL accelerator and the DP-HLS kernel it matches."""
+
+    name: str
+    kernel_id: int
+    #: fraction of the (init + load) overhead the RTL overlaps with compute
+    overlap_fraction: float = 1.0
+    #: RTL logic relative to the DP-HLS block (hand RTL is slightly leaner)
+    lut_factor: float = 0.95
+    ff_factor: float = 1.0
+
+    def spec(self) -> KernelSpec:
+        """The DP-HLS kernel this baseline is compared against."""
+        return get_kernel(self.kernel_id)
+
+    def cycles(
+        self,
+        n_pe: int,
+        query_len: int,
+        ref_len: int,
+        ii: int = 1,
+        dp_hls_cycles: Optional[int] = None,
+    ) -> int:
+        """Per-alignment cycles of the RTL design.
+
+        ``dp_hls_cycles`` may be passed to keep both sides of a comparison
+        on the identical workload assumptions.
+        """
+        spec = self.spec()
+        total = dp_hls_cycles
+        if total is None:
+            total = cycles_per_alignment(spec, n_pe, query_len, ref_len, ii=ii)
+        overlapped = (ref_len + 1) + (query_len + 1) + query_len  # init + load
+        saved = int(self.overlap_fraction * overlapped)
+        return max(1, total - saved)
+
+    def resources(
+        self, n_pe: int, max_query_len: int = 256, max_ref_len: int = 256
+    ) -> ResourceEstimate:
+        """Estimated RTL block resources (same memory geometry as DP-HLS)."""
+        block = estimate_resources(
+            self.spec(), n_pe, max_query_len=max_query_len, max_ref_len=max_ref_len
+        )
+        return ResourceEstimate(
+            luts=block.luts * self.lut_factor,
+            ffs=block.ffs * self.ff_factor,
+            bram36=block.bram36,
+            dsps=max(0.0, block.dsps - 2 * 1.0),  # no TB-address DSPs
+            n_pe=n_pe,
+        )
+
+
+# The overlap fractions are calibrated so the modelled margins match the
+# published ones (7.7 % / 16.8 % / 8.16 %); the *mechanism* — hiding init
+# and query loading behind compute — is the structural claim being
+# reproduced.  BSW overlaps nearly all of it (with no traceback to
+# amortise the overhead, Section 7.3 notes its gap is largest).
+
+#: Darwin's GACT array [11] vs kernel #2 (Global Affine).
+GACT = RtlBaseline(name="GACT", kernel_id=2, overlap_fraction=0.55)
+
+#: Darwin-WGA's Banded Smith-Waterman array [12] vs kernel #12.
+BSW = RtlBaseline(name="BSW", kernel_id=12, overlap_fraction=0.82)
+
+#: SquiggleFilter's sDTW array [57] (match bonus removed) vs kernel #14.
+SQUIGGLEFILTER = RtlBaseline(name="SquiggleFilter", kernel_id=14, overlap_fraction=0.54)

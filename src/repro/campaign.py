@@ -1,0 +1,93 @@
+"""Bulk functional-verification campaigns (Section 6.1's 1,000 reads).
+
+The paper verifies every kernel's final alignment output over large
+simulated workloads.  A campaign does the same in two tiers:
+
+* **broad tier** — every pair is scored by the independent textbook
+  implementation (:mod:`repro.reference.dispatch`) and by the row-major
+  oracle; scores must agree pair-by-pair;
+* **deep tier** — a sample of pairs additionally runs through the full
+  systolic engine (registers, banked memory, reduction, traceback) and is
+  checked with :func:`repro.verify.verify_kernel`.
+
+This keeps large campaigns tractable while every layer of the stack is
+exercised on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments.workloads import WORKLOADS
+from repro.kernels import get_kernel
+from repro.reference.dispatch import classic_score
+from repro.reference.dp_oracle import oracle_align
+from repro.verify import verify_kernel
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one kernel's verification campaign."""
+
+    kernel_id: int
+    kernel_name: str
+    pairs: int
+    engine_sample: int
+    score_mismatches: List[Tuple[int, float, float]] = field(default_factory=list)
+    engine_passed: bool = True
+
+    @property
+    def passed(self) -> bool:
+        """Broad-tier scores agree and the deep-tier engine sample passed."""
+        return not self.score_mismatches and self.engine_passed
+
+    def summary(self) -> str:
+        """Human-readable campaign verdict."""
+        status = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"campaign {self.kernel_name} (#{self.kernel_id}): {status} — "
+            f"{self.pairs} pairs (textbook vs oracle), "
+            f"{self.engine_sample} through the full engine"
+        ]
+        for index, ours, theirs in self.score_mismatches[:5]:
+            lines.append(f"  pair {index}: oracle {ours} != textbook {theirs}")
+        if not self.engine_passed:
+            lines.append("  engine sample FAILED verification")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    kernel_id: int,
+    n_pairs: int = 50,
+    engine_sample: int = 3,
+    max_length: int = 64,
+    seed: int = 0,
+    atol: float = 1e-2,
+) -> CampaignReport:
+    """Run a two-tier verification campaign for one kernel."""
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    spec = get_kernel(kernel_id)
+    workload = WORKLOADS[kernel_id]
+    pairs = [
+        (q[:max_length], r[:max_length])
+        for q, r in workload.make_pairs(n_pairs, seed)
+    ]
+    report = CampaignReport(
+        kernel_id=kernel_id,
+        kernel_name=spec.name,
+        pairs=len(pairs),
+        engine_sample=min(engine_sample, len(pairs)),
+    )
+    for index, (query, reference) in enumerate(pairs):
+        oracle_score = oracle_align(spec, query, reference).score
+        textbook = classic_score(kernel_id, query, reference)
+        if not np.isclose(oracle_score, textbook, atol=atol):
+            report.score_mismatches.append((index, oracle_score, textbook))
+    sample = pairs[: report.engine_sample]
+    verification = verify_kernel(spec, sample, n_pe_values=(4,))
+    report.engine_passed = verification.passed
+    return report

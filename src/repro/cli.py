@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflow of Fig. 2A plus the experiment harnesses:
+
+* ``list``                      — the kernel registry (Table 1)
+* ``align KERNEL QUERY REF``    — functional alignment of two sequences
+* ``synth KERNEL``              — Vitis-style synthesis report
+* ``rtl KERNEL``                — structural Verilog skeleton (Section 7.2)
+* ``table2`` / ``fig3`` / ``fig4`` / ``fig5`` / ``fig6`` / ``hls`` /
+  ``tiling``                    — regenerate an evaluation table/figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.alphabet import encode_dna, encode_protein
+from repro.kernels import KERNELS, get_kernel
+from repro.synth import LaunchConfig, synthesize
+from repro.synth.rtlgen import generate_rtl_skeleton
+from repro.systolic import align
+
+
+def _kernel_arg(value: str):
+    try:
+        return get_kernel(int(value))
+    except ValueError:
+        return get_kernel(value)
+
+
+def _encode_for(spec, text: str):
+    if spec.alphabet.name in ("dna", "dna_gap"):
+        return encode_dna(text)
+    if spec.alphabet.name == "protein":
+        return encode_protein(text)
+    if spec.alphabet.name == "int_signal":
+        return tuple(int(v) for v in text.split(","))
+    raise SystemExit(
+        f"kernel {spec.name} consumes {spec.alphabet.name} symbols; "
+        f"the CLI only accepts DNA, protein or comma-separated integer "
+        f"signals"
+    )
+
+
+def cmd_list(_args) -> int:
+    """List the registered kernels (the Table 1 view)."""
+    print(f"{'#':>3} {'name':28s} {'layers':>6} {'objective':>9} "
+          f"{'traceback':>9} {'band':>5}  tools")
+    for kid in sorted(KERNELS):
+        spec = KERNELS[kid]
+        print(
+            f"{kid:>3} {spec.name:28s} {spec.n_layers:>6} "
+            f"{spec.objective.value:>9} "
+            f"{'yes' if spec.has_traceback else 'no':>9} "
+            f"{spec.banding or '-':>5}  {', '.join(spec.reference_tools)}"
+        )
+    return 0
+
+
+def cmd_align(args) -> int:
+    """Align two sequences on a kernel and print the result."""
+    spec = _kernel_arg(args.kernel)
+    query = _encode_for(spec, args.query)
+    reference = _encode_for(spec, args.reference)
+    result = align(spec, query, reference, n_pe=args.n_pe)
+    print(f"kernel : #{spec.kernel_id} {spec.name}")
+    print(f"score  : {result.score}")
+    if result.alignment:
+        print(f"cigar  : {result.cigar}")
+        print(result.alignment.pretty(
+            query, reference,
+            letters="ACGT" if spec.alphabet.name.startswith("dna")
+            else "ARNDCQEGHILKMFPSTWYV",
+        ))
+    print(f"cycles : {result.cycles.total}")
+    return 0
+
+
+def cmd_synth(args) -> int:
+    """Print the Vitis-style synthesis report for a configuration."""
+    spec = _kernel_arg(args.kernel)
+    report = synthesize(
+        spec,
+        LaunchConfig(
+            n_pe=args.n_pe, n_b=args.n_b, n_k=args.n_k,
+            max_query_len=args.max_len, max_ref_len=args.max_len,
+        ),
+    )
+    print(report.summary())
+    return 0 if report.feasible else 1
+
+
+def cmd_rtl(args) -> int:
+    """Emit the structural Verilog skeleton of a kernel."""
+    spec = _kernel_arg(args.kernel)
+    print(generate_rtl_skeleton(spec, LaunchConfig(n_pe=args.n_pe, n_b=args.n_b)))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Verify a kernel against the oracle on a stock workload."""
+    from repro.experiments.workloads import WORKLOADS
+    from repro.verify import verify_kernel
+
+    spec = _kernel_arg(args.kernel)
+    workload = WORKLOADS.get(spec.kernel_id)
+    if workload is None:
+        raise SystemExit(
+            f"no stock workload for kernel #{spec.kernel_id}; use "
+            f"repro.verify.verify_kernel with your own pairs"
+        )
+    pairs = [
+        (q[: args.length], r[: args.length])
+        for q, r in workload.make_pairs(args.pairs, args.seed)
+    ]
+    report = verify_kernel(spec, pairs, n_pe_values=(1, 4, 8))
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_campaign(args) -> int:
+    """Run a bulk two-tier verification campaign."""
+    from repro.campaign import run_campaign
+
+    spec = _kernel_arg(args.kernel)
+    report = run_campaign(
+        spec.kernel_id, n_pairs=args.pairs, engine_sample=args.engine_sample,
+        max_length=args.length, seed=args.seed,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_occupancy(args) -> int:
+    """Render the PE activity Gantt for a matrix shape."""
+    from repro.systolic.activity import render_occupancy
+
+    spec = _kernel_arg(args.kernel)
+    print(
+        render_occupancy(
+            args.query_len, args.ref_len, args.n_pe, banding=spec.banding
+        )
+    )
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    """Render a filled DP matrix with the traceback path."""
+    from repro.experiments.matrix_viz import render_dp_matrix
+
+    spec = _kernel_arg(args.kernel)
+    query = _encode_for(spec, args.query)
+    reference = _encode_for(spec, args.reference)
+    print(render_dp_matrix(spec, query, reference))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Regenerate one of the paper's tables/figures."""
+    name = args.command
+    if name == "table2":
+        from repro.experiments import table2
+
+        print(table2.render())
+    elif name == "fig3":
+        from repro.experiments import fig3
+
+        print(fig3.render(args.kernel_id))
+    elif name == "fig4":
+        from repro.experiments import fig4
+
+        print(fig4.render())
+    elif name == "fig5":
+        from repro.experiments import fig5
+
+        print(fig5.render())
+    elif name == "fig6":
+        from repro.experiments import fig6
+
+        print(fig6.render())
+    elif name == "hls":
+        from repro.experiments import hls_cmp
+
+        print(hls_cmp.render())
+    elif name == "tiling":
+        from repro.experiments import tiling_exp
+
+        print(tiling_exp.render())
+    elif name == "table1":
+        from repro.experiments import table1
+
+        print(table1.render())
+    elif name == "all":
+        from repro.experiments.summary import reproduce_all
+
+        print(reproduce_all().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DP-HLS reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered kernels")
+
+    p = sub.add_parser("align", help="align two sequences on a kernel")
+    p.add_argument("kernel")
+    p.add_argument("query")
+    p.add_argument("reference")
+    p.add_argument("--n-pe", type=int, default=8)
+
+    p = sub.add_parser("synth", help="synthesize a kernel configuration")
+    p.add_argument("kernel")
+    p.add_argument("--n-pe", type=int, default=32)
+    p.add_argument("--n-b", type=int, default=1)
+    p.add_argument("--n-k", type=int, default=1)
+    p.add_argument("--max-len", type=int, default=256)
+
+    p = sub.add_parser("rtl", help="emit the structural Verilog skeleton")
+    p.add_argument("kernel")
+    p.add_argument("--n-pe", type=int, default=32)
+    p.add_argument("--n-b", type=int, default=1)
+
+    p = sub.add_parser("verify", help="verify a kernel against the oracle")
+    p.add_argument("kernel")
+    p.add_argument("--pairs", type=int, default=3)
+    p.add_argument("--length", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("campaign", help="bulk functional-verification campaign")
+    p.add_argument("kernel")
+    p.add_argument("--pairs", type=int, default=25)
+    p.add_argument("--engine-sample", type=int, default=2)
+    p.add_argument("--length", type=int, default=48)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("occupancy", help="render the PE activity Gantt")
+    p.add_argument("kernel")
+    p.add_argument("--query-len", type=int, default=24)
+    p.add_argument("--ref-len", type=int, default=32)
+    p.add_argument("--n-pe", type=int, default=8)
+
+    p = sub.add_parser("matrix", help="render a filled DP matrix with path")
+    p.add_argument("kernel")
+    p.add_argument("query")
+    p.add_argument("reference")
+
+    for exp in ("table1", "table2", "fig4", "fig5", "fig6", "hls", "tiling",
+                "all"):
+        sub.add_parser(exp, help=f"regenerate {exp}")
+    p = sub.add_parser("fig3", help="regenerate fig3 for one kernel")
+    p.add_argument("kernel_id", type=int, choices=(1, 9))
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "align": cmd_align,
+        "synth": cmd_synth,
+        "rtl": cmd_rtl,
+        "verify": cmd_verify,
+        "occupancy": cmd_occupancy,
+        "campaign": cmd_campaign,
+        "matrix": cmd_matrix,
+    }
+    handler = handlers.get(args.command, cmd_experiment)
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Core front-end of the DP-HLS reproduction.
+
+This package is the Python equivalent of the paper's *front-end* (Section 4):
+everything a kernel author touches lives here — alphabets, scoring parameter
+containers, the :class:`~repro.core.spec.KernelSpec` that bundles the
+per-cell recurrence (``PE_func``), initialization, and the traceback finite
+state machine.  Nothing in here knows about systolic arrays or FPGA
+resources; those live in :mod:`repro.systolic` and :mod:`repro.synth`
+(the *back-end*).
+"""
+
+from repro.core.alphabet import (
+    COMPLEX_SIGNAL,
+    DNA,
+    INT_SIGNAL,
+    PROFILE_DNA,
+    PROTEIN,
+    Alphabet,
+)
+from repro.core.ops import eq, lookup, select, vabs, vmax, vmin
+from repro.core.result import Alignment, AlignmentResult, CycleReport
+from repro.core.spec import (
+    TB_DIAG,
+    TB_END,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Move,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "PROTEIN",
+    "PROFILE_DNA",
+    "COMPLEX_SIGNAL",
+    "INT_SIGNAL",
+    "Alignment",
+    "AlignmentResult",
+    "CycleReport",
+    "KernelSpec",
+    "PEInput",
+    "PEOutput",
+    "Move",
+    "Objective",
+    "StartRule",
+    "EndRule",
+    "TracebackSpec",
+    "TB_DIAG",
+    "TB_UP",
+    "TB_LEFT",
+    "TB_END",
+    "vmax",
+    "vmin",
+    "select",
+    "vabs",
+    "eq",
+    "lookup",
+]

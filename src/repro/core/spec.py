@@ -1,0 +1,260 @@
+"""Kernel specification — the DP-HLS front-end contract.
+
+A :class:`KernelSpec` is the Python equivalent of the six front-end
+customization steps in Section 4 of the paper:
+
+1. data types and parameters  → ``alphabet``, ``score_type``, ``n_layers``,
+   ``params_type``/``default_params``, ``tb_ptr_bits``, ``tb_states``,
+   ``banding``
+2. row/column initialization  → ``init_row`` / ``init_col``
+3. the PE function            → ``pe_func``
+4. the traceback strategy     → ``traceback`` + ``tb_transition``
+5. parallelism (N_PE/N_B/N_K) → :class:`LaunchConfig` (runtime, not spec)
+6. host-side program          → :mod:`repro.host`
+
+Everything the back-end (:mod:`repro.systolic`, :mod:`repro.synth`) does is
+derived from this object; kernel authors never touch the back-end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.alphabet import Alphabet
+from repro.core.result import Move
+from repro.core.trace import DatapathGraph, TracedTable, TracedValue
+from repro.hdl_types import ApFixedType, ApIntType
+
+#: Standard traceback pointer encodings shared by all kernels.  Kernels with
+#: richer pointers (affine extension flags, two-piece layers) pack extra bits
+#: above these two.
+TB_DIAG = 0
+TB_UP = 1
+TB_LEFT = 2
+TB_END = 3
+
+ScoreType = Union[ApIntType, ApFixedType]
+
+
+class Objective(enum.Enum):
+    """Whether the recurrence keeps the maximum or minimum (Section 2.2.2d)."""
+
+    MAXIMIZE = "max"
+    MINIMIZE = "min"
+
+
+class StartRule(enum.Enum):
+    """Where the traceback path starts (Section 2.2.3)."""
+
+    BOTTOM_RIGHT = "bottom_right"          # global
+    GLOBAL_MAX = "global_max"              # local
+    LAST_ROW_MAX = "last_row_max"          # semi-global
+    LAST_ROW_OR_COL_MAX = "last_row_or_col_max"  # overlap
+
+
+class EndRule(enum.Enum):
+    """Where the traceback path terminates."""
+
+    TOP_LEFT = "top_left"                  # global: walk all the way to (0, 0)
+    SENTINEL = "sentinel"                  # local: stop at a TB_END pointer
+    TOP_ROW = "top_row"                    # semi-global: stop at row 0
+    TOP_ROW_OR_LEFT_COL = "top_row_or_left_col"  # overlap
+
+
+@dataclass(frozen=True)
+class TracebackSpec:
+    """Traceback termination condition plus the FSM's initial state.
+
+    Where the traceback *starts* is the kernel's :attr:`KernelSpec.start_rule`
+    — score-only kernels need it too (it defines which cell's score is
+    reported), so it lives on the spec rather than here.
+    """
+
+    end: EndRule
+    initial_state: int = 0
+
+
+@dataclass
+class PEInput:
+    """Everything one processing element sees when computing cell (i, j).
+
+    ``up``/``diag``/``left`` hold the ``n_layers`` scores of the three
+    neighbouring cells; ``qry``/``ref`` are the local query and reference
+    symbols (``lc_qry_val``/``lc_ref_val`` in the paper's listings);
+    ``params`` is the runtime :class:`ScoringParams` instance.
+    """
+
+    up: Tuple[Any, ...]
+    diag: Tuple[Any, ...]
+    left: Tuple[Any, ...]
+    qry: Any
+    ref: Any
+    params: Any
+
+
+#: ``PE_func`` returns the cell's per-layer scores plus its traceback pointer.
+PEOutput = Tuple[Tuple[Any, ...], int]
+
+#: The traceback FSM: (current state, stored pointer) -> (move, next state).
+TBTransition = Callable[[int, int], Tuple[Move, int]]
+
+#: Row/column initializer: (params, length) -> array of shape (length, n_layers).
+Initializer = Callable[[Any, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A complete 2-D DP kernel description (one row of Table 1)."""
+
+    name: str
+    kernel_id: int
+    alphabet: Alphabet
+    score_type: ScoreType
+    n_layers: int
+    objective: Objective
+    pe_func: Callable[[PEInput], PEOutput]
+    init_row: Initializer
+    init_col: Initializer
+    default_params: Any
+    start_rule: StartRule = StartRule.BOTTOM_RIGHT
+    traceback: Optional[TracebackSpec] = None
+    tb_transition: Optional[TBTransition] = None
+    tb_ptr_bits: int = 2
+    tb_states: Tuple[str, ...] = ("MM",)
+    score_layer: int = 0
+    banding: Optional[int] = None
+    description: str = ""
+    applications: Tuple[str, ...] = ()
+    reference_tools: Tuple[str, ...] = ()
+    modifications: str = "N/A"
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1:
+            raise ValueError(f"n_layers must be >= 1, got {self.n_layers}")
+        if not 0 <= self.score_layer < self.n_layers:
+            raise ValueError(
+                f"score_layer {self.score_layer} out of range for "
+                f"{self.n_layers} layers"
+            )
+        if self.banding is not None and self.banding < 1:
+            raise ValueError(f"banding width must be >= 1, got {self.banding}")
+        if (self.traceback is None) != (self.tb_transition is None):
+            raise ValueError(
+                "traceback and tb_transition must be provided together "
+                "(or both omitted for score-only kernels)"
+            )
+        if self.tb_ptr_bits < 2:
+            raise ValueError("traceback pointers need at least 2 bits")
+
+    # ------------------------------------------------------------------
+    # objective helpers
+    # ------------------------------------------------------------------
+    @property
+    def has_traceback(self) -> bool:
+        """Whether the kernel recovers an alignment path."""
+        return self.traceback is not None
+
+    def sentinel(self) -> float:
+        """The boundary value standing in for -inf (max) / +inf (min)."""
+        if self.objective is Objective.MAXIMIZE:
+            return self.score_type.sentinel_low()
+        return self.score_type.sentinel_high()
+
+    def better(self, a: float, b: float) -> bool:
+        """Whether score ``a`` beats score ``b`` under the objective."""
+        if self.objective is Objective.MAXIMIZE:
+            return a > b
+        return a < b
+
+    def quantize(self, value: float) -> float:
+        """Snap a score onto the kernel's hardware number grid."""
+        return self.score_type.quantize(value)
+
+    # ------------------------------------------------------------------
+    # initialization helpers
+    # ------------------------------------------------------------------
+    def init_row_scores(self, params: Any, length: int) -> np.ndarray:
+        """Evaluate and validate ``init_row`` (cells (0, j), j in [0, length))."""
+        return self._init("init_row", self.init_row, params, length)
+
+    def init_col_scores(self, params: Any, length: int) -> np.ndarray:
+        """Evaluate and validate ``init_col`` (cells (i, 0), i in [0, length))."""
+        return self._init("init_col", self.init_col, params, length)
+
+    def _init(
+        self, label: str, fn: Initializer, params: Any, length: int
+    ) -> np.ndarray:
+        scores = np.asarray(fn(params, length), dtype=float)
+        if scores.shape != (length, self.n_layers):
+            raise ValueError(
+                f"{self.name}: {label} produced shape {scores.shape}, "
+                f"expected ({length}, {self.n_layers})"
+            )
+        return scores
+
+    # ------------------------------------------------------------------
+    # datapath tracing (consumed by the synthesis models)
+    # ------------------------------------------------------------------
+    def trace_datapath(self) -> DatapathGraph:
+        """Run ``pe_func`` symbolically and return its datapath graph."""
+        graph = DatapathGraph()
+        width = self.score_type.width
+
+        def layer_inputs() -> Tuple[TracedValue, ...]:
+            return tuple(TracedValue(graph, width) for _ in range(self.n_layers))
+
+        cell = PEInput(
+            up=layer_inputs(),
+            diag=layer_inputs(),
+            left=layer_inputs(),
+            qry=self.alphabet.traced_symbol(graph),
+            ref=self.alphabet.traced_symbol(graph),
+            params=wrap_params(self.default_params, graph, width),
+        )
+        scores, _ptr = self.pe_func(cell)
+        if len(scores) != self.n_layers:
+            raise ValueError(
+                f"{self.name}: pe_func produced {len(scores)} layers, "
+                f"expected {self.n_layers}"
+            )
+        return graph
+
+
+def wrap_params(params: Any, graph: DatapathGraph, width: int) -> Any:
+    """Build a traced mirror of a ScoringParams dataclass.
+
+    Scalar fields become :class:`TracedValue` operands; array/nested-list
+    fields become :class:`TracedTable` ROMs.  The mirror exposes the same
+    attribute names so ``pe_func`` code is oblivious to the mode it runs in.
+    """
+    if not dataclasses.is_dataclass(params):
+        raise TypeError(
+            f"ScoringParams must be a dataclass instance, got {type(params)!r}"
+        )
+    mirror: dict = {}
+    for f in dataclasses.fields(params):
+        value = getattr(params, f.name)
+        if isinstance(value, (int, float)):
+            mirror[f.name] = TracedValue(graph, width)
+        elif isinstance(value, (list, tuple, np.ndarray)):
+            shape = np.asarray(value).shape
+            mirror[f.name] = TracedTable(graph, shape, width)
+        else:
+            raise TypeError(
+                f"unsupported ScoringParams field {f.name!r} of type "
+                f"{type(value)!r}"
+            )
+    return SimpleNamespace(**mirror)
+
+
+def band_contains(banding: Optional[int], i: int, j: int) -> bool:
+    """Whether matrix cell (i, j) lies inside the fixed band (|i-j| <= W)."""
+    if banding is None:
+        return True
+    return abs(i - j) <= banding

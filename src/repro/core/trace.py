@@ -1,0 +1,190 @@
+"""Datapath tracing for PE functions.
+
+The HLS compiler derives a kernel's logic resources, initiation interval and
+achievable clock frequency from the structure of the user's ``PE_func``.  We
+reproduce that step by *tracing*: the function is executed once with
+:class:`TracedValue` operands whose arithmetic operators record every
+adder, comparator, multiplier, multiplexer and ROM access into a
+:class:`DatapathGraph`, together with an abstract logic depth.
+
+The graph is consumed by :mod:`repro.synth.resources` (operator counts ×
+bit-widths → LUT/FF/DSP) and :mod:`repro.synth.timing` (critical-path depth →
+initiation interval and Fmax).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+class OpKind(enum.Enum):
+    """The operator classes the resource/timing models distinguish."""
+
+    ADD = "add"          # adders and subtractors
+    MUL = "mul"          # multipliers (mapped to DSP blocks)
+    CMP = "cmp"          # magnitude/equality comparators
+    MUX = "mux"          # 2:1 multiplexers (select / max / min selection)
+    ABS = "abs"          # absolute value (negate + mux)
+    ROM = "rom"          # table lookup (substitution matrices, emissions)
+
+
+#: Abstract propagation delay of each operator class, in "logic levels".
+#: These are relative numbers: a ripple/carry-lookahead add is the unit,
+#: a multiplier costs several levels, a mux half of one.
+OP_DEPTH: Dict[OpKind, float] = {
+    OpKind.ADD: 1.0,
+    OpKind.MUL: 3.0,
+    OpKind.CMP: 1.0,
+    OpKind.MUX: 0.5,
+    OpKind.ABS: 1.5,
+    OpKind.ROM: 1.0,
+}
+
+
+@dataclass
+class DatapathGraph:
+    """Accumulated statistics of one traced ``PE_func`` evaluation."""
+
+    #: (kind, width) -> number of operator instances
+    op_counts: Counter = field(default_factory=Counter)
+    #: deepest path (in abstract logic levels) through any produced value
+    critical_depth: float = 0.0
+    #: operand-width pairs of every multiplier (sized individually for DSPs)
+    mults: list = field(default_factory=list)
+
+    def record(self, kind: OpKind, width: int, in_depth: float) -> float:
+        """Register one operator; returns the depth at its output."""
+        self.op_counts[(kind, width)] += 1
+        out_depth = in_depth + OP_DEPTH[kind]
+        if out_depth > self.critical_depth:
+            self.critical_depth = out_depth
+        return out_depth
+
+    def count(self, kind: OpKind) -> int:
+        """Total instances of one operator class across all widths."""
+        return sum(n for (k, _w), n in self.op_counts.items() if k is kind)
+
+    def width_weighted_count(self, kind: OpKind) -> int:
+        """Sum of (instances × bit-width) for one operator class."""
+        return sum(n * w for (k, w), n in self.op_counts.items() if k is kind)
+
+    def multiplier_instances(self) -> Tuple[Tuple[int, int], ...]:
+        """Operand-width pairs (wa, wb) of every multiplier instance."""
+        return tuple(self.mults)
+
+
+def _operand_width(value: Any, default: int) -> int:
+    if isinstance(value, TracedValue):
+        return value.width
+    return default
+
+
+def _operand_depth(value: Any) -> float:
+    if isinstance(value, TracedValue):
+        return value.depth
+    return 0.0
+
+
+class TracedValue:
+    """A symbolic operand flowing through a traced ``PE_func``.
+
+    Supports the arithmetic and comparison operators kernels are allowed to
+    use.  Comparisons yield a 1-bit :class:`TracedValue` suitable for
+    :func:`repro.core.ops.select`.
+    """
+
+    __slots__ = ("graph", "width", "depth")
+
+    def __init__(self, graph: DatapathGraph, width: int, depth: float = 0.0):
+        self.graph = graph
+        self.width = width
+        self.depth = depth
+
+    # -- helpers ----------------------------------------------------------
+    def _binary(self, other: Any, kind: OpKind, out_width: int = 0) -> "TracedValue":
+        width = max(self.width, _operand_width(other, self.width))
+        depth = max(self.depth, _operand_depth(other))
+        out_depth = self.graph.record(kind, width, depth)
+        return TracedValue(self.graph, out_width or width, out_depth)
+
+    # -- arithmetic -------------------------------------------------------
+    def __add__(self, other: Any) -> "TracedValue":
+        return self._binary(other, OpKind.ADD)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> "TracedValue":
+        return self._binary(other, OpKind.ADD)
+
+    __rsub__ = __sub__
+
+    def __mul__(self, other: Any) -> "TracedValue":
+        self.graph.mults.append(
+            (self.width, _operand_width(other, self.width))
+        )
+        return self._binary(other, OpKind.MUL)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "TracedValue":
+        out_depth = self.graph.record(OpKind.ADD, self.width, self.depth)
+        return TracedValue(self.graph, self.width, out_depth)
+
+    # -- comparisons (all produce a 1-bit condition) -----------------------
+    def _compare(self, other: Any) -> "TracedValue":
+        return self._binary(other, OpKind.CMP, out_width=1)
+
+    def __lt__(self, other: Any) -> "TracedValue":
+        return self._compare(other)
+
+    def __le__(self, other: Any) -> "TracedValue":
+        return self._compare(other)
+
+    def __gt__(self, other: Any) -> "TracedValue":
+        return self._compare(other)
+
+    def __ge__(self, other: Any) -> "TracedValue":
+        return self._compare(other)
+
+    # NOTE: __eq__/__ne__ stay identity comparisons so TracedValue remains
+    # hashable; kernels must use repro.core.ops.eq for symbol equality.
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "PE functions must not branch on data values; use "
+            "repro.core.ops.select(cond, a, b) so the datapath stays "
+            "synthesizable (HLS maps it to a multiplexer)."
+        )
+
+
+class TracedTable:
+    """A ROM standing in for a parameter matrix during tracing.
+
+    Indexing with a plain integer descends a dimension (compile-time
+    constant index → just wiring); indexing with a :class:`TracedValue`
+    is a runtime lookup and is recorded as a ROM access.
+    """
+
+    def __init__(self, graph: DatapathGraph, shape: Tuple[int, ...], width: int):
+        if not shape:
+            raise ValueError("TracedTable needs at least one dimension")
+        self.graph = graph
+        self.shape = shape
+        self.width = width
+
+    def __getitem__(self, index: Any) -> Any:
+        rest = self.shape[1:]
+        if isinstance(index, TracedValue):
+            depth = self.graph.record(OpKind.ROM, self.width, index.depth)
+            if rest:
+                return TracedTable(self.graph, rest, self.width)
+            return TracedValue(self.graph, self.width, depth)
+        if rest:
+            return TracedTable(self.graph, rest, self.width)
+        return TracedValue(self.graph, self.width)
+
+    def __len__(self) -> int:
+        return self.shape[0]

@@ -1,0 +1,29 @@
+"""Synthetic dataset substrates standing in for the paper's inputs.
+
+The paper evaluates on PBSIM2-simulated PacBio reads from GRCh38,
+Swiss-Prot proteins, SquiggleFilter's nanopore squiggles, and profiles
+built from Drosophila genomes — none of which are available offline.  Each
+module here generates the closest synthetic equivalent (documented in
+DESIGN.md) so every kernel and experiment exercises realistic inputs:
+
+* :mod:`repro.data.genome`  — synthetic reference genomes (GC bias, repeats)
+* :mod:`repro.data.pbsim`   — long reads with a CLR-like 30 % error model
+* :mod:`repro.data.protein` — proteins from Swiss-Prot residue frequencies
+* :mod:`repro.data.blosum`  — the BLOSUM62 substitution matrix
+* :mod:`repro.data.signals` — complex signals and nanopore squiggles
+* :mod:`repro.data.profiles`— frequency profiles from diverged sequence sets
+* :mod:`repro.data.fasta`   — minimal FASTA reading/writing
+"""
+
+from repro.data.blosum import BLOSUM62
+from repro.data.genome import random_genome
+from repro.data.pbsim import simulate_read, simulate_read_pairs
+from repro.data.protein import random_protein
+
+__all__ = [
+    "BLOSUM62",
+    "random_genome",
+    "simulate_read",
+    "simulate_read_pairs",
+    "random_protein",
+]

@@ -1,0 +1,47 @@
+"""Minimal FASTA reading and writing for host-side tooling and examples."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+def read_fasta(path: PathLike) -> Dict[str, str]:
+    """Parse a FASTA file into {record name: sequence} (order-preserving)."""
+    records: Dict[str, str] = {}
+    name = None
+    chunks: List[str] = []
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    records[name] = "".join(chunks)
+                name = line[1:].split()[0]
+                if not name:
+                    raise ValueError(f"{path}: empty FASTA record name")
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError(f"{path}: sequence before first header")
+                chunks.append(line.upper())
+    if name is not None:
+        records[name] = "".join(chunks)
+    return records
+
+
+def write_fasta(
+    path: PathLike, records: Iterable[Tuple[str, str]], width: int = 70
+) -> None:
+    """Write (name, sequence) records as wrapped FASTA."""
+    if width < 1:
+        raise ValueError(f"line width must be >= 1, got {width}")
+    with open(path, "w") as handle:
+        for name, sequence in records:
+            handle.write(f">{name}\n")
+            for start in range(0, len(sequence), width):
+                handle.write(sequence[start:start + width] + "\n")

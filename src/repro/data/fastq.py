@@ -1,0 +1,128 @@
+"""Minimal FASTQ reading/writing plus quality-aware read simulation.
+
+Extends the PBSIM-like pipeline with per-base Phred qualities so host
+programs can exercise the full read-processing path (parse, filter by
+quality, align).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, NamedTuple, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.alphabet import decode_dna
+from repro.data.pbsim import simulate_read_pairs
+
+PathLike = Union[str, Path]
+
+#: Phred+33 encoding bounds.
+PHRED_OFFSET = 33
+MAX_PHRED = 60
+
+
+class FastqRecord(NamedTuple):
+    """One FASTQ record."""
+
+    name: str
+    sequence: str
+    qualities: Tuple[int, ...]  # Phred scores
+
+    @property
+    def mean_quality(self) -> float:
+        """Average Phred score of the read."""
+        return sum(self.qualities) / len(self.qualities)
+
+
+def encode_qualities(phred: Tuple[int, ...]) -> str:
+    """Phred scores -> FASTQ quality string (Phred+33)."""
+    out = []
+    for q in phred:
+        if not 0 <= q <= MAX_PHRED:
+            raise ValueError(f"Phred score {q} out of range [0, {MAX_PHRED}]")
+        out.append(chr(q + PHRED_OFFSET))
+    return "".join(out)
+
+
+def decode_qualities(text: str) -> Tuple[int, ...]:
+    """FASTQ quality string -> Phred scores."""
+    return tuple(ord(ch) - PHRED_OFFSET for ch in text)
+
+
+def write_fastq(path: PathLike, records: List[FastqRecord]) -> None:
+    """Write records in four-line FASTQ format."""
+    with open(path, "w") as handle:
+        for record in records:
+            if len(record.sequence) != len(record.qualities):
+                raise ValueError(
+                    f"{record.name}: {len(record.sequence)} bases but "
+                    f"{len(record.qualities)} quality scores"
+                )
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n")
+            handle.write(encode_qualities(record.qualities) + "\n")
+
+
+def read_fastq(path: PathLike) -> List[FastqRecord]:
+    """Parse a four-line-per-record FASTQ file."""
+    records: List[FastqRecord] = []
+    with open(path) as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    while lines and lines[-1] == "":
+        lines.pop()
+    if len(lines) % 4 != 0:
+        raise ValueError(f"{path}: truncated FASTQ ({len(lines)} lines)")
+    for base in range(0, len(lines), 4):
+        header, sequence, plus, quality = lines[base:base + 4]
+        if not header.startswith("@"):
+            raise ValueError(f"{path}: record {base // 4} missing '@' header")
+        if not plus.startswith("+"):
+            raise ValueError(f"{path}: record {base // 4} missing '+' line")
+        if len(sequence) != len(quality):
+            raise ValueError(
+                f"{path}: record {base // 4} length mismatch"
+            )
+        records.append(
+            FastqRecord(
+                name=header[1:].split()[0],
+                sequence=sequence.upper(),
+                qualities=decode_qualities(quality),
+            )
+        )
+    return records
+
+
+def simulate_fastq(
+    n_reads: int,
+    length: int = 256,
+    error_rate: float = 0.30,
+    seed: Optional[int] = None,
+) -> List[FastqRecord]:
+    """Simulate CLR-like reads with error-rate-consistent qualities.
+
+    The per-base Phred scores fluctuate around the value implied by the
+    configured error rate (Q = -10 log10 p), the way long-read basecallers
+    emit them.
+    """
+    if not 0.0 < error_rate < 1.0:
+        raise ValueError(f"error_rate must be in (0, 1), got {error_rate}")
+    rng = np.random.RandomState(seed)
+    base_q = -10.0 * np.log10(error_rate)
+    reads = simulate_read_pairs(
+        n_reads, length=length, error_rate=error_rate,
+        seed=rng.randint(2**31 - 1),
+    )
+    records = []
+    for index, read in enumerate(reads):
+        n = len(read.query)
+        phred = np.clip(
+            np.round(rng.normal(base_q, 2.0, size=n)), 2, MAX_PHRED
+        ).astype(int)
+        records.append(
+            FastqRecord(
+                name=f"read_{index}/pos={read.genome_start}",
+                sequence=decode_dna(read.query),
+                qualities=tuple(int(q) for q in phred),
+            )
+        )
+    return records

@@ -1,0 +1,73 @@
+"""Synthetic reference genomes (the offline stand-in for GRCh38).
+
+Generates DNA with human-like GC content and a configurable fraction of
+repetitive sequence (tandem repeats and dispersed duplications), which is
+what makes alignment against it non-trivial: reads sampled from repeats
+produce the near-tie traceback situations real aligners must handle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Human genome-wide GC content is ~41 %.
+HUMAN_GC = 0.41
+
+
+def random_genome(
+    length: int,
+    gc_content: float = HUMAN_GC,
+    repeat_fraction: float = 0.2,
+    seed: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Generate a synthetic genome as 2-bit base codes (A=0,C=1,G=2,T=3).
+
+    ``repeat_fraction`` of the genome is covered by copies of earlier
+    segments (dispersed repeats) and short tandem expansions.
+    """
+    if length < 1:
+        raise ValueError(f"genome length must be >= 1, got {length}")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError(f"gc_content must be in [0, 1], got {gc_content}")
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError(
+            f"repeat_fraction must be in [0, 1), got {repeat_fraction}"
+        )
+    rng = np.random.RandomState(seed)
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    bases = rng.choice(4, size=length, p=[at, gc, gc, at]).astype(np.int8)
+
+    # Overwrite stretches with copies of earlier material to create repeats.
+    repeat_budget = int(length * repeat_fraction)
+    while repeat_budget > 0 and length > 64:
+        size = int(rng.randint(16, min(256, max(17, length // 4))))
+        src = int(rng.randint(0, length - size))
+        dst = int(rng.randint(0, length - size))
+        if rng.rand() < 0.5:
+            bases[dst:dst + size] = bases[src:src + size]  # dispersed copy
+        else:
+            unit = bases[src:src + max(2, size // 8)]  # tandem expansion
+            reps = np.tile(unit, size // len(unit) + 1)[:size]
+            bases[dst:dst + size] = reps
+        repeat_budget -= size
+    return tuple(int(b) for b in bases)
+
+
+def extract_region(
+    genome: Tuple[int, ...], start: int, length: int
+) -> Tuple[int, ...]:
+    """Slice ``length`` bases starting at ``start`` (bounds-checked)."""
+    if start < 0 or start + length > len(genome):
+        raise ValueError(
+            f"region [{start}, {start + length}) outside genome of length "
+            f"{len(genome)}"
+        )
+    return genome[start:start + length]
+
+
+def reverse_complement(sequence: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Reverse-complement 2-bit base codes (A<->T, C<->G)."""
+    return tuple(3 - b for b in reversed(sequence))

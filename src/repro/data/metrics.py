@@ -1,0 +1,77 @@
+"""Alignment quality metrics derived from results and CIGAR strings.
+
+Shared by the examples, the apps and their tests: identity of an
+alignment path, query/reference coverage, and the column composition of a
+CIGAR string.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Sequence
+
+from repro.core.result import Alignment, Move
+
+_CIGAR_TOKEN = re.compile(r"(\d+)([MID])")
+
+
+def cigar_counts(cigar: str) -> Dict[str, int]:
+    """Total columns per CIGAR op ('M', 'I', 'D').
+
+    >>> cigar_counts("3M1I2M2D")
+    {'M': 5, 'I': 1, 'D': 2}
+    """
+    counts = {"M": 0, "I": 0, "D": 0}
+    consumed = 0
+    for run, op in _CIGAR_TOKEN.findall(cigar):
+        counts[op] += int(run)
+        consumed += len(run) + 1
+    if consumed != len(cigar):
+        raise ValueError(f"malformed CIGAR {cigar!r}")
+    return counts
+
+
+def alignment_identity(
+    alignment: Alignment, query: Sequence[Any], reference: Sequence[Any]
+) -> float:
+    """Matches / aligned columns (gaps count as non-matches)."""
+    qi, rj = alignment.query_start, alignment.ref_start
+    matches = columns = 0
+    for move in alignment.moves:
+        if move is Move.MATCH:
+            matches += query[qi] == reference[rj]
+            qi += 1
+            rj += 1
+            columns += 1
+        elif move is Move.DEL:
+            qi += 1
+            columns += 1
+        elif move is Move.INS:
+            rj += 1
+            columns += 1
+    if columns == 0:
+        return 1.0
+    return matches / columns
+
+
+def query_coverage(alignment: Alignment, query_len: int) -> float:
+    """Fraction of the query inside the aligned interval."""
+    if query_len == 0:
+        return 0.0
+    return (alignment.query_end - alignment.query_start) / query_len
+
+
+def reference_coverage(alignment: Alignment, ref_len: int) -> float:
+    """Fraction of the reference inside the aligned interval."""
+    if ref_len == 0:
+        return 0.0
+    return (alignment.ref_end - alignment.ref_start) / ref_len
+
+
+def sequence_identity(a: Sequence[Any], b: Sequence[Any]) -> float:
+    """Global alignment identity between two raw sequences (kernel #1)."""
+    from repro.kernels import get_kernel
+    from repro.systolic import align
+
+    result = align(get_kernel(1), a, b, n_pe=8)
+    return alignment_identity(result.alignment, a, b)

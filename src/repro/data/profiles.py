@@ -1,0 +1,70 @@
+"""Sequence-profile workloads for kernel #8 (profile alignment).
+
+Stands in for the paper's Drosophila melanogaster / simulans profiles:
+two groups of sequences diverge from a common synthetic ancestor, each
+group is stacked into per-column {A, C, G, T, gap} frequency profiles, and
+the profile-alignment kernel aligns one group's profile to the other's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.genome import random_genome
+
+ProfileColumn = Tuple[float, float, float, float, float]
+
+
+def mutate_sequence(
+    sequence: Tuple[int, ...],
+    divergence: float,
+    rng: np.random.RandomState,
+) -> List[int]:
+    """Point-mutate a sequence; -1 marks a deletion (gap in the stack)."""
+    out: List[int] = []
+    for base in sequence:
+        roll = rng.rand()
+        if roll < divergence * 0.2:
+            out.append(-1)  # gap
+        elif roll < divergence:
+            out.append(int((base + rng.randint(1, 4)) % 4))
+        else:
+            out.append(int(base))
+    return out
+
+
+def profile_from_stack(stack: np.ndarray) -> Tuple[ProfileColumn, ...]:
+    """Column frequencies of a (n_seqs, n_cols) stack with -1 gaps."""
+    n_seqs, n_cols = stack.shape
+    columns: List[ProfileColumn] = []
+    for col in range(n_cols):
+        counts = np.zeros(5)
+        for value in stack[:, col]:
+            counts[4 if value < 0 else int(value)] += 1
+        freqs = counts / n_seqs
+        columns.append(tuple(float(f) for f in freqs))
+    return tuple(columns)
+
+
+def profile_pair(
+    n_cols: int = 64,
+    n_seqs: int = 8,
+    divergence: float = 0.1,
+    seed: Optional[int] = None,
+) -> Tuple[Tuple[ProfileColumn, ...], Tuple[ProfileColumn, ...]]:
+    """Two related profiles of ``n_cols`` columns from a shared ancestor."""
+    if n_cols < 1 or n_seqs < 1:
+        raise ValueError("n_cols and n_seqs must be >= 1")
+    if not 0.0 <= divergence < 1.0:
+        raise ValueError(f"divergence must be in [0, 1), got {divergence}")
+    rng = np.random.RandomState(seed)
+    ancestor = random_genome(n_cols, seed=rng.randint(2**31 - 1))
+    profiles = []
+    for _group in range(2):
+        stack = np.asarray(
+            [mutate_sequence(ancestor, divergence, rng) for _ in range(n_seqs)]
+        )
+        profiles.append(profile_from_stack(stack))
+    return profiles[0], profiles[1]

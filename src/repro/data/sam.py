@@ -1,0 +1,89 @@
+"""Minimal SAM output for the read mapper.
+
+Real aligners emit SAM; the mapper's :class:`MappedRead` carries all the
+fields a minimal single-end record needs.  Only the subset of the spec
+the pipeline example uses is implemented: header (@HD/@SQ), FLAG bits 4
+(unmapped) and 16 (reverse strand), POS/MAPQ/CIGAR, and the sequence.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.apps.read_mapper import MappedRead, ReadMapper
+
+PathLike = Union[str, Path]
+
+FLAG_UNMAPPED = 4
+FLAG_REVERSE = 16
+
+
+def sam_header(reference_name: str, reference_length: int) -> str:
+    """@HD + @SQ lines for a single-reference run."""
+    return (
+        "@HD\tVN:1.6\tSO:unsorted\n"
+        f"@SQ\tSN:{reference_name}\tLN:{reference_length}"
+    )
+
+
+def sam_record(
+    read_name: str,
+    sequence: str,
+    hit: Optional[MappedRead],
+    mapper: Optional[ReadMapper] = None,
+    reference_name: str = "ref",
+    mapq: int = 60,
+) -> str:
+    """One alignment line (or an unmapped record when ``hit`` is None)."""
+    if hit is None:
+        return "\t".join(
+            [read_name, str(FLAG_UNMAPPED), "*", "0", "0", "*",
+             "*", "0", "0", sequence, "*"]
+        )
+    flag = FLAG_REVERSE if hit.strand == "-" else 0
+    position = (
+        mapper.mapped_start(hit) if mapper is not None
+        else hit.position + hit.window_offset
+    )
+    return "\t".join(
+        [
+            read_name,
+            str(flag),
+            reference_name,
+            str(position + 1),  # SAM is 1-based
+            str(mapq),
+            hit.cigar or "*",
+            "*", "0", "0",
+            sequence,
+            "*",
+            f"AS:i:{int(hit.score)}",
+        ]
+    )
+
+
+def write_sam(
+    path: PathLike,
+    records: List[Tuple[str, str, Optional[MappedRead]]],
+    mapper: ReadMapper,
+    reference_name: str = "ref",
+) -> None:
+    """Write a header plus one record per (name, sequence, hit) triple."""
+    lines = [sam_header(reference_name, len(mapper.genome))]
+    for name, sequence, hit in records:
+        lines.append(
+            sam_record(name, sequence, hit, mapper, reference_name)
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def parse_sam_positions(path: PathLike) -> List[Tuple[str, int, bool]]:
+    """(name, 0-based position, mapped) per record — enough for tests."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        if line.startswith("@"):
+            continue
+        fields = line.split("\t")
+        flag = int(fields[1])
+        out.append((fields[0], int(fields[3]) - 1, not flag & FLAG_UNMAPPED))
+    return out

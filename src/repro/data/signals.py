@@ -1,0 +1,158 @@
+"""Signal workloads: complex samples for DTW and nanopore squiggles for sDTW.
+
+The DTW kernel (#9) consumes complex temporal samples; the paper simulates
+its own random complex sequences, which we reproduce.  The sDTW kernel
+(#14) consumes nanopore current levels; standing in for the SquiggleFilter
+dataset, ``squiggle_from_sequence`` synthesises a squiggle through a random
+k-mer pore model (per-k-mer Gaussian current levels, variable dwell times,
+8-bit quantisation), the same signal class SquiggleFilter normalises and
+feeds to its array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hdl_types import ApFixedType
+
+#: Fixed-point grid of the DTW kernel's complex components.
+COMPLEX_COMPONENT_T = ApFixedType(24, 12)
+
+#: Nanopore model constants (loosely R9.4-like).
+PORE_K = 6
+PORE_MEAN_PA = 90.0
+PORE_SPREAD_PA = 12.0
+PORE_NOISE_PA = 1.5
+
+
+def random_complex_signal(
+    length: int, amplitude: float = 1.0, seed: Optional[int] = None
+) -> Tuple[Tuple[float, float], ...]:
+    """Random complex samples quantised to the kernel's fixed-point grid."""
+    if length < 1:
+        raise ValueError(f"signal length must be >= 1, got {length}")
+    rng = np.random.RandomState(seed)
+    samples = rng.normal(0.0, amplitude, size=(length, 2))
+    quantize = COMPLEX_COMPONENT_T.quantize
+    return tuple((quantize(re), quantize(im)) for re, im in samples)
+
+
+def warp_signal(
+    signal: Tuple[Tuple[float, float], ...],
+    stretch: float = 1.3,
+    noise: float = 0.05,
+    seed: Optional[int] = None,
+) -> Tuple[Tuple[float, float], ...]:
+    """Time-warp + noise a complex signal (a realistic DTW query)."""
+    if stretch <= 0:
+        raise ValueError(f"stretch must be positive, got {stretch}")
+    rng = np.random.RandomState(seed)
+    n_out = max(1, int(round(len(signal) * stretch)))
+    idx = np.minimum(
+        (np.arange(n_out) / stretch).astype(int), len(signal) - 1
+    )
+    quantize = COMPLEX_COMPONENT_T.quantize
+    out = []
+    for i in idx:
+        re, im = signal[i]
+        out.append(
+            (
+                quantize(re + rng.normal(0.0, noise)),
+                quantize(im + rng.normal(0.0, noise)),
+            )
+        )
+    return tuple(out)
+
+
+class PoreModel:
+    """A random k-mer -> current-level table (synthetic pore chemistry)."""
+
+    def __init__(self, k: int = PORE_K, seed: Optional[int] = None):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        rng = np.random.RandomState(seed)
+        self._levels = rng.normal(PORE_MEAN_PA, PORE_SPREAD_PA, size=4**k)
+
+    def level(self, kmer_code: int) -> float:
+        """Expected current (pA) while ``kmer_code`` occupies the pore."""
+        return float(self._levels[kmer_code])
+
+    @staticmethod
+    def kmer_code(sequence: Tuple[int, ...], pos: int, k: int) -> int:
+        """Pack ``k`` 2-bit bases starting at ``pos`` into one index."""
+        code = 0
+        for offset in range(k):
+            code = (code << 2) | sequence[pos + offset]
+        return code
+
+
+def squiggle_from_sequence(
+    sequence: Tuple[int, ...],
+    pore: Optional[PoreModel] = None,
+    mean_dwell: float = 2.0,
+    noise: float = PORE_NOISE_PA,
+    seed: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Synthesize an 8-bit quantised squiggle for a DNA sequence.
+
+    Each k-mer contributes a geometric number of samples (dwell) around its
+    pore level, plus Gaussian noise; levels are z-normalised and quantised
+    into [0, 255] the way SquiggleFilter's pre-processing does.
+    """
+    pore = pore or PoreModel(seed=0)
+    if len(sequence) < pore.k:
+        raise ValueError(
+            f"sequence of length {len(sequence)} shorter than k={pore.k}"
+        )
+    rng = np.random.RandomState(seed)
+    raw: List[float] = []
+    for pos in range(len(sequence) - pore.k + 1):
+        level = pore.level(PoreModel.kmer_code(sequence, pos, pore.k))
+        dwell = 1 + rng.geometric(1.0 / mean_dwell)
+        raw.extend(level + rng.normal(0.0, noise) for _ in range(dwell))
+    return quantize_signal(np.asarray(raw))
+
+
+def quantize_signal(samples: np.ndarray) -> Tuple[int, ...]:
+    """Z-normalise and quantise current samples into 8-bit integers."""
+    if samples.size == 0:
+        raise ValueError("cannot quantise an empty signal")
+    std = samples.std()
+    if std == 0:
+        normalised = np.zeros_like(samples)
+    else:
+        normalised = (samples - samples.mean()) / std
+    clipped = np.clip(normalised, -4.0, 4.0)
+    levels = np.round((clipped + 4.0) / 8.0 * 255.0).astype(int)
+    return tuple(int(v) for v in levels)
+
+
+def sdtw_pair(
+    ref_bases: int = 128,
+    query_fraction: float = 0.3,
+    seed: Optional[int] = None,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """(query, reference) squiggles for kernel #14.
+
+    The reference squiggle covers a genome region; the query re-reads a
+    random sub-region (fresh noise and dwells through the same pore), so a
+    correct sDTW finds a low-distance placement somewhere along the
+    reference.
+    """
+    from repro.data.genome import random_genome
+
+    rng = np.random.RandomState(seed)
+    genome = random_genome(ref_bases, seed=rng.randint(2**31 - 1))
+    pore = PoreModel(seed=rng.randint(2**31 - 1))
+    reference = squiggle_from_sequence(
+        genome, pore=pore, seed=rng.randint(2**31 - 1)
+    )
+    sub_len = max(pore.k + 1, int(ref_bases * query_fraction))
+    start = int(rng.randint(0, ref_bases - sub_len + 1))
+    query = squiggle_from_sequence(
+        genome[start:start + sub_len], pore=pore, seed=rng.randint(2**31 - 1)
+    )
+    return query, reference

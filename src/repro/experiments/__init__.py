@@ -1,0 +1,18 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module returns structured rows/series plus a ``render()`` helper that
+prints the same quantities the paper reports; ``benchmarks/`` wraps them
+in pytest-benchmark targets and EXPERIMENTS.md records paper-vs-measured.
+
+* :mod:`repro.experiments.table2`  — Table 2 (15-kernel summary)
+* :mod:`repro.experiments.fig3`    — Fig. 3 (N_PE / N_B scaling, #1 and #9)
+* :mod:`repro.experiments.fig4`    — Fig. 4 (RTL baselines: GACT/BSW/SF)
+* :mod:`repro.experiments.fig5`    — Fig. 5 (#2 vs GACT scaling)
+* :mod:`repro.experiments.fig6`    — Fig. 6 (CPU/GPU iso-cost comparison)
+* :mod:`repro.experiments.hls_cmp` — Section 7.5 (Vitis Genomics baseline)
+* :mod:`repro.experiments.tiling_exp` — Section 7.3 (long reads via tiling)
+"""
+
+from repro.experiments import paper_values, workloads
+
+__all__ = ["paper_values", "workloads"]

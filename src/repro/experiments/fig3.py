@@ -1,0 +1,112 @@
+"""Fig. 3 — throughput and resource scaling with N_PE and N_B.
+
+The paper sweeps the Global Linear (#1) and DTW (#9) kernels: throughput
+scales near-perfectly with N_PE at low counts and saturates (edge-of-
+matrix idling), scales almost perfectly with N_B (independent arrays);
+LUT/FF scale linearly with N_PE, DSP stays flat for #1 but scales for #9,
+and BRAM dips at N_PE=64 when small memories move to LUTRAM.  Clock
+frequencies are fixed at 250 MHz (#1) and 200 MHz (#9) as in Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.report import format_table
+from repro.experiments.workloads import WORKLOADS
+from repro.kernels import get_kernel
+from repro.synth import LaunchConfig, synthesize
+from repro.synth.compiler import max_parallel_blocks
+
+#: Fixed sweep frequencies (Section 6.2).
+SWEEP_FMAX_MHZ = {1: 250.0, 9: 200.0}
+
+DEFAULT_NPE_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_NB_SWEEP = (1, 2, 4, 8, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One sweep sample."""
+
+    kernel_id: int
+    n_pe: int
+    n_b: int
+    alignments_per_sec: float
+    lut_pct: float
+    ff_pct: float
+    bram_pct: float
+    dsp_pct: float
+    feasible: bool
+
+
+def _sweep(kernel_id: int, points: Sequence) -> List[ScalingPoint]:
+    spec = get_kernel(kernel_id)
+    workload = WORKLOADS[kernel_id]
+    fmax = SWEEP_FMAX_MHZ.get(kernel_id, 250.0)
+    out: List[ScalingPoint] = []
+    for n_pe, n_b in points:
+        report = synthesize(
+            spec,
+            LaunchConfig(
+                n_pe=n_pe,
+                n_b=n_b,
+                max_query_len=workload.max_query_len,
+                max_ref_len=workload.max_ref_len,
+                target_mhz=fmax,
+            ),
+        )
+        out.append(
+            ScalingPoint(
+                kernel_id=kernel_id,
+                n_pe=n_pe,
+                n_b=n_b,
+                alignments_per_sec=report.alignments_per_sec,
+                lut_pct=report.utilization_pct("lut"),
+                ff_pct=report.utilization_pct("ff"),
+                bram_pct=report.utilization_pct("bram"),
+                dsp_pct=report.utilization_pct("dsp"),
+                feasible=report.feasible,
+            )
+        )
+    return out
+
+
+def sweep_npe(
+    kernel_id: int, n_pe_values: Sequence[int] = DEFAULT_NPE_SWEEP, n_b: int = 1
+) -> List[ScalingPoint]:
+    """Fig. 3A/B/D/E: vary N_PE at fixed N_B."""
+    return _sweep(kernel_id, [(n_pe, n_b) for n_pe in n_pe_values])
+
+
+def sweep_nb(
+    kernel_id: int, n_b_values: Sequence[int] = DEFAULT_NB_SWEEP, n_pe: int = 32
+) -> List[ScalingPoint]:
+    """Fig. 3A/C/D/F: vary N_B at fixed N_PE."""
+    return _sweep(kernel_id, [(n_pe, n_b) for n_b in n_b_values])
+
+
+def dtw_nb_cap(n_pe: int = 64) -> int:
+    """The N_B ceiling DSP availability imposes on DTW (Section 7.2)."""
+    return max_parallel_blocks(get_kernel(9), n_pe)
+
+
+def render(kernel_id: int) -> str:
+    """Both sweeps for one kernel as text series."""
+    rows = []
+    for point in sweep_npe(kernel_id):
+        rows.append(
+            ("N_PE", point.n_pe, point.n_b, point.alignments_per_sec,
+             point.lut_pct, point.ff_pct, point.bram_pct, point.dsp_pct)
+        )
+    for point in sweep_nb(kernel_id):
+        rows.append(
+            ("N_B", point.n_pe, point.n_b, point.alignments_per_sec,
+             point.lut_pct, point.ff_pct, point.bram_pct, point.dsp_pct)
+        )
+    return format_table(
+        headers=["sweep", "N_PE", "N_B", "aln/s", "LUT%", "FF%", "BRAM%", "DSP%"],
+        rows=rows,
+        title=f"Fig. 3 — scaling of kernel #{kernel_id}",
+    )

@@ -1,0 +1,91 @@
+"""Fig. 5 — scaling of kernel #2 against GACT with increasing N_PE (N_B=1).
+
+Throughput curves stay parallel in log-log (A) and the FF/LUT usage gap
+stays constant (B-C) because both designs are the same linear systolic
+array; the offsets come from GACT's overlapped init/load and DP-HLS's
+slightly richer control logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.baselines.rtl import GACT
+from repro.experiments.report import format_table
+from repro.experiments.workloads import WORKLOADS
+from repro.synth import LaunchConfig, synthesize
+
+DEFAULT_NPE_SWEEP = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class GactScalingPoint:
+    """One N_PE sample of the Fig. 5 comparison."""
+
+    n_pe: int
+    dp_hls_aln_per_sec: float
+    gact_aln_per_sec: float
+    dp_hls_lut: float
+    gact_lut: float
+    dp_hls_ff: float
+    gact_ff: float
+
+
+def build_fig5(
+    n_pe_values: Sequence[int] = DEFAULT_NPE_SWEEP,
+) -> List[GactScalingPoint]:
+    """Sweep N_PE for kernel #2 and the GACT model (N_B = 1)."""
+    spec = GACT.spec()
+    workload = WORKLOADS[GACT.kernel_id]
+    points: List[GactScalingPoint] = []
+    for n_pe in n_pe_values:
+        report = synthesize(
+            spec,
+            LaunchConfig(
+                n_pe=n_pe,
+                max_query_len=workload.max_query_len,
+                max_ref_len=workload.max_ref_len,
+            ),
+        )
+        gact_cycles = GACT.cycles(
+            n_pe,
+            workload.max_query_len,
+            workload.max_ref_len,
+            ii=report.ii,
+            dp_hls_cycles=report.cycles,
+        )
+        gact_res = GACT.resources(
+            n_pe, workload.max_query_len, workload.max_ref_len
+        )
+        points.append(
+            GactScalingPoint(
+                n_pe=n_pe,
+                dp_hls_aln_per_sec=report.alignments_per_sec,
+                gact_aln_per_sec=report.fmax_mhz * 1e6 / gact_cycles,
+                dp_hls_lut=report.block.luts,
+                gact_lut=gact_res.luts,
+                dp_hls_ff=report.block.ffs,
+                gact_ff=gact_res.ffs,
+            )
+        )
+    return points
+
+
+def render(points: List[GactScalingPoint] = None) -> str:
+    """Fig. 5 as a text table."""
+    points = points if points is not None else build_fig5()
+    return format_table(
+        headers=[
+            "N_PE", "DP-HLS aln/s", "GACT aln/s",
+            "DP-HLS LUT", "GACT LUT", "DP-HLS FF", "GACT FF",
+        ],
+        rows=[
+            (
+                p.n_pe, p.dp_hls_aln_per_sec, p.gact_aln_per_sec,
+                p.dp_hls_lut, p.gact_lut, p.dp_hls_ff, p.gact_ff,
+            )
+            for p in points
+        ],
+        title="Fig. 5 — kernel #2 vs GACT with increasing N_PE (N_B=1)",
+    )

@@ -1,0 +1,99 @@
+"""DP-matrix visualization (the paper's Fig. 1 walk-through).
+
+Fig. 1 teaches the 2-D DP paradigm by showing a filled scoring matrix
+with the traceback path highlighted.  ``render_dp_matrix`` reproduces
+that for any kernel and pair: the score grid (layer of choice), the
+recovered path marked with brackets, and the sequences along the margins.
+Meant for docs, teaching and debugging small examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Set, Tuple
+
+from repro.core.result import Move
+from repro.core.spec import KernelSpec
+from repro.systolic.engine import align
+
+#: Cells wider than this are unreadable; keep demo matrices small.
+MAX_RENDER_DIM = 40
+
+
+def _path_cells(result) -> Set[Tuple[int, int]]:
+    """Matrix cells the traceback path visits (bottom end inclusive)."""
+    if result.alignment is None:
+        return {result.start}
+    cells = set()
+    i, j = result.alignment.query_start, result.alignment.ref_start
+    cells.add((i, j))
+    for move in result.alignment.moves:
+        if move is Move.MATCH:
+            i += 1
+            j += 1
+        elif move is Move.DEL:
+            i += 1
+        elif move is Move.INS:
+            j += 1
+        else:
+            continue
+        cells.add((i, j))
+    return cells
+
+
+def _symbol_label(symbol: Any, alphabet_name: str) -> str:
+    if alphabet_name in ("dna", "dna5", "dna_gap") and isinstance(symbol, int):
+        return "ACGTN"[symbol] if symbol < 5 else "?"
+    if alphabet_name == "protein" and isinstance(symbol, int):
+        from repro.core.alphabet import PROTEIN_LETTERS
+
+        return PROTEIN_LETTERS[symbol]
+    return "*"
+
+
+def render_dp_matrix(
+    spec: KernelSpec,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    layer: Optional[int] = None,
+    n_pe: int = 4,
+    cell_width: int = 5,
+) -> str:
+    """Render the filled DP matrix with the traceback path in brackets."""
+    if len(query) > MAX_RENDER_DIM or len(reference) > MAX_RENDER_DIM:
+        raise ValueError(
+            f"matrix render limited to {MAX_RENDER_DIM}x{MAX_RENDER_DIM} "
+            f"(got {len(query)}x{len(reference)}); this is a teaching view"
+        )
+    layer = spec.score_layer if layer is None else layer
+    result = align(spec, query, reference, n_pe=n_pe, collect_matrix=True)
+    on_path = _path_cells(result)
+    sentinel = spec.sentinel()
+
+    def cell_text(i: int, j: int) -> str:
+        value = result.matrix[layer, i, j]
+        if value == sentinel:
+            body = "·"
+        elif value == int(value):
+            body = f"{int(value)}"
+        else:
+            body = f"{value:.1f}"
+        if (i, j) in on_path:
+            body = f"[{body}]"
+        return body.rjust(cell_width)
+
+    header = " " * (cell_width + 3) + "".join(
+        _symbol_label(c, spec.alphabet.name).rjust(cell_width)
+        for c in reference
+    )
+    lines = [
+        f"{spec.name}: score {result.score}"
+        + (f", CIGAR {result.cigar}" if result.cigar else " (score only)"),
+        header,
+    ]
+    for i in range(len(query) + 1):
+        margin = (
+            " " if i == 0 else _symbol_label(query[i - 1], spec.alphabet.name)
+        )
+        row = "".join(cell_text(i, j) for j in range(len(reference) + 1))
+        lines.append(f"{margin} {row}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Published numbers from the paper, used for comparison and sanity bands.
+
+Only *reported* values appear here (Table 2, the Fig. 4 margins, the
+Fig. 6 speedup ranges, the Section 7.5 HLS gap); nothing in the library's
+models reads these except the Fmax calibration in
+:mod:`repro.synth.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One kernel's row of Table 2 (32-PE block utilization in %, optimal
+    configuration, max frequency, alignments/second)."""
+
+    lut_pct: float
+    ff_pct: float
+    bram_pct: float
+    dsp_pct: float
+    config: Tuple[int, int, int]
+    fmax_mhz: float
+    alignments_per_sec: float
+
+
+TABLE2: Dict[int, Table2Row] = {
+    1: Table2Row(0.72, 0.42, 1.78, 0.029, (64, 16, 4), 250.0, 3.51e6),
+    2: Table2Row(1.30, 0.517, 1.78, 0.029, (32, 16, 4), 250.0, 2.85e6),
+    3: Table2Row(0.95, 0.63, 1.67, 0.014, (32, 16, 5), 250.0, 3.43e6),
+    4: Table2Row(1.60, 0.75, 1.67, 0.014, (32, 16, 4), 250.0, 2.71e6),
+    5: Table2Row(2.03, 0.65, 2.67, 0.029, (32, 8, 5), 150.0, 1.06e6),
+    6: Table2Row(0.98, 0.66, 1.67, 0.014, (32, 16, 4), 250.0, 2.73e6),
+    7: Table2Row(1.17, 0.67, 0.83, 0.014, (32, 16, 4), 250.0, 3.34e6),
+    8: Table2Row(3.66, 2.56, 2.56, 28.11, (16, 1, 5), 166.7, 3.70e4),
+    9: Table2Row(1.62, 1.55, 1.88, 2.84, (64, 4, 3), 200.0, 2.31e5),
+    10: Table2Row(3.78, 1.69, 1.67, 0.014, (16, 4, 7), 125.0, 4.90e5),
+    11: Table2Row(1.02, 0.40, 0.94, 0.029, (64, 8, 7), 166.7, 2.25e6),
+    12: Table2Row(1.44, 0.70, 0.57, 0.014, (16, 16, 7), 200.0, 4.77e6),
+    13: Table2Row(2.25, 0.69, 1.83, 0.029, (16, 8, 7), 125.0, 1.24e6),
+    14: Table2Row(1.22, 0.76, 0.57, 0.014, (32, 16, 5), 250.0, 5.16e6),
+    15: Table2Row(1.47, 0.95, 2.56, 0.014, (32, 8, 5), 200.0, 9.33e5),
+}
+
+#: Fig. 4: DP-HLS throughput is within these margins of the RTL baselines.
+FIG4_MARGIN_PCT: Dict[str, float] = {
+    "GACT": 7.7,            # kernel #2
+    "BSW": 16.8,            # kernel #12
+    "SquiggleFilter": 8.16,  # kernel #14
+}
+
+#: Fig. 6 (CPU): the SeqAn3 speedup band, and the point values for
+#: Minimap2 (#5) and EMBOSS Water (#15).
+FIG6_SEQAN_BAND = (1.5, 2.7)
+FIG6_MINIMAP2_SPEEDUP = 12.0
+FIG6_EMBOSS_SPEEDUP = 32.0
+
+#: Fig. 6 (GPU): GASAL2 band across kernels #2/#4/#12, CUDASW++ point (#15).
+FIG6_GASAL2_BAND = (5.83, 17.72)
+FIG6_CUDASW_SPEEDUP = 1.41
+
+#: Section 7.5: DP-HLS #3 over the Vitis Genomics SW kernel.
+HLS_BASELINE_GAIN_PCT = 32.6
+
+#: Section 7.2: the DTW kernel's N_B is capped by DSP availability.
+DTW_NB_CAP = 24

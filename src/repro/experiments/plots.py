@@ -1,0 +1,154 @@
+"""ASCII chart rendering for the figure experiments.
+
+The paper's evaluation figures are plots (log-log scaling curves, grouped
+bars); the harnesses in this package produce the underlying series, and
+this module renders them as terminal charts so the *shapes* — linear N_B
+scaling, saturating N_PE curves, parallel DP-HLS/GACT lines, the Fig. 6
+speedup bars — are visible without matplotlib (unavailable offline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+def _log10(value: float) -> float:
+    if value <= 0:
+        raise ValueError(f"log-scale values must be positive, got {value}")
+    return math.log10(value)
+
+
+def line_chart(
+    series: Dict[str, Series],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets its own glyph; points landing on the same cell show
+    the glyph of the *last* series (legend order).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    glyphs = "ox+*#@%&"
+    points: List[Tuple[float, float, str]] = []
+    for index, (name, values) in enumerate(series.items()):
+        if not values:
+            raise ValueError(f"series {name!r} is empty")
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in values:
+            fx = _log10(x) if log_x else float(x)
+            fy = _log10(y) if log_y else float(y)
+            points.append((fx, fy, glyph))
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for fx, fy, glyph in points:
+        col = min(width - 1, int((fx - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((fy - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"[{legend}]")
+    y_hi_label = f"{10 ** y_hi:.2e}" if log_y else f"{y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo:.2e}" if log_y else f"{y_lo:.3g}"
+    lines.append(f"{y_label} ^ {y_hi_label}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> {x_label}")
+    x_lo_label = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    lines.append(
+        f"    {x_lo_label} .. {x_hi_label}"
+        + (" (log x)" if log_x else "")
+        + (f"   bottom {y_label} = {y_lo_label}" + (" (log y)" if log_y else ""))
+    )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars, scaled to the largest value."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{name:>{label_width}} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# figure-specific renderers
+# ---------------------------------------------------------------------------
+
+
+def plot_fig3_throughput(kernel_id: int) -> str:
+    """Fig. 3A/D: throughput vs N_PE and N_B in log-log."""
+    from repro.experiments import fig3
+
+    npe = [(p.n_pe, p.alignments_per_sec) for p in fig3.sweep_npe(kernel_id)]
+    nb = [(p.n_b, p.alignments_per_sec) for p in fig3.sweep_nb(kernel_id)]
+    return line_chart(
+        {"vs N_PE (N_B=1)": npe, "vs N_B (N_PE=32)": nb},
+        log_x=True, log_y=True,
+        title=f"Fig. 3 — kernel #{kernel_id} throughput scaling (log-log)",
+        x_label="N_PE / N_B", y_label="aln/s",
+    )
+
+
+def plot_fig5() -> str:
+    """Fig. 5A: DP-HLS #2 vs GACT throughput over N_PE (log-log)."""
+    from repro.experiments import fig5
+
+    points = fig5.build_fig5()
+    return line_chart(
+        {
+            "DP-HLS #2": [(p.n_pe, p.dp_hls_aln_per_sec) for p in points],
+            "GACT": [(p.n_pe, p.gact_aln_per_sec) for p in points],
+        },
+        log_x=True, log_y=True,
+        title="Fig. 5 — kernel #2 vs GACT (log-log; parallel curves)",
+        x_label="N_PE", y_label="aln/s",
+    )
+
+
+def plot_fig6() -> str:
+    """Fig. 6: speedup bars over every baseline."""
+    from repro.experiments import fig6
+
+    rows = fig6.build_cpu_panel() + fig6.build_gpu_panel()
+    bars = {
+        f"#{r.kernel_id} vs {r.baseline}": r.speedup for r in rows
+    }
+    return bar_chart(
+        bars, title="Fig. 6 — iso-cost speedup over software baselines",
+        unit="x",
+    )

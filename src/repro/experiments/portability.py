@@ -1,0 +1,94 @@
+"""Device portability: the same kernels retargeted to other FPGAs.
+
+DP-HLS is a *generator*: nothing about a KernelSpec is tied to the F1's
+XCVU9P.  This experiment re-runs the Table 2 design-space search on a
+mid-range datacenter card (Alveo U50) and an embedded part (ZU7EV) and
+reports each kernel's best configuration and throughput per device — the
+deployment question a DRAGEN-style product team would ask (Section 8.2
+notes commercial bioinformatics FPGAs where DP-HLS "could be used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.report import format_table
+from repro.experiments.workloads import WORKLOADS
+from repro.kernels import get_kernel
+from repro.synth.device import ALVEO_U50, XCVU9P, ZU7EV, FpgaDevice
+from repro.synth.dse import explore
+
+DEVICES: Tuple[FpgaDevice, ...] = (XCVU9P, ALVEO_U50, ZU7EV)
+
+#: A representative kernel sample (simple, affine, DSP-heavy, score-only).
+DEFAULT_KERNELS = (1, 2, 8, 14)
+
+
+@dataclass(frozen=True)
+class PortabilityRow:
+    """One (kernel, device) deployment point."""
+
+    kernel_id: int
+    kernel_name: str
+    device: str
+    config: Tuple[int, int, int]
+    alignments_per_sec: float
+
+
+def build_portability(
+    kernel_ids: Sequence[int] = DEFAULT_KERNELS,
+    devices: Sequence[FpgaDevice] = DEVICES,
+) -> List[PortabilityRow]:
+    """Best feasible configuration of each kernel on each device."""
+    rows: List[PortabilityRow] = []
+    for kid in kernel_ids:
+        spec = get_kernel(kid)
+        workload = WORKLOADS[kid]
+        for device in devices:
+            result = explore(
+                spec,
+                n_pe_choices=(8, 16, 32),
+                n_b_choices=(1, 2, 4, 8, 16),
+                n_k_choices=(1, 2, 4),
+                max_query_len=workload.max_query_len,
+                max_ref_len=workload.max_ref_len,
+                device=device,
+            )
+            best = result.best
+            rows.append(
+                PortabilityRow(
+                    kernel_id=kid,
+                    kernel_name=spec.name,
+                    device=device.name,
+                    config=(
+                        best.config.n_pe, best.config.n_b, best.config.n_k
+                    ),
+                    alignments_per_sec=best.alignments_per_sec,
+                )
+            )
+    return rows
+
+
+def throughput_by_device(
+    rows: List[PortabilityRow],
+) -> Dict[str, Dict[int, float]]:
+    """device -> {kernel -> aln/s}, for ratio checks."""
+    out: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        out.setdefault(row.device, {})[row.kernel_id] = row.alignments_per_sec
+    return out
+
+
+def render(rows: List[PortabilityRow] = None) -> str:
+    """The portability table."""
+    rows = rows if rows is not None else build_portability()
+    return format_table(
+        headers=["#", "kernel", "device", "(N_PE,N_B,N_K)", "aln/s"],
+        rows=[
+            (r.kernel_id, r.kernel_name, r.device, str(r.config),
+             r.alignments_per_sec)
+            for r in rows
+        ],
+        title="Device portability — best feasible configuration per part",
+    )

@@ -1,0 +1,124 @@
+"""Sensitivity analysis of the reproduction's calibrated constants.
+
+The models contain a handful of fitted constants (DESIGN.md documents
+them); the reproduction's *conclusions* — speedup directions, scaling
+shapes, feasibility of the published configurations — should not hinge on
+their exact values.  This module perturbs each constant by a configurable
+factor and re-evaluates headline quantities, reporting which conclusions
+are robust and how elastic each output is.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One (constant, output) elasticity measurement."""
+
+    constant: str
+    factor: float
+    output: str
+    baseline_value: float
+    perturbed_value: float
+
+    @property
+    def relative_change(self) -> float:
+        """Fractional change of the output under the perturbation."""
+        if self.baseline_value == 0:
+            return 0.0
+        return (self.perturbed_value - self.baseline_value) / self.baseline_value
+
+
+@contextlib.contextmanager
+def _patched(module, name: str, factor: float) -> Iterator[None]:
+    original = getattr(module, name)
+    setattr(module, name, original * factor)
+    try:
+        yield
+    finally:
+        setattr(module, name, original)
+
+
+def _headline_outputs() -> Dict[str, float]:
+    """The quantities whose direction the reproduction claims."""
+    from repro.experiments import fig4, fig6
+    from repro.experiments.workloads import WORKLOADS
+    from repro.kernels import get_kernel
+    from repro.synth import LaunchConfig, synthesize
+    from repro.synth.calibration import OPTIMAL_CONFIG
+
+    n_pe, n_b, n_k = OPTIMAL_CONFIG[1]
+    w = WORKLOADS[1]
+    report = synthesize(
+        get_kernel(1),
+        LaunchConfig(n_pe=n_pe, n_b=n_b, n_k=n_k,
+                     max_query_len=w.max_query_len, max_ref_len=w.max_ref_len),
+    )
+    gact = fig4.compare(fig4.GACT)
+    seqan_rows = [r for r in fig6.build_cpu_panel() if r.baseline == "SeqAn3"]
+    return {
+        "kernel1_aln_per_sec": report.alignments_per_sec,
+        "gact_margin_pct": gact.margin_pct,
+        "seqan_min_speedup": min(r.speedup for r in seqan_rows),
+    }
+
+
+def run_sensitivity(factors=(0.8, 1.25)) -> List[SensitivityRow]:
+    """Perturb each calibrated constant and re-measure the headlines."""
+    import repro.baselines.cpu as cpu_mod
+    import repro.systolic.engine as engine_mod
+
+    baseline = _headline_outputs()
+    rows: List[SensitivityRow] = []
+
+    def measure(constant: str, patch_ctx) -> None:
+        for factor in factors:
+            with patch_ctx(factor):
+                perturbed = _headline_outputs()
+            for output, base_value in baseline.items():
+                rows.append(
+                    SensitivityRow(
+                        constant=constant,
+                        factor=factor,
+                        output=output,
+                        baseline_value=base_value,
+                        perturbed_value=perturbed[output],
+                    )
+                )
+
+    measure(
+        "INTERFACE_CYCLES_PER_BASE",
+        lambda f: _patched(engine_mod, "INTERFACE_CYCLES_PER_BASE", f),
+    )
+
+    @contextlib.contextmanager
+    def patch_seqan(factor: float) -> Iterator[None]:
+        original = cpu_mod.SeqAn3Model.CELLS_PER_SEC
+        cpu_mod.SeqAn3Model.CELLS_PER_SEC = original * factor
+        try:
+            yield
+        finally:
+            cpu_mod.SeqAn3Model.CELLS_PER_SEC = original
+
+    measure("SeqAn3Model.CELLS_PER_SEC", patch_seqan)
+    return rows
+
+
+def render(rows: List[SensitivityRow] = None) -> str:
+    """The elasticity table."""
+    rows = rows if rows is not None else run_sensitivity()
+    return format_table(
+        headers=["constant", "x", "output", "baseline", "perturbed", "change"],
+        rows=[
+            (r.constant, r.factor, r.output, r.baseline_value,
+             r.perturbed_value, f"{100 * r.relative_change:+.1f}%")
+            for r in rows
+        ],
+        title="Sensitivity of headline outputs to calibrated constants",
+    )

@@ -1,0 +1,113 @@
+"""Per-kernel evaluation workloads (Section 6.1).
+
+Maps every kernel to the sequence lengths the synthesis/throughput models
+evaluate at and to a generator of realistic input pairs for functional
+runs.  DNA kernels use 256-base PBSIM-like read pairs; profile, signal and
+protein kernels use their dedicated substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.data.pbsim import simulate_read_pairs
+from repro.data.profiles import profile_pair
+from repro.data.protein import protein_pairs
+from repro.data.signals import random_complex_signal, sdtw_pair, warp_signal
+
+Pair = Tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Evaluation lengths plus a (n_pairs, seed) -> pairs generator."""
+
+    max_query_len: int
+    max_ref_len: int
+    make_pairs: Callable[[int, int], List[Pair]]
+    description: str
+
+
+def _dna_pairs(length: int) -> Callable[[int, int], List[Pair]]:
+    def make(n_pairs: int, seed: int) -> List[Pair]:
+        reads = simulate_read_pairs(n_pairs, length=length, seed=seed)
+        return [(r.query, r.reference) for r in reads]
+
+    return make
+
+
+def _banded_dna_pairs(length: int, band: int) -> Callable[[int, int], List[Pair]]:
+    """Banded global kernels need |Q - R| <= band; equalise lengths."""
+
+    def make(n_pairs: int, seed: int) -> List[Pair]:
+        reads = simulate_read_pairs(n_pairs, length=length, seed=seed)
+        pairs = []
+        for r in reads:
+            n = min(len(r.query), len(r.reference))
+            pairs.append((r.query[:n], r.reference[:n]))
+        return pairs
+
+    return make
+
+
+def _profile_pairs(n_cols: int) -> Callable[[int, int], List[Pair]]:
+    def make(n_pairs: int, seed: int) -> List[Pair]:
+        return [
+            profile_pair(n_cols=n_cols, seed=seed + k) for k in range(n_pairs)
+        ]
+
+    return make
+
+
+def _complex_pairs(length: int) -> Callable[[int, int], List[Pair]]:
+    def make(n_pairs: int, seed: int) -> List[Pair]:
+        pairs = []
+        for k in range(n_pairs):
+            ref = random_complex_signal(length, seed=seed + 2 * k)
+            qry = warp_signal(ref, seed=seed + 2 * k + 1)[:length]
+            pairs.append((qry, ref))
+        return pairs
+
+    return make
+
+
+def _sdtw_pairs(ref_bases: int) -> Callable[[int, int], List[Pair]]:
+    def make(n_pairs: int, seed: int) -> List[Pair]:
+        return [sdtw_pair(ref_bases=ref_bases, seed=seed + k) for k in range(n_pairs)]
+
+    return make
+
+
+def _protein_workload_pairs(length: int) -> Callable[[int, int], List[Pair]]:
+    def make(n_pairs: int, seed: int) -> List[Pair]:
+        return protein_pairs(n_pairs, length=length, seed=seed)
+
+    return make
+
+
+#: Kernel number -> its evaluation workload.
+WORKLOADS: Dict[int, Workload] = {
+    **{
+        kid: Workload(256, 256, _dna_pairs(256), "256-base PBSIM-like DNA reads")
+        for kid in (1, 2, 3, 4, 5, 6, 7, 10, 12)
+    },
+    11: Workload(
+        256, 256, _banded_dna_pairs(256, band=32),
+        "256-base DNA reads, equal lengths (banded global)",
+    ),
+    13: Workload(
+        256, 256, _banded_dna_pairs(256, band=32),
+        "256-base DNA reads, equal lengths (banded global)",
+    ),
+    8: Workload(256, 256, _profile_pairs(256), "256-column DNA profiles"),
+    9: Workload(256, 256, _complex_pairs(256), "256-sample complex signals"),
+    14: Workload(
+        256, 256, _sdtw_pairs(48),
+        "nanopore squiggles (sub-read query vs reference)",
+    ),
+    15: Workload(
+        360, 360, _protein_workload_pairs(360),
+        "Swiss-Prot-like proteins (mean length ~360)",
+    ),
+}

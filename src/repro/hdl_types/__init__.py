@@ -1,0 +1,28 @@
+"""Arbitrary-precision hardware number types.
+
+DP-HLS kernels declare their score, traceback-pointer and index data types
+using Vitis HLS ``ap_int``/``ap_uint``/``ap_fixed`` templates.  This package
+emulates those types in Python: each *type object* describes a bit-width and
+signedness plus an overflow mode, and quantizes plain Python numbers onto the
+representable grid exactly the way the hardware datapath would.
+
+The simulator stores values as plain ``int``/``float`` and applies the type's
+:meth:`~repro.hdl_types.ap_int.ApIntType.quantize` after every processing
+element evaluation, so overflow and precision behaviour match a fixed-width
+datapath while keeping the inner loop fast.
+"""
+
+from repro.hdl_types.ap_fixed import ApFixedType, Rounding
+from repro.hdl_types.ap_int import ApIntType, Overflow, ap_int, ap_uint
+from repro.hdl_types.width import bits_for_range, bits_for_states
+
+__all__ = [
+    "ApFixedType",
+    "ApIntType",
+    "Overflow",
+    "Rounding",
+    "ap_int",
+    "ap_uint",
+    "bits_for_range",
+    "bits_for_states",
+]

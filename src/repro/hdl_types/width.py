@@ -1,0 +1,36 @@
+"""Bit-width helpers used when sizing traceback pointers and indices."""
+
+from __future__ import annotations
+
+
+def bits_for_states(n_states: int) -> int:
+    """Minimum bits needed to encode ``n_states`` distinct states.
+
+    >>> bits_for_states(1)
+    1
+    >>> bits_for_states(4)
+    2
+    >>> bits_for_states(5)
+    3
+    """
+    if n_states < 1:
+        raise ValueError(f"n_states must be >= 1, got {n_states}")
+    if n_states == 1:
+        return 1
+    return (n_states - 1).bit_length()
+
+
+def bits_for_range(low: int, high: int) -> int:
+    """Minimum bits for a signed/unsigned integer range ``[low, high]``.
+
+    Returns the width of the narrowest two's-complement (if ``low < 0``) or
+    unsigned (otherwise) integer that represents every value in the range.
+    """
+    if low > high:
+        raise ValueError(f"empty range [{low}, {high}]")
+    if low >= 0:
+        return max(1, high.bit_length())
+    width = 1
+    while not (-(1 << (width - 1)) <= low and high <= (1 << (width - 1)) - 1):
+        width += 1
+    return width

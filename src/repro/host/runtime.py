@@ -1,0 +1,86 @@
+"""Device runtime: the host program's user-facing API (Section 4, step 6).
+
+``DeviceRuntime`` bundles what the paper's OpenCL host code does by hand:
+it owns a synthesized kernel configuration, accepts batches of sequence
+pairs, runs each pair through the functional engine (results) while the
+scheduler model accounts for block occupancy (performance), and reports
+batch-level throughput and utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.result import AlignmentResult
+from repro.core.spec import KernelSpec
+from repro.host.scheduler import AlignmentBatch, HostScheduler, ScheduleResult
+from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
+from repro.systolic.engine import align
+
+
+@dataclass
+class BatchOutcome:
+    """Results plus the modelled performance of one submitted batch."""
+
+    results: List[AlignmentResult]
+    schedule: ScheduleResult
+    clock_mhz: float
+
+    @property
+    def alignments_per_sec(self) -> float:
+        """Batch throughput under the schedule model."""
+        return self.schedule.throughput(self.clock_mhz)
+
+    @property
+    def utilization(self) -> float:
+        """Mean block occupancy while draining the batch."""
+        return self.schedule.utilization
+
+
+class DeviceRuntime:
+    """A deployed kernel: functional alignment + performance accounting."""
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        config: Optional[LaunchConfig] = None,
+        params: Any = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config or LaunchConfig()
+        self.params = params if params is not None else spec.default_params
+        self.report: SynthesisReport = synthesize(spec, self.config)
+        if not self.report.feasible:
+            raise ValueError(
+                f"{spec.name} at N_PE={self.config.n_pe} N_B={self.config.n_b} "
+                f"N_K={self.config.n_k} does not fit the device: "
+                f"{self.report.overflows()}"
+            )
+        self._scheduler = HostScheduler(self.config.n_k, self.config.n_b)
+
+    def align_one(self, query: Sequence[Any], reference: Sequence[Any]) -> AlignmentResult:
+        """Align a single pair on one block."""
+        return align(
+            self.spec, query, reference, params=self.params,
+            n_pe=self.config.n_pe, ii=self.report.ii,
+            max_query_len=self.config.max_query_len,
+            max_ref_len=self.config.max_ref_len,
+        )
+
+    def align_batch(
+        self, pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]]
+    ) -> BatchOutcome:
+        """Align a batch, modelling its dispatch across channels/blocks."""
+        if not pairs:
+            raise ValueError("batch must contain at least one pair")
+        results: List[AlignmentResult] = []
+        batch = AlignmentBatch()
+        for query, reference in pairs:
+            result = self.align_one(query, reference)
+            results.append(result)
+            batch.add(result.cycles.total)
+        schedule = self._scheduler.run(batch)
+        return BatchOutcome(
+            results=results, schedule=schedule, clock_mhz=self.report.fmax_mhz
+        )

@@ -1,0 +1,100 @@
+"""Batch scheduling across N_K channels and N_B blocks per channel.
+
+The model mirrors the paper's host design: a batch of alignment jobs is
+split round-robin over ``n_k`` channels (one host thread each); within a
+channel, an arbiter hands the next queued job to the first idle block.
+Dispatch costs a fixed per-job overhead on the channel (the OpenCL
+enqueue), which is what makes many tiny jobs scale worse than few large
+ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List
+
+#: Channel-side cycles to enqueue one job (OpenCL call + arbiter handshake).
+DISPATCH_CYCLES = 64
+
+
+@dataclass
+class AlignmentBatch:
+    """A batch of alignment jobs, each given by its block-cycle cost."""
+
+    job_cycles: List[int] = field(default_factory=list)
+
+    def add(self, cycles: int) -> None:
+        """Append one job (cycles must come from the cycle model/engine)."""
+        if cycles < 1:
+            raise ValueError(f"job cycles must be >= 1, got {cycles}")
+        self.job_cycles.append(cycles)
+
+    def __len__(self) -> int:
+        return len(self.job_cycles)
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one batch."""
+
+    makespan_cycles: int
+    total_job_cycles: int
+    n_jobs: int
+    n_blocks: int
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across all blocks over the makespan."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.total_job_cycles / (self.makespan_cycles * self.n_blocks)
+
+    def throughput(self, frequency_mhz: float) -> float:
+        """Batch throughput in alignments per second."""
+        if frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.n_jobs * frequency_mhz * 1e6 / self.makespan_cycles
+
+
+class HostScheduler:
+    """Round-robin channels, earliest-idle block within each channel."""
+
+    def __init__(self, n_k: int, n_b: int, dispatch_cycles: int = DISPATCH_CYCLES):
+        if n_k < 1 or n_b < 1:
+            raise ValueError("n_k and n_b must be >= 1")
+        if dispatch_cycles < 0:
+            raise ValueError("dispatch_cycles must be >= 0")
+        self.n_k = n_k
+        self.n_b = n_b
+        self.dispatch_cycles = dispatch_cycles
+
+    def run(self, batch: AlignmentBatch) -> ScheduleResult:
+        """Schedule a batch and report makespan/utilization."""
+        if len(batch) == 0:
+            return ScheduleResult(0, 0, 0, self.n_k * self.n_b)
+        # Per-channel job queues (round-robin split: host thread k gets
+        # jobs k, k + n_k, ...).
+        queues: List[List[int]] = [
+            list(batch.job_cycles[k:: self.n_k]) for k in range(self.n_k)
+        ]
+        makespan = 0
+        for queue in queues:
+            # Blocks of this channel as a min-heap of next-idle times.
+            blocks = [0] * self.n_b
+            heapq.heapify(blocks)
+            channel_time = 0  # when the host thread can dispatch next
+            for cycles in queue:
+                idle_at = heapq.heappop(blocks)
+                start = max(idle_at, channel_time + self.dispatch_cycles)
+                channel_time = start
+                heapq.heappush(blocks, start + cycles)
+            makespan = max(makespan, max(blocks))
+        return ScheduleResult(
+            makespan_cycles=makespan,
+            total_job_cycles=sum(batch.job_cycles),
+            n_jobs=len(batch),
+            n_blocks=self.n_k * self.n_b,
+        )

@@ -1,0 +1,10 @@
+"""The 15 bioinformatics DP kernels of Table 1, built on the front-end.
+
+Every kernel module exposes a module-level ``SPEC`` (its
+:class:`~repro.core.spec.KernelSpec`) plus its ``ScoringParams`` dataclass.
+:mod:`repro.kernels.registry` indexes them by the paper's kernel numbers.
+"""
+
+from repro.kernels.registry import KERNELS, get_kernel, kernel_ids
+
+__all__ = ["KERNELS", "get_kernel", "kernel_ids"]

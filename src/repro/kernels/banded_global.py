@@ -1,0 +1,47 @@
+"""Kernel #11 — Banded Global Linear Alignment (fast similarity search).
+
+Kernel #1 restricted to a fixed band |i - j| <= W around the main diagonal
+(Section 2.2.4).  The back-end only issues wavefronts intersecting the
+band, and out-of-band neighbour reads resolve to the sentinel.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import DNA
+from repro.core.spec import (
+    EndRule,
+    KernelSpec,
+    Objective,
+    StartRule,
+    TracebackSpec,
+)
+from repro.kernels.common import linear_gap_init, linear_tb
+from repro.kernels.global_linear import SCORE_T, ScoringParams, pe_func
+
+#: Fixed band half-width (the BANDWIDTH macro of Section 4 step 1.6).
+BAND = 32
+
+SPEC = KernelSpec(
+    name="banded_global_linear",
+    kernel_id=11,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=linear_gap_init(1),
+    init_col=linear_gap_init(1),
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    banding=BAND,
+    description="Banded Global Linear Alignment",
+    applications=("Fast Similarity Search",),
+    reference_tools=("BLAST", "Bowtie"),
+    modifications="Scoring and Initialization",
+)
+
+__all__ = ["SPEC", "ScoringParams", "BAND"]

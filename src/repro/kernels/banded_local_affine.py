@@ -1,0 +1,46 @@
+"""Kernel #12 — Banded Local Affine Alignment, score only (Minimap2).
+
+The seed-extension stage of long-read assemblers: kernel #4's recurrences
+inside a fixed band, reporting only the best local score (Table 1 lists
+"no Traceback"), which is why its BRAM usage is among the lowest in
+Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import DNA
+from repro.core.spec import KernelSpec, Objective, StartRule
+from repro.kernels.local_affine import (
+    SCORE_T,
+    ScoringParams,
+    local_affine_init,
+    pe_func,
+)
+
+#: Fixed band half-width, matching the BSW baseline's banding.
+BAND = 32
+
+SPEC = KernelSpec(
+    name="banded_local_affine",
+    kernel_id=12,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=3,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=local_affine_init,
+    init_col=local_affine_init,
+    default_params=ScoringParams(),
+    start_rule=StartRule.GLOBAL_MAX,
+    traceback=None,
+    tb_transition=None,
+    tb_ptr_bits=4,
+    tb_states=(),
+    banding=BAND,
+    description="Banded Local Affine Alignment (score only)",
+    applications=("Long Read Assembly",),
+    reference_tools=("Minimap2",),
+    modifications="Initialization, Scoring (no Traceback)",
+)
+
+__all__ = ["SPEC", "ScoringParams", "BAND"]

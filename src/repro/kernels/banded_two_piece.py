@@ -1,0 +1,53 @@
+"""Kernel #13 — Banded Global Two-piece Affine Alignment (Minimap2).
+
+Kernel #5's five-layer recurrences inside a fixed band, with the full
+7-bit traceback.  The most complex kernel in the suite: banding logic,
+five layers and a five-state FSM together push its clock frequency to the
+lowest tier of Table 2 (125 MHz).
+"""
+
+from __future__ import annotations
+
+from repro.core.alphabet import DNA
+from repro.core.spec import (
+    EndRule,
+    KernelSpec,
+    Objective,
+    StartRule,
+    TracebackSpec,
+)
+from repro.kernels.common import two_piece_tb
+from repro.kernels.two_piece_affine import (
+    SCORE_T,
+    ScoringParams,
+    pe_func,
+    two_piece_init,
+)
+
+#: Fixed band half-width.
+BAND = 32
+
+SPEC = KernelSpec(
+    name="banded_global_two_piece",
+    kernel_id=13,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=5,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=two_piece_init,
+    init_col=two_piece_init,
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=two_piece_tb,
+    tb_ptr_bits=7,
+    tb_states=("MM", "INS", "DEL", "LONG_INS", "LONG_DEL"),
+    banding=BAND,
+    description="Banded Global Two-piece Affine Alignment",
+    applications=("Long Read Assembly",),
+    reference_tools=("Minimap2",),
+    modifications="Scoring, Initialization and Traceback",
+)
+
+__all__ = ["SPEC", "ScoringParams", "BAND"]

@@ -1,0 +1,216 @@
+"""Building blocks shared by the kernel implementations.
+
+These are *front-end* conveniences: substitution-score selection, standard
+initialization patterns, and the traceback FSM families (linear, affine,
+two-piece affine).  A kernel is free to ignore them and write everything
+from scratch — the specs only ever talk to the back-end through
+:class:`~repro.core.spec.KernelSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+from repro.core.ops import eq, select
+from repro.core.result import Move
+from repro.core.spec import TB_DIAG, TB_LEFT, TB_UP
+
+# ---------------------------------------------------------------------------
+# scoring helpers
+# ---------------------------------------------------------------------------
+
+
+def substitution(qry: Any, ref: Any, match: Any, mismatch: Any) -> Any:
+    """Single-value match/mismatch substitution score (Section 2.2.2a)."""
+    return select(eq(qry, ref), match, mismatch)
+
+
+def pick_best(candidates, minimize: bool = False) -> Tuple[Any, Any]:
+    """Compare-and-update cascade selecting a score and its tag (Listing 6).
+
+    ``candidates`` is a sequence of ``(value, tag)`` pairs; earlier entries
+    win ties, so listing the diagonal candidate first gives the conventional
+    diagonal > up > left priority.  Returns ``(best_value, best_tag)``.
+    Works on plain numbers and on traced operands alike.
+    """
+    best, tag = candidates[0]
+    for value, candidate_tag in candidates[1:]:
+        cond = value < best if minimize else value > best
+        best = select(cond, value, best)
+        tag = select(cond, candidate_tag, tag)
+    return best, tag
+
+
+# ---------------------------------------------------------------------------
+# initialization patterns (Section 2.2.2c)
+# ---------------------------------------------------------------------------
+
+
+def zero_init(n_layers: int) -> Callable[[Any, int], np.ndarray]:
+    """All-zero first row/column (local, overlap, free-end strategies)."""
+
+    def init(_params: Any, length: int) -> np.ndarray:
+        return np.zeros((length, n_layers))
+
+    return init
+
+
+def linear_gap_init(
+    n_layers: int, gap_field: str = "linear_gap", sentinel: float = 0.0
+) -> Callable[[Any, int], np.ndarray]:
+    """``i * gap`` on layer 0, ``sentinel`` elsewhere (global strategies)."""
+
+    def init(params: Any, length: int) -> np.ndarray:
+        gap = getattr(params, gap_field)
+        scores = np.full((length, n_layers), sentinel)
+        scores[:, 0] = gap * np.arange(length)
+        scores[0, :] = [0.0] + [sentinel] * (n_layers - 1)
+        return scores
+
+    return init
+
+
+def constant_init(
+    n_layers: int, boundary: float, corner: float = 0.0
+) -> Callable[[Any, int], np.ndarray]:
+    """Corner value at index 0, a constant everywhere else (DTW-style)."""
+
+    def init(_params: Any, length: int) -> np.ndarray:
+        scores = np.full((length, n_layers), boundary)
+        scores[0, :] = corner
+        return scores
+
+    return init
+
+
+def banded_mask_init(
+    base: Callable[[Any, int], np.ndarray],
+    band: int,
+    sentinel: float,
+) -> Callable[[Any, int], np.ndarray]:
+    """Wrap an initializer so cells beyond the band read as sentinel.
+
+    For the first row/column the band condition |i - j| <= W degenerates to
+    ``index <= W``.
+    """
+
+    def init(params: Any, length: int) -> np.ndarray:
+        scores = base(params, length)
+        if length > band + 1:
+            scores[band + 1:, :] = sentinel
+        return scores
+
+    return init
+
+
+# ---------------------------------------------------------------------------
+# traceback FSM families (Section 4, step 4)
+# ---------------------------------------------------------------------------
+
+#: FSM state names shared by the affine family.
+MM, INS, DEL = 0, 1, 2
+#: Extra states of the two-piece affine family (Listing 3, right).
+LONG_INS, LONG_DEL = 3, 4
+
+
+def linear_tb(state: int, ptr: int) -> Tuple[Move, int]:
+    """Single-state FSM for linear-gap kernels (Listing 7)."""
+    if ptr == TB_DIAG:
+        return Move.MATCH, MM
+    if ptr == TB_UP:
+        return Move.DEL, MM
+    if ptr == TB_LEFT:
+        return Move.INS, MM
+    return Move.END, MM
+
+
+# Affine pointer layout (4 bits, the paper's ap_uint<4> for kernel #2):
+#   bits [1:0] — source of the H layer (TB_DIAG / TB_UP / TB_LEFT / TB_END)
+#   bit  2     — insertion layer extended (I came from I, not H)
+#   bit  3     — deletion layer extended (D came from D, not H)
+AFFINE_I_EXT = 1 << 2
+AFFINE_D_EXT = 1 << 3
+
+
+def affine_ptr(h_src: Any, i_ext: Any, d_ext: Any) -> Any:
+    """Pack the affine traceback pointer from its three components."""
+    return h_src + select(i_ext, AFFINE_I_EXT, 0) + select(d_ext, AFFINE_D_EXT, 0)
+
+
+def affine_tb(state: int, ptr: int) -> Tuple[Move, int]:
+    """Three-state Gotoh traceback FSM (states of Listing 3, left)."""
+    h_src = ptr & 3
+    i_ext = bool(ptr & AFFINE_I_EXT)
+    d_ext = bool(ptr & AFFINE_D_EXT)
+    if state == MM:
+        if h_src == TB_DIAG:
+            return Move.MATCH, MM
+        if h_src == TB_UP:
+            return Move.DEL, DEL if d_ext else MM
+        if h_src == TB_LEFT:
+            return Move.INS, INS if i_ext else MM
+        return Move.END, MM
+    if state == INS:
+        return Move.INS, INS if i_ext else MM
+    if state == DEL:
+        return Move.DEL, DEL if d_ext else MM
+    raise ValueError(f"unknown affine traceback state {state}")
+
+
+# Two-piece pointer layout (7 bits, matching the paper's observation that
+# two-piece kernels need at least 7 bits per pointer):
+#   bits [2:0] — source of the H layer:
+#                0=diag, 1=short del, 2=short ins, 3=long del, 4=long ins,
+#                7=end
+#   bit 3 — short insertion extended      bit 4 — short deletion extended
+#   bit 5 — long  insertion extended      bit 6 — long  deletion extended
+TP_DIAG, TP_DEL, TP_INS, TP_LDEL, TP_LINS, TP_END = 0, 1, 2, 3, 4, 7
+TP_I_EXT = 1 << 3
+TP_D_EXT = 1 << 4
+TP_LI_EXT = 1 << 5
+TP_LD_EXT = 1 << 6
+
+
+def two_piece_ptr(
+    h_src: Any, i_ext: Any, d_ext: Any, li_ext: Any, ld_ext: Any
+) -> Any:
+    """Pack the two-piece affine traceback pointer."""
+    return (
+        h_src
+        + select(i_ext, TP_I_EXT, 0)
+        + select(d_ext, TP_D_EXT, 0)
+        + select(li_ext, TP_LI_EXT, 0)
+        + select(ld_ext, TP_LD_EXT, 0)
+    )
+
+
+def two_piece_tb(state: int, ptr: int) -> Tuple[Move, int]:
+    """Five-state FSM for two-piece affine kernels (Listing 3, right)."""
+    h_src = ptr & 7
+    i_ext = bool(ptr & TP_I_EXT)
+    d_ext = bool(ptr & TP_D_EXT)
+    li_ext = bool(ptr & TP_LI_EXT)
+    ld_ext = bool(ptr & TP_LD_EXT)
+    if state == MM:
+        if h_src == TP_DIAG:
+            return Move.MATCH, MM
+        if h_src == TP_DEL:
+            return Move.DEL, DEL if d_ext else MM
+        if h_src == TP_INS:
+            return Move.INS, INS if i_ext else MM
+        if h_src == TP_LDEL:
+            return Move.DEL, LONG_DEL if ld_ext else MM
+        if h_src == TP_LINS:
+            return Move.INS, LONG_INS if li_ext else MM
+        return Move.END, MM
+    if state == INS:
+        return Move.INS, INS if i_ext else MM
+    if state == DEL:
+        return Move.DEL, DEL if d_ext else MM
+    if state == LONG_INS:
+        return Move.INS, LONG_INS if li_ext else MM
+    if state == LONG_DEL:
+        return Move.DEL, LONG_DEL if ld_ext else MM
+    raise ValueError(f"unknown two-piece traceback state {state}")

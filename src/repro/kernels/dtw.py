@@ -1,0 +1,75 @@
+"""Kernel #9 — Dynamic Time Warping over complex signals (basecalling).
+
+Symbols are complex temporal samples (Listing 1, right); the substitution
+value is the squared Euclidean distance between samples — computed
+dynamically with two multiplications per cell, which makes DSP usage scale
+with N_PE (Fig. 3E).  The objective is *minimization* and the warping path
+is recovered by a standard 2-bit traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import COMPLEX_SIGNAL
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ApFixedType
+from repro.kernels.common import constant_init, linear_tb, pick_best
+
+SCORE_T = ApFixedType(32, 20)
+POS = SCORE_T.sentinel_high()
+
+#: Indices into the complex sample tuple.
+RE, IM = 0, 1
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """DTW has no runtime scoring parameters (Fig. 1: the substitution
+    value is computed dynamically from the samples themselves)."""
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """D(i,j) = |q - r|^2 + min(diag, up, left)."""
+    d_re = cell.qry[RE] - cell.ref[RE]
+    d_im = cell.qry[IM] - cell.ref[IM]
+    cost = d_re * d_re + d_im * d_im
+    best, ptr = pick_best(
+        [(cell.diag[0], TB_DIAG), (cell.up[0], TB_UP), (cell.left[0], TB_LEFT)],
+        minimize=True,
+    )
+    return (cost + best,), ptr
+
+
+SPEC = KernelSpec(
+    name="dtw",
+    kernel_id=9,
+    alphabet=COMPLEX_SIGNAL,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MINIMIZE,
+    pe_func=pe_func,
+    init_row=constant_init(1, boundary=POS, corner=0.0),
+    init_col=constant_init(1, boundary=POS, corner=0.0),
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Dynamic Time Warping (DTW)",
+    applications=("Basecalling",),
+    reference_tools=("SquiggleKit",),
+    modifications="Sequence Alphabet and Scoring",
+)

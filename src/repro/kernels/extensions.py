@@ -1,0 +1,261 @@
+"""Extension kernels beyond Table 1.
+
+The paper's central productivity claim is that *new* kernels take days:
+these three are combinations the 15 shipped kernels don't cover, each
+built purely from front-end pieces (and spec transformers), and each
+verified by the same oracle/rescore machinery as the core set:
+
+* :data:`GLOBAL_LINEAR_N` — global alignment over the 5-letter DNA-with-N
+  alphabet, scoring ambiguous bases neutrally (BLAST/LASTZ handle Ns this
+  way, Section 2.2.1).
+* :data:`SEMIGLOBAL_AFFINE` — BWA-MEM-style read mapping with the affine
+  gap model (Table 1's #7 is linear-gap only).
+* :data:`SAKOE_CHIBA_DTW` — DTW under a Sakoe-Chiba band, the classic
+  time-series pruning, derived from kernel #9 with ``make_banded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.alphabet import DNA, Alphabet
+from repro.core.ops import lookup, select
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels import dtw
+from repro.kernels.common import (
+    affine_ptr,
+    affine_tb,
+    linear_gap_init,
+    linear_tb,
+    pick_best,
+    substitution,
+)
+from repro.kernels.variants import make_banded
+
+# ---------------------------------------------------------------------------
+# Global linear alignment with ambiguous bases (DNA5: A, C, G, T, N)
+# ---------------------------------------------------------------------------
+
+#: 3-bit DNA with the ambiguous base N (code 4).
+DNA5 = Alphabet("dna5", storage_bits=3, size=5)
+N_CODE = 4
+
+
+def default_dna5_matrix():
+    """Match/mismatch over ACGT; N scores neutrally against everything."""
+    match, mismatch, n_score = 2.0, -2.0, 0.0
+    rows = []
+    for a in range(5):
+        row = []
+        for b in range(5):
+            if a == N_CODE or b == N_CODE:
+                row.append(n_score)
+            else:
+                row.append(match if a == b else mismatch)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class Dna5Params:
+    """5x5 substitution matrix plus a linear gap."""
+
+    matrix: tuple = default_dna5_matrix()
+    linear_gap: int = -3
+
+
+def dna5_pe(cell: PEInput) -> PEOutput:
+    """Kernel #1's recurrence with a matrix-ROM substitution."""
+    params = cell.params
+    sub = lookup(params.matrix, cell.qry, cell.ref)
+    match = cell.diag[0] + sub
+    del_ = cell.up[0] + params.linear_gap
+    ins = cell.left[0] + params.linear_gap
+    score, ptr = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    return (score,), ptr
+
+
+GLOBAL_LINEAR_N = KernelSpec(
+    name="global_linear_dna5",
+    kernel_id=17,
+    alphabet=DNA5,
+    score_type=ap_int(16),
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=dna5_pe,
+    init_row=linear_gap_init(1),
+    init_col=linear_gap_init(1),
+    default_params=Dna5Params(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Global Linear Alignment with ambiguous bases (DNA5)",
+    applications=("Similarity Search with masked references",),
+    modifications="Sequence Alphabet and Scoring",
+)
+
+# ---------------------------------------------------------------------------
+# Semi-global alignment with affine gaps (BWA-MEM-style read mapping)
+# ---------------------------------------------------------------------------
+
+SG_SCORE_T = ap_int(16)
+SG_NEG = SG_SCORE_T.sentinel_low()
+
+
+@dataclass(frozen=True)
+class SemiglobalAffineParams:
+    """Affine penalties for end-to-end read placement."""
+
+    match: int = 2
+    mismatch: int = -4
+    gap_open: int = -4
+    gap_extend: int = -2
+
+
+def semiglobal_affine_row_init(_params: Any, length: int) -> np.ndarray:
+    """Free reference prefix: H = 0; gap layers at sentinel."""
+    scores = np.full((length, 3), float(SG_NEG))
+    scores[:, 0] = 0.0
+    return scores
+
+
+def semiglobal_affine_col_init(params: Any, length: int) -> np.ndarray:
+    """The query must align end-to-end: affine boundary costs."""
+    scores = np.full((length, 3), float(SG_NEG))
+    scores[:, 0] = params.gap_open + params.gap_extend * np.arange(length)
+    scores[0, 0] = 0.0
+    return scores
+
+
+def semiglobal_affine_pe(cell: PEInput) -> PEOutput:
+    """Gotoh recurrences; strategy handled by start/end rules."""
+    p = cell.params
+    open_cost = p.gap_open + p.gap_extend
+    ins_open = cell.left[0] + open_cost
+    ins_ext = cell.left[1] + p.gap_extend
+    i_ext = ins_ext > ins_open
+    ins = select(i_ext, ins_ext, ins_open)
+    del_open = cell.up[0] + open_cost
+    del_ext = cell.up[2] + p.gap_extend
+    d_ext = del_ext > del_open
+    del_ = select(d_ext, del_ext, del_open)
+    match = cell.diag[0] + substitution(cell.qry, cell.ref, p.match, p.mismatch)
+    score, h_src = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    return (score, ins, del_), affine_ptr(h_src, i_ext, d_ext)
+
+
+SEMIGLOBAL_AFFINE = KernelSpec(
+    name="semiglobal_affine",
+    kernel_id=18,
+    alphabet=DNA,
+    score_type=SG_SCORE_T,
+    n_layers=3,
+    objective=Objective.MAXIMIZE,
+    pe_func=semiglobal_affine_pe,
+    init_row=semiglobal_affine_row_init,
+    init_col=semiglobal_affine_col_init,
+    default_params=SemiglobalAffineParams(),
+    start_rule=StartRule.LAST_ROW_MAX,
+    traceback=TracebackSpec(end=EndRule.TOP_ROW),
+    tb_transition=affine_tb,
+    tb_ptr_bits=4,
+    tb_states=("MM", "INS", "DEL"),
+    description="Semi-global Alignment with affine gaps",
+    applications=("Short Read Alignment",),
+    modifications="Initialization, Scoring and Traceback",
+)
+
+# ---------------------------------------------------------------------------
+# Sakoe-Chiba banded DTW, derived from kernel #9 with a spec transformer
+# ---------------------------------------------------------------------------
+
+SAKOE_CHIBA_BAND = 16
+SAKOE_CHIBA_DTW = make_banded(
+    dtw.SPEC, SAKOE_CHIBA_BAND, name="sakoe_chiba_dtw"
+)
+
+# ---------------------------------------------------------------------------
+# Protein profile alignment: the 21-tuple variant of kernel #8
+# (Section 2.2.1: protein profiles carry 20 residue frequencies + gap)
+# ---------------------------------------------------------------------------
+
+from repro.core.alphabet import PROTEIN_LETTERS  # noqa: E402
+from repro.hdl_types import ApFixedType  # noqa: E402
+from repro.kernels.common import linear_tb as _linear_tb  # noqa: E402
+from repro.kernels.profile import make_profile_pe  # noqa: E402
+
+N_PROTEIN_CHANNELS = 21  # 20 amino acids + gap
+
+
+def default_protein_sop():
+    """BLOSUM62 extended by a gap channel for Sum-of-Pairs scoring."""
+    from repro.data.blosum import BLOSUM62
+
+    gap_vs_residue, gap_vs_gap = -4.0, 0.0
+    rows = []
+    for a in range(N_PROTEIN_CHANNELS):
+        row = []
+        for b in range(N_PROTEIN_CHANNELS):
+            if a == 20 or b == 20:
+                row.append(gap_vs_gap if a == b else gap_vs_residue)
+            else:
+                row.append(float(BLOSUM62[a][b]))
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class ProteinProfileParams:
+    """21x21 Sum-of-Pairs matrix plus a linear gap for new columns."""
+
+    sop: tuple = default_protein_sop()
+    linear_gap: float = -5.0
+
+
+PROFILE_PROTEIN_ALPHABET = Alphabet(
+    "profile_protein",
+    storage_bits=N_PROTEIN_CHANNELS * 16,
+    fields=tuple((ch.lower(), 16) for ch in PROTEIN_LETTERS) + (("gap", 16),),
+)
+
+PROFILE_PROTEIN = KernelSpec(
+    name="profile_alignment_protein",
+    kernel_id=19,
+    alphabet=PROFILE_PROTEIN_ALPHABET,
+    score_type=ApFixedType(32, 20),
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=make_profile_pe(N_PROTEIN_CHANNELS),
+    init_row=linear_gap_init(1),
+    init_col=linear_gap_init(1),
+    default_params=ProteinProfileParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=_linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Profile Alignment over protein profiles (21 channels)",
+    applications=("Protein Multiple Sequence Alignment",),
+    modifications="Sequence Alphabet and Scoring",
+)
+
+EXTENSION_KERNELS = (
+    GLOBAL_LINEAR_N, SEMIGLOBAL_AFFINE, SAKOE_CHIBA_DTW, PROFILE_PROTEIN
+)

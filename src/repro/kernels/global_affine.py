@@ -1,0 +1,114 @@
+"""Kernel #2 — Global Affine Alignment (Gotoh).
+
+Three scoring layers (H, I, D) with an affine gap penalty: opening a gap
+costs ``gap_open + gap_extend``, extending it another ``gap_extend``.
+Traceback pointers are the paper's ``ap_uint<4>``: a 2-bit H source plus
+insertion/deletion extension flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.alphabet import DNA
+from repro.core.ops import select
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import affine_ptr, affine_tb, pick_best, substitution
+
+SCORE_T = ap_int(16)
+NEG = SCORE_T.sentinel_low()
+
+#: Layer indices (N_LAYERS = 3 for affine kernels, Section 4 step 1.2).
+LAYER_H, LAYER_I, LAYER_D = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Match/mismatch plus the affine gap pair.
+
+    A gap of length L costs ``gap_open + L * gap_extend`` (both negative).
+    """
+
+    match: int = 2
+    mismatch: int = -4
+    gap_open: int = -4
+    gap_extend: int = -2
+
+
+def affine_gap_init(
+    open_field: str = "gap_open",
+    extend_field: str = "gap_extend",
+    n_layers: int = 3,
+) -> Callable[[Any, int], np.ndarray]:
+    """H(0,k) = open + k*extend on layer 0; other layers at sentinel."""
+
+    def init(params: Any, length: int) -> np.ndarray:
+        open_ = getattr(params, open_field)
+        extend = getattr(params, extend_field)
+        scores = np.full((length, n_layers), float(NEG))
+        scores[:, 0] = open_ + extend * np.arange(length)
+        scores[0, 0] = 0.0
+        return scores
+
+    return init
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Gotoh recurrences for one cell, with packed traceback pointer."""
+    p = cell.params
+    open_cost = p.gap_open + p.gap_extend
+    extend = p.gap_extend
+
+    ins_open = cell.left[LAYER_H] + open_cost
+    ins_ext = cell.left[LAYER_I] + extend
+    i_ext = ins_ext > ins_open
+    ins = select(i_ext, ins_ext, ins_open)
+
+    del_open = cell.up[LAYER_H] + open_cost
+    del_ext = cell.up[LAYER_D] + extend
+    d_ext = del_ext > del_open
+    del_ = select(d_ext, del_ext, del_open)
+
+    match = cell.diag[LAYER_H] + substitution(
+        cell.qry, cell.ref, p.match, p.mismatch
+    )
+    score, h_src = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    return (score, ins, del_), affine_ptr(h_src, i_ext, d_ext)
+
+
+SPEC = KernelSpec(
+    name="global_affine",
+    kernel_id=2,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=3,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=affine_gap_init(),
+    init_col=affine_gap_init(),
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=affine_tb,
+    tb_ptr_bits=4,
+    tb_states=("MM", "INS", "DEL"),
+    description="Global Affine Alignment (Gotoh)",
+    applications=("Accurate Similarity Search",),
+    reference_tools=("BLAST", "EMBOSS Needle"),
+    modifications="Scoring",
+)

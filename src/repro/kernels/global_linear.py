@@ -1,0 +1,73 @@
+"""Kernel #1 — Global Linear Alignment (Needleman-Wunsch).
+
+The baseline kernel of Table 1: DNA alphabet, a single scoring layer,
+constant (linear) gap penalty, global traceback from the bottom-right to
+the top-left of the DP matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import DNA
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import linear_gap_init, linear_tb, pick_best, substitution
+
+SCORE_T = ap_int(16)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Listing 2 (left): three runtime scoring parameters."""
+
+    match: int = 2
+    mismatch: int = -2
+    linear_gap: int = -3
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """H(i,j) = max(diag + sub, up + gap, left + gap)."""
+    params = cell.params
+    gap = params.linear_gap
+    match = cell.diag[0] + substitution(
+        cell.qry, cell.ref, params.match, params.mismatch
+    )
+    del_ = cell.up[0] + gap
+    ins = cell.left[0] + gap
+    score, ptr = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    return (score,), ptr
+
+
+SPEC = KernelSpec(
+    name="global_linear",
+    kernel_id=1,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=linear_gap_init(1),
+    init_col=linear_gap_init(1),
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Global Linear Alignment (Needleman-Wunsch)",
+    applications=("Similarity Search",),
+    reference_tools=("BLAST", "EMBOSS Stretcher"),
+    modifications="N/A",
+)

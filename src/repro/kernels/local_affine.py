@@ -1,0 +1,101 @@
+"""Kernel #4 — Local Affine Alignment (Smith-Waterman-Gotoh).
+
+Combines the affine gap model of kernel #2 with the local (zero-clamped)
+strategy of kernel #3 — the workhorse of whole-genome aligners like LASTZ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.alphabet import DNA
+from repro.core.ops import select
+from repro.core.spec import (
+    TB_DIAG,
+    TB_END,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import affine_ptr, affine_tb, pick_best, substitution
+
+SCORE_T = ap_int(16)
+NEG = SCORE_T.sentinel_low()
+
+LAYER_H, LAYER_I, LAYER_D = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Affine local alignment parameters (gap of L costs open + L*extend)."""
+
+    match: int = 2
+    mismatch: int = -4
+    gap_open: int = -4
+    gap_extend: int = -2
+
+
+def local_affine_init(_params: Any, length: int) -> np.ndarray:
+    """H layer zeros (free local start); gap layers at sentinel."""
+    scores = np.full((length, 3), float(NEG))
+    scores[:, LAYER_H] = 0.0
+    return scores
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Gotoh recurrences with the Smith-Waterman zero clamp on H."""
+    p = cell.params
+    open_cost = p.gap_open + p.gap_extend
+    extend = p.gap_extend
+
+    ins_open = cell.left[LAYER_H] + open_cost
+    ins_ext = cell.left[LAYER_I] + extend
+    i_ext = ins_ext > ins_open
+    ins = select(i_ext, ins_ext, ins_open)
+
+    del_open = cell.up[LAYER_H] + open_cost
+    del_ext = cell.up[LAYER_D] + extend
+    d_ext = del_ext > del_open
+    del_ = select(d_ext, del_ext, del_open)
+
+    match = cell.diag[LAYER_H] + substitution(
+        cell.qry, cell.ref, p.match, p.mismatch
+    )
+    score, h_src = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    clamped = score < 0
+    score = select(clamped, 0, score)
+    h_src = select(clamped, TB_END, h_src)
+    return (score, ins, del_), affine_ptr(h_src, i_ext, d_ext)
+
+
+SPEC = KernelSpec(
+    name="local_affine",
+    kernel_id=4,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=3,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=local_affine_init,
+    init_col=local_affine_init,
+    default_params=ScoringParams(),
+    start_rule=StartRule.GLOBAL_MAX,
+    traceback=TracebackSpec(end=EndRule.SENTINEL),
+    tb_transition=affine_tb,
+    tb_ptr_bits=4,
+    tb_states=("MM", "INS", "DEL"),
+    description="Local Affine Alignment (Smith-Waterman-Gotoh)",
+    applications=("Whole Genome Alignment",),
+    reference_tools=("BLAST", "LASTZ"),
+    modifications="Scoring, Initialization and Traceback",
+)

@@ -1,0 +1,78 @@
+"""Kernel #3 — Local Linear Alignment (Smith-Waterman).
+
+Scores are clamped at zero (the ``TB_END`` pointer of Listing 6), the
+traceback starts at the global maximum cell and ends at the first
+zero-score cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import DNA
+from repro.core.ops import select
+from repro.core.spec import (
+    TB_DIAG,
+    TB_END,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import linear_tb, pick_best, substitution, zero_init
+
+SCORE_T = ap_int(16)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Linear-gap local alignment parameters."""
+
+    match: int = 2
+    mismatch: int = -2
+    linear_gap: int = -3
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Listing 5/6: Smith-Waterman cell with zero clamp."""
+    params = cell.params
+    gap = params.linear_gap
+    match = cell.diag[0] + substitution(
+        cell.qry, cell.ref, params.match, params.mismatch
+    )
+    del_ = cell.up[0] + gap
+    ins = cell.left[0] + gap
+    score, ptr = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    clamped = score < 0
+    score = select(clamped, 0, score)
+    ptr = select(clamped, TB_END, ptr)
+    return (score,), ptr
+
+
+SPEC = KernelSpec(
+    name="local_linear",
+    kernel_id=3,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=zero_init(1),
+    init_col=zero_init(1),
+    default_params=ScoringParams(),
+    start_rule=StartRule.GLOBAL_MAX,
+    traceback=TracebackSpec(end=EndRule.SENTINEL),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Local Linear Alignment (Smith-Waterman)",
+    applications=("Homology Search",),
+    reference_tools=("BLAST", "FASTA", "BLAT"),
+    modifications="Initialization and Traceback",
+)

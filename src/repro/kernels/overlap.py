@@ -1,0 +1,74 @@
+"""Kernel #6 — Overlap Alignment (genome assembly).
+
+Matches a suffix of one sequence against a prefix of the other: both the
+first row and column initialize to zero (free leading ends), the traceback
+starts at the best cell in the last row or column and ends when it reaches
+the top row or leftmost column (Section 2.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import DNA
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import linear_tb, pick_best, substitution, zero_init
+
+SCORE_T = ap_int(16)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Linear-gap overlap alignment parameters."""
+
+    match: int = 2
+    mismatch: int = -3
+    linear_gap: int = -2
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Same recurrence as kernel #1; the strategy differs only at the ends."""
+    params = cell.params
+    gap = params.linear_gap
+    match = cell.diag[0] + substitution(
+        cell.qry, cell.ref, params.match, params.mismatch
+    )
+    del_ = cell.up[0] + gap
+    ins = cell.left[0] + gap
+    score, ptr = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    return (score,), ptr
+
+
+SPEC = KernelSpec(
+    name="overlap",
+    kernel_id=6,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=zero_init(1),
+    init_col=zero_init(1),
+    default_params=ScoringParams(),
+    start_rule=StartRule.LAST_ROW_OR_COL_MAX,
+    traceback=TracebackSpec(end=EndRule.TOP_ROW_OR_LEFT_COL),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Overlap Alignment",
+    applications=("Genome Assembly",),
+    reference_tools=("CANU", "Flye"),
+    modifications="Initialization and Traceback",
+)

@@ -1,0 +1,127 @@
+"""Kernel #8 — Profile Alignment (multiple sequence alignment).
+
+Each "symbol" is a profile column: the frequencies of {A, C, G, T, gap} at
+one position of an existing alignment (Fig. 1).  The substitution score is
+the Sum-of-Pairs value q . S . r — two matrix-vector multiplications per
+cell, which is why this kernel dominates DSP usage in Table 2 and needs an
+initiation interval of 4 (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.alphabet import PROFILE_DNA
+from repro.core.ops import lookup
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ApFixedType
+from repro.kernels.common import linear_gap_init, linear_tb, pick_best
+
+SCORE_T = ApFixedType(32, 20)
+
+#: Number of profile channels: four nucleotides plus the gap character.
+N_CHANNELS = 5
+
+
+def default_sop_matrix() -> Tuple[Tuple[float, ...], ...]:
+    """A simple Sum-of-Pairs scoring matrix over {A, C, G, T, -}."""
+    match, mismatch, gap_vs_base, gap_vs_gap = 2.0, -2.0, -3.0, 0.0
+    rows = []
+    for a in range(N_CHANNELS):
+        row = []
+        for b in range(N_CHANNELS):
+            if a == 4 or b == 4:
+                row.append(gap_vs_gap if a == b else gap_vs_base)
+            else:
+                row.append(match if a == b else mismatch)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Sum-of-Pairs matrix plus a linear gap penalty for new gaps."""
+
+    sop: Tuple[Tuple[float, ...], ...] = field(default_factory=default_sop_matrix)
+    linear_gap: float = -3.0
+
+
+def make_profile_pe(n_channels: int):
+    """Build a profile PE function for ``n_channels``-tuple symbols.
+
+    ``inner[a] = sum_b S[a][b] * r[b]`` (first matrix-vector product,
+    n^2 multiplies) followed by ``sub = sum_a q[a] * inner[a]`` (second
+    product, n multiplies) — the paper's two matrix-vector
+    multiplications per cell, for DNA (n=5) or protein (n=21) profiles.
+    """
+
+    def pe(cell: PEInput) -> PEOutput:
+        params = cell.params
+        qry, ref = cell.qry, cell.ref
+        sub = None
+        for a in range(n_channels):
+            inner = None
+            for b in range(n_channels):
+                term = lookup(params.sop, a, b) * ref[b]
+                inner = term if inner is None else inner + term
+            weighted = qry[a] * inner
+            sub = weighted if sub is None else sub + weighted
+        match = cell.diag[0] + sub
+        del_ = cell.up[0] + params.linear_gap
+        ins = cell.left[0] + params.linear_gap
+        score, ptr = pick_best(
+            [(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)]
+        )
+        return (score,), ptr
+
+    return pe
+
+
+#: The DNA profile PE (Table 1's kernel #8).
+pe_func = make_profile_pe(N_CHANNELS)
+
+
+SPEC = KernelSpec(
+    name="profile_alignment",
+    kernel_id=8,
+    alphabet=PROFILE_DNA,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=linear_gap_init(1),
+    init_col=linear_gap_init(1),
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Profile Alignment",
+    applications=("Multiple Sequence Alignment",),
+    reference_tools=("CLUSTALW", "MUSCLE"),
+    modifications="Sequence Alphabet and Scoring",
+)
+
+
+def profile_column(a: float, c: float, g: float, t: float, gap: float) -> Tuple[float, ...]:
+    """Build one profile symbol, validating that frequencies sum to ~1."""
+    column = (a, c, g, t, gap)
+    total = sum(column)
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"profile column frequencies sum to {total}, not 1")
+    return column

@@ -1,0 +1,76 @@
+"""Registry of the 15 implemented kernels, indexed as in Table 1."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.core.spec import KernelSpec
+from repro.kernels import (
+    banded_global,
+    banded_local_affine,
+    banded_two_piece,
+    dtw,
+    global_affine,
+    global_linear,
+    local_affine,
+    local_linear,
+    overlap,
+    profile,
+    protein_local,
+    sdtw,
+    semiglobal,
+    two_piece_affine,
+    viterbi,
+)
+
+#: Kernel number (the paper's '#') -> specification.
+KERNELS: Dict[int, KernelSpec] = {
+    spec.kernel_id: spec
+    for spec in (
+        global_linear.SPEC,
+        global_affine.SPEC,
+        local_linear.SPEC,
+        local_affine.SPEC,
+        two_piece_affine.SPEC,
+        overlap.SPEC,
+        semiglobal.SPEC,
+        profile.SPEC,
+        dtw.SPEC,
+        viterbi.SPEC,
+        banded_global.SPEC,
+        banded_local_affine.SPEC,
+        banded_two_piece.SPEC,
+        sdtw.SPEC,
+        protein_local.SPEC,
+    )
+}
+
+_BY_NAME: Dict[str, KernelSpec] = {spec.name: spec for spec in KERNELS.values()}
+
+
+def kernel_ids() -> List[int]:
+    """All registered kernel numbers, ascending."""
+    return sorted(KERNELS)
+
+
+def get_kernel(key: Union[int, str]) -> KernelSpec:
+    """Look a kernel up by its Table 1 number or by name.
+
+    >>> get_kernel(1).name
+    'global_linear'
+    >>> get_kernel("local_linear").kernel_id
+    3
+    """
+    if isinstance(key, int):
+        try:
+            return KERNELS[key]
+        except KeyError:
+            raise KeyError(
+                f"no kernel #{key}; known ids: {kernel_ids()}"
+            ) from None
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        raise KeyError(
+            f"no kernel named {key!r}; known names: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,59 @@
+"""Kernel #14 — Semi-global Dynamic Time Warping (SquiggleFilter).
+
+Aligns a short nanopore signal (query) against any position of a longer
+reference signal: the first row is free (the query may start anywhere
+along the reference) and the reported value is the *minimum* distance in
+the last row.  Symbols are 8-bit integer-quantised current levels; the
+cost is the absolute difference (no multiplier — DSP usage stays flat,
+unlike kernel #9).  Score only, like the SquiggleFilter accelerator with
+its match-bonus feature removed (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import INT_SIGNAL
+from repro.core.ops import vabs, vmin
+from repro.core.spec import KernelSpec, Objective, PEInput, PEOutput, StartRule
+from repro.hdl_types import ap_int
+from repro.kernels.common import constant_init, zero_init
+
+SCORE_T = ap_int(24)
+POS = SCORE_T.sentinel_high()
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """sDTW carries no runtime scoring parameters (pure distance
+    accumulation over the quantised samples)."""
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """D(i,j) = |q - r| + min(diag, up, left)."""
+    cost = vabs(cell.qry - cell.ref)
+    best = vmin(cell.diag[0], cell.up[0], cell.left[0])
+    return (cost + best,), 0
+
+
+SPEC = KernelSpec(
+    name="sdtw",
+    kernel_id=14,
+    alphabet=INT_SIGNAL,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MINIMIZE,
+    pe_func=pe_func,
+    init_row=zero_init(1),
+    init_col=constant_init(1, boundary=POS, corner=0.0),
+    default_params=ScoringParams(),
+    start_rule=StartRule.LAST_ROW_MAX,
+    traceback=None,
+    tb_transition=None,
+    tb_ptr_bits=2,
+    tb_states=(),
+    description="Semi-global DTW (sDTW)",
+    applications=("Basecalling", "Viral Surveillance"),
+    reference_tools=("SquiggleFilter", "RawHash"),
+    modifications="Sequence Alphabet and Scoring",
+)

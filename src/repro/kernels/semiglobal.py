@@ -1,0 +1,80 @@
+"""Kernel #7 — Semi-global Alignment (short-read mapping).
+
+The query aligns end-to-end against a subsequence of the reference: the
+first row is free (zeros), the first column pays gap penalties, the
+traceback starts at the best cell of the bottom row and stops at the top
+row (Section 2.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alphabet import DNA
+from repro.core.spec import (
+    TB_DIAG,
+    TB_LEFT,
+    TB_UP,
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import (
+    linear_gap_init,
+    linear_tb,
+    pick_best,
+    substitution,
+    zero_init,
+)
+
+SCORE_T = ap_int(16)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Linear-gap semi-global alignment parameters."""
+
+    match: int = 2
+    mismatch: int = -2
+    linear_gap: int = -3
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Same cell recurrence as kernel #1."""
+    params = cell.params
+    gap = params.linear_gap
+    match = cell.diag[0] + substitution(
+        cell.qry, cell.ref, params.match, params.mismatch
+    )
+    del_ = cell.up[0] + gap
+    ins = cell.left[0] + gap
+    score, ptr = pick_best([(match, TB_DIAG), (del_, TB_UP), (ins, TB_LEFT)])
+    return (score,), ptr
+
+
+SPEC = KernelSpec(
+    name="semiglobal",
+    kernel_id=7,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=1,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=zero_init(1),
+    init_col=linear_gap_init(1),
+    default_params=ScoringParams(),
+    start_rule=StartRule.LAST_ROW_MAX,
+    traceback=TracebackSpec(end=EndRule.TOP_ROW),
+    tb_transition=linear_tb,
+    tb_ptr_bits=2,
+    tb_states=("MM",),
+    description="Semi-global Alignment",
+    applications=("Short Read Alignment",),
+    reference_tools=("BWA-MEM",),
+    modifications="Initialization and Traceback",
+)

@@ -1,0 +1,139 @@
+"""Kernel #5 — Global Two-piece Affine Alignment (Minimap2's gap model).
+
+Five scoring layers: H plus a short and a long affine gap pair per
+direction.  A gap of length L costs ``max(o1 + L*e1, o2 + L*e2)`` (all
+negative), which better separates biological indels from sequencing errors
+(Section 2.2.2b).  Traceback pointers need 7 bits — a 3-bit H source plus
+four extension flags — matching the paper's BRAM observations for kernels
+#5/#13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.alphabet import DNA
+from repro.core.ops import select
+from repro.core.spec import (
+    EndRule,
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+    TracebackSpec,
+)
+from repro.hdl_types import ap_int
+from repro.kernels.common import (
+    TP_DEL,
+    TP_DIAG,
+    TP_INS,
+    TP_LDEL,
+    TP_LINS,
+    pick_best,
+    substitution,
+    two_piece_ptr,
+    two_piece_tb,
+)
+
+SCORE_T = ap_int(16)
+NEG = SCORE_T.sentinel_low()
+
+#: Layer indices (N_LAYERS = 5 for two-piece kernels).
+LAYER_H, LAYER_I1, LAYER_D1, LAYER_I2, LAYER_D2 = 0, 1, 2, 3, 4
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Minimap2-style two-piece gap parameters.
+
+    Short gaps follow ``gap_open1 + L*gap_extend1``; long gaps follow
+    ``gap_open2 + L*gap_extend2`` with a cheaper extension, so the model
+    switches pieces at L = (open2-open1)/(extend1-extend2).
+    """
+
+    match: int = 2
+    mismatch: int = -4
+    gap_open1: int = -4
+    gap_extend1: int = -2
+    gap_open2: int = -24
+    gap_extend2: int = -1
+
+
+def two_piece_init(params: Any, length: int) -> np.ndarray:
+    """H(0,k) = max of the two affine boundary costs; gap layers sentinel."""
+    scores = np.full((length, 5), float(NEG))
+    ks = np.arange(length)
+    short = params.gap_open1 + params.gap_extend1 * ks
+    long_ = params.gap_open2 + params.gap_extend2 * ks
+    scores[:, LAYER_H] = np.maximum(short, long_)
+    scores[0, LAYER_H] = 0.0
+    return scores
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Two-piece affine recurrences with a 7-bit packed pointer."""
+    p = cell.params
+    oc1 = p.gap_open1 + p.gap_extend1
+    oc2 = p.gap_open2 + p.gap_extend2
+
+    i1_open = cell.left[LAYER_H] + oc1
+    i1_ext = cell.left[LAYER_I1] + p.gap_extend1
+    i1_flag = i1_ext > i1_open
+    ins1 = select(i1_flag, i1_ext, i1_open)
+
+    d1_open = cell.up[LAYER_H] + oc1
+    d1_ext = cell.up[LAYER_D1] + p.gap_extend1
+    d1_flag = d1_ext > d1_open
+    del1 = select(d1_flag, d1_ext, d1_open)
+
+    i2_open = cell.left[LAYER_H] + oc2
+    i2_ext = cell.left[LAYER_I2] + p.gap_extend2
+    i2_flag = i2_ext > i2_open
+    ins2 = select(i2_flag, i2_ext, i2_open)
+
+    d2_open = cell.up[LAYER_H] + oc2
+    d2_ext = cell.up[LAYER_D2] + p.gap_extend2
+    d2_flag = d2_ext > d2_open
+    del2 = select(d2_flag, d2_ext, d2_open)
+
+    match = cell.diag[LAYER_H] + substitution(
+        cell.qry, cell.ref, p.match, p.mismatch
+    )
+    score, h_src = pick_best(
+        [
+            (match, TP_DIAG),
+            (del1, TP_DEL),
+            (ins1, TP_INS),
+            (del2, TP_LDEL),
+            (ins2, TP_LINS),
+        ]
+    )
+    ptr = two_piece_ptr(h_src, i1_flag, d1_flag, i2_flag, d2_flag)
+    return (score, ins1, del1, ins2, del2), ptr
+
+
+SPEC = KernelSpec(
+    name="global_two_piece_affine",
+    kernel_id=5,
+    alphabet=DNA,
+    score_type=SCORE_T,
+    n_layers=5,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=two_piece_init,
+    init_col=two_piece_init,
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=TracebackSpec(end=EndRule.TOP_LEFT),
+    tb_transition=two_piece_tb,
+    tb_ptr_bits=7,
+    tb_states=("MM", "INS", "DEL", "LONG_INS", "LONG_DEL"),
+    description="Global Two-piece Affine Alignment",
+    applications=("Long Read Alignment",),
+    reference_tools=("Minimap2",),
+    modifications="Scoring",
+)

@@ -1,0 +1,67 @@
+"""Spec transformers: derive kernel variants without rewriting front-ends.
+
+Half of Table 1 is a transformation of another row — banded versions of
+unbanded kernels, score-only versions of traceback kernels.  These
+helpers apply those transformations to *any* KernelSpec, so a user kernel
+(like the edit-distance example) gets banding and score-only deployment
+for free, exactly the reuse story the paper's front-end/back-end split
+promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.spec import KernelSpec
+
+
+def make_banded(spec: KernelSpec, band: int, name: str = "") -> KernelSpec:
+    """Derive a fixed-band variant of a kernel (Section 2.2.4).
+
+    The back-end restricts the wavefront schedule to |i - j| <= band and
+    masks out-of-band neighbour reads; the PE function is untouched.
+    """
+    if band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    if spec.banding is not None:
+        raise ValueError(f"{spec.name} is already banded (W={spec.banding})")
+    return replace(
+        spec,
+        name=name or f"{spec.name}_banded{band}",
+        banding=band,
+        description=f"{spec.description} (fixed band W={band})",
+        modifications=f"{spec.modifications} + Banding",
+    )
+
+
+def make_score_only(spec: KernelSpec, name: str = "") -> KernelSpec:
+    """Drop the traceback stage (Section 4's no-traceback option).
+
+    Score-only deployments skip traceback memory entirely — the BRAM
+    saving behind kernels #10/#12/#14's low footprints — and report only
+    the optimum under the kernel's start rule.
+    """
+    if not spec.has_traceback:
+        raise ValueError(f"{spec.name} is already score-only")
+    return replace(
+        spec,
+        name=name or f"{spec.name}_score_only",
+        traceback=None,
+        tb_transition=None,
+        description=f"{spec.description} (score only)",
+        modifications=f"{spec.modifications} (no Traceback)",
+    )
+
+
+def with_params(spec: KernelSpec, params, name: str = "") -> KernelSpec:
+    """Rebind a kernel's default ScoringParams (host-side reconfiguration).
+
+    The params type must match — scoring parameters are runtime values in
+    DP-HLS, so no re-synthesis is implied.
+    """
+    if type(params) is not type(spec.default_params):
+        raise TypeError(
+            f"{spec.name} expects {type(spec.default_params).__name__}, "
+            f"got {type(params).__name__}"
+        )
+    return replace(spec, name=name or spec.name, default_params=params)

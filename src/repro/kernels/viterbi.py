@@ -1,0 +1,122 @@
+"""Kernel #10 — Viterbi algorithm over a pair-HMM (gene prediction).
+
+Three hidden states (M, I, D) with log-space probabilities: ``log_mu`` is
+the log-probability of opening a gap state, ``log_lambda`` of extending
+one, and a 5x5 emission matrix covers all pairs over {A, C, G, T, -}
+(Listing 2, right — 27 runtime parameters).  The kernel reports the
+log-likelihood of the best state path; no traceback is performed
+(Table 1), which is why its BRAM footprint is minimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.core.alphabet import DNA_WITH_GAP
+from repro.core.ops import lookup, vmax
+from repro.core.spec import (
+    KernelSpec,
+    Objective,
+    PEInput,
+    PEOutput,
+    StartRule,
+)
+from repro.hdl_types import ApFixedType
+
+SCORE_T = ApFixedType(28, 16)
+NEG = SCORE_T.sentinel_low()
+
+LAYER_M, LAYER_I, LAYER_D = 0, 1, 2
+
+
+def default_emission() -> Tuple[Tuple[float, ...], ...]:
+    """Log emission probabilities for (A, C, G, T, -) pairs in state M.
+
+    Matching bases are emitted with probability 0.85, each mismatch with
+    0.05; the gap character never co-occurs in state M, so its entries
+    carry a strong log-penalty.
+    """
+    log_match = float(np.log(0.85))
+    log_mismatch = float(np.log(0.05))
+    log_gap = float(np.log(1e-4))
+    rows = []
+    for a in range(5):
+        row = []
+        for b in range(5):
+            if a == 4 or b == 4:
+                row.append(log_gap)
+            else:
+                row.append(log_match if a == b else log_mismatch)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Listing 2 (right): mu/lambda transitions plus the emission matrix."""
+
+    log_mu: float = float(np.log(0.05))       # open an I/D state
+    log_lambda: float = float(np.log(0.4))    # stay in an I/D state
+    emission: Tuple[Tuple[float, ...], ...] = field(default_factory=default_emission)
+
+
+def _boundary_init(layer: int):
+    """M sentinel everywhere but the corner; one gap layer pays mu + (k-1)*lambda."""
+
+    def init(params: Any, length: int) -> np.ndarray:
+        scores = np.full((length, 3), float(NEG))
+        if length > 1:
+            ks = np.arange(1, length)
+            scores[1:, layer] = params.log_mu + params.log_lambda * (ks - 1)
+        scores[0, :] = float(NEG)
+        scores[0, LAYER_M] = 0.0
+        return scores
+
+    return init
+
+
+#: Row 0 holds leading reference gaps (I states); column 0 leading query
+#: gaps (D states).
+viterbi_init_row = _boundary_init(LAYER_I)
+viterbi_init_col = _boundary_init(LAYER_D)
+
+
+def pe_func(cell: PEInput) -> PEOutput:
+    """Log-space Viterbi recurrences.
+
+    M(i,j) = em(q,r) + max(M, I, D at diag);
+    I(i,j) = max(M(i,j-1) + mu, I(i,j-1) + lambda);
+    D(i,j) = max(M(i-1,j) + mu, D(i-1,j) + lambda).
+    """
+    p = cell.params
+    em = lookup(p.emission, cell.qry, cell.ref)
+    m = em + vmax(cell.diag[LAYER_M], cell.diag[LAYER_I], cell.diag[LAYER_D])
+    i = vmax(cell.left[LAYER_M] + p.log_mu, cell.left[LAYER_I] + p.log_lambda)
+    d = vmax(cell.up[LAYER_M] + p.log_mu, cell.up[LAYER_D] + p.log_lambda)
+    return (m, i, d), 0
+
+
+SPEC = KernelSpec(
+    name="viterbi",
+    kernel_id=10,
+    alphabet=DNA_WITH_GAP,
+    score_type=SCORE_T,
+    n_layers=3,
+    objective=Objective.MAXIMIZE,
+    pe_func=pe_func,
+    init_row=viterbi_init_row,
+    init_col=viterbi_init_col,
+    default_params=ScoringParams(),
+    start_rule=StartRule.BOTTOM_RIGHT,
+    traceback=None,
+    tb_transition=None,
+    tb_ptr_bits=2,
+    tb_states=(),
+    description="Viterbi Algorithm (PairHMM)",
+    applications=("Remote Homology Search", "Gene Prediction"),
+    reference_tools=("HMMER", "AUGUSTUS"),
+    modifications="Scoring (no Traceback)",
+)

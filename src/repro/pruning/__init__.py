@@ -1,0 +1,12 @@
+"""Search-space pruning heuristics beyond fixed banding (Section 2.2.4).
+
+Fixed banding is a compile-time property of a kernel (``KernelSpec.banding``);
+*adaptive* pruning like X-Drop [Zhang et al. 2000], used by Darwin-WGA's
+BSW accelerator, decides cell liveness from scores at runtime.
+:mod:`repro.pruning.xdrop` implements X-Drop extension alignment as a
+host-visible algorithm over the same scoring models.
+"""
+
+from repro.pruning.xdrop import XDropResult, xdrop_extend
+
+__all__ = ["XDropResult", "xdrop_extend"]

@@ -1,0 +1,20 @@
+"""Reference implementations used as correctness oracles.
+
+Two independent layers of verification back every kernel:
+
+* :mod:`repro.reference.dp_oracle` — a plain row-major evaluation of the
+  *same* :class:`~repro.core.spec.KernelSpec`.  Any disagreement with the
+  systolic engine isolates a dataflow/scheduling bug in the back-end.
+* :mod:`repro.reference.classic` — textbook implementations of the
+  underlying algorithms (Needleman-Wunsch, Gotoh, Smith-Waterman, DTW,
+  Viterbi, ...) written without the framework.  Any disagreement with the
+  oracle isolates a semantic bug in a kernel's ``PE_func``.
+
+:mod:`repro.reference.rescore` closes the loop on tracebacks: replaying a
+reported alignment through the scoring model must reproduce the reported
+optimal score.
+"""
+
+from repro.reference.dp_oracle import oracle_align
+
+__all__ = ["oracle_align"]

@@ -1,0 +1,380 @@
+"""Textbook DP implementations, written independently of the framework.
+
+Each function computes the optimal score of one algorithm with plain
+numpy arrays and row sweeps — no KernelSpec, no PE function, no systolic
+anything.  Tests compare these against the framework kernels to catch
+semantic errors that a shared implementation could mask.
+
+Conventions (deliberately identical to the kernels so scores are
+comparable): the query runs along rows, the reference along columns, and
+an affine gap of length L costs ``open + L * extend`` (both negative).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+NEG = -1e15
+
+
+def _sub_matrix(query, reference, match: float, mismatch: float) -> np.ndarray:
+    q = np.asarray(query)[:, None]
+    r = np.asarray(reference)[None, :]
+    return np.where(q == r, float(match), float(mismatch))
+
+
+def nw_linear(query, reference, match=2, mismatch=-2, gap=-3) -> float:
+    """Needleman-Wunsch global score with a linear gap penalty."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    prev = gap * np.arange(m + 1, dtype=float)
+    for i in range(1, n + 1):
+        curr = np.empty(m + 1)
+        curr[0] = gap * i
+        for j in range(1, m + 1):
+            curr[j] = max(
+                prev[j - 1] + sub[i - 1, j - 1], prev[j] + gap, curr[j - 1] + gap
+            )
+        prev = curr
+    return float(prev[m])
+
+
+def sw_linear(query, reference, match=2, mismatch=-2, gap=-3) -> float:
+    """Smith-Waterman local score with a linear gap penalty."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    prev = np.zeros(m + 1)
+    best = 0.0
+    for i in range(1, n + 1):
+        curr = np.zeros(m + 1)
+        for j in range(1, m + 1):
+            curr[j] = max(
+                0.0,
+                prev[j - 1] + sub[i - 1, j - 1],
+                prev[j] + gap,
+                curr[j - 1] + gap,
+            )
+        best = max(best, curr.max())
+        prev = curr
+    return float(best)
+
+
+def gotoh_global(query, reference, match=2, mismatch=-4,
+                 gap_open=-4, gap_extend=-2) -> float:
+    """Gotoh global score with an affine gap penalty."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    oc = gap_open + gap_extend
+    h_prev = gap_open + gap_extend * np.arange(m + 1, dtype=float)
+    h_prev[0] = 0.0
+    d_prev = np.full(m + 1, NEG)
+    for i in range(1, n + 1):
+        h = np.empty(m + 1)
+        d = np.empty(m + 1)
+        ins = NEG
+        h[0] = gap_open + gap_extend * i
+        d[0] = NEG
+        for j in range(1, m + 1):
+            ins = max(h[j - 1] + oc, ins + gap_extend)
+            d[j] = max(h_prev[j] + oc, d_prev[j] + gap_extend)
+            h[j] = max(h_prev[j - 1] + sub[i - 1, j - 1], ins, d[j])
+        h_prev, d_prev = h, d
+    return float(h_prev[m])
+
+
+def gotoh_local(query, reference, match=2, mismatch=-4,
+                gap_open=-4, gap_extend=-2) -> float:
+    """Smith-Waterman-Gotoh local score with an affine gap penalty."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    oc = gap_open + gap_extend
+    h_prev = np.zeros(m + 1)
+    d_prev = np.full(m + 1, NEG)
+    best = 0.0
+    for i in range(1, n + 1):
+        h = np.zeros(m + 1)
+        d = np.empty(m + 1)
+        d[0] = NEG
+        ins = NEG
+        for j in range(1, m + 1):
+            ins = max(h[j - 1] + oc, ins + gap_extend)
+            d[j] = max(h_prev[j] + oc, d_prev[j] + gap_extend)
+            h[j] = max(0.0, h_prev[j - 1] + sub[i - 1, j - 1], ins, d[j])
+        best = max(best, h.max())
+        h_prev, d_prev = h, d
+    return float(best)
+
+
+def two_piece_global(query, reference, match=2, mismatch=-4,
+                     gap_open1=-4, gap_extend1=-2,
+                     gap_open2=-24, gap_extend2=-1) -> float:
+    """Minimap2-style two-piece affine global score."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    oc1 = gap_open1 + gap_extend1
+    oc2 = gap_open2 + gap_extend2
+    ks = np.arange(m + 1, dtype=float)
+    h_prev = np.maximum(gap_open1 + gap_extend1 * ks, gap_open2 + gap_extend2 * ks)
+    h_prev[0] = 0.0
+    d1_prev = np.full(m + 1, NEG)
+    d2_prev = np.full(m + 1, NEG)
+    for i in range(1, n + 1):
+        h = np.empty(m + 1)
+        d1 = np.empty(m + 1)
+        d2 = np.empty(m + 1)
+        h[0] = max(gap_open1 + gap_extend1 * i, gap_open2 + gap_extend2 * i)
+        d1[0] = d2[0] = NEG
+        i1 = i2 = NEG
+        for j in range(1, m + 1):
+            i1 = max(h[j - 1] + oc1, i1 + gap_extend1)
+            i2 = max(h[j - 1] + oc2, i2 + gap_extend2)
+            d1[j] = max(h_prev[j] + oc1, d1_prev[j] + gap_extend1)
+            d2[j] = max(h_prev[j] + oc2, d2_prev[j] + gap_extend2)
+            h[j] = max(h_prev[j - 1] + sub[i - 1, j - 1], i1, d1[j], i2, d2[j])
+        h_prev, d1_prev, d2_prev = h, d1, d2
+    return float(h_prev[m])
+
+
+def overlap_score(query, reference, match=2, mismatch=-3, gap=-2) -> float:
+    """Overlap alignment: free leading ends, best cell on last row/column."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    prev = np.zeros(m + 1)
+    best = NEG
+    for i in range(1, n + 1):
+        curr = np.zeros(m + 1)
+        for j in range(1, m + 1):
+            curr[j] = max(
+                prev[j - 1] + sub[i - 1, j - 1], prev[j] + gap, curr[j - 1] + gap
+            )
+        best = max(best, curr[m])
+        prev = curr
+    best = max(best, prev[1:].max() if m >= 1 else NEG)
+    return float(best)
+
+
+def semiglobal_score(query, reference, match=2, mismatch=-2, gap=-3) -> float:
+    """Semi-global: query end-to-end, free reference ends (last-row max)."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    prev = np.zeros(m + 1)
+    for i in range(1, n + 1):
+        curr = np.empty(m + 1)
+        curr[0] = gap * i
+        for j in range(1, m + 1):
+            curr[j] = max(
+                prev[j - 1] + sub[i - 1, j - 1], prev[j] + gap, curr[j - 1] + gap
+            )
+        prev = curr
+    return float(prev.max())
+
+
+def dtw_distance(query: Sequence[Tuple[float, float]],
+                 reference: Sequence[Tuple[float, float]]) -> float:
+    """Global DTW distance over complex samples (squared Euclidean cost)."""
+    n, m = len(query), len(reference)
+    q = np.asarray(query, dtype=float)
+    r = np.asarray(reference, dtype=float)
+    cost = (
+        (q[:, None, 0] - r[None, :, 0]) ** 2
+        + (q[:, None, 1] - r[None, :, 1]) ** 2
+    )
+    big = 1e15
+    prev = np.full(m + 1, big)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        curr = np.full(m + 1, big)
+        for j in range(1, m + 1):
+            curr[j] = cost[i - 1, j - 1] + min(
+                prev[j - 1], prev[j], curr[j - 1]
+            )
+        prev = curr
+        prev[0] = big
+    return float(prev[m])
+
+
+def sdtw_distance(query: Sequence[int], reference: Sequence[int]) -> float:
+    """Semi-global DTW: free start anywhere on the reference, last-row min."""
+    n, m = len(query), len(reference)
+    big = 1e15
+    prev = np.zeros(m + 1)
+    for i in range(1, n + 1):
+        curr = np.empty(m + 1)
+        curr[0] = big
+        for j in range(1, m + 1):
+            curr[j] = abs(query[i - 1] - reference[j - 1]) + min(
+                prev[j - 1], prev[j], curr[j - 1]
+            )
+        prev = curr
+    return float(prev[1:].min())
+
+
+def viterbi_loglik(query, reference, log_mu: float, log_lambda: float,
+                   emission) -> float:
+    """Pair-HMM Viterbi log-likelihood (M state at the bottom-right).
+
+    Matches the kernel's simplified transition structure: entering I/D
+    costs ``log_mu``, staying costs ``log_lambda``, returning to M is free.
+    """
+    n, m = len(query), len(reference)
+    em = np.asarray(emission, dtype=float)
+    M = np.full((n + 1, m + 1), NEG)
+    I = np.full((n + 1, m + 1), NEG)
+    D = np.full((n + 1, m + 1), NEG)
+    M[0, 0] = 0.0
+    for j in range(1, m + 1):
+        I[0, j] = log_mu + log_lambda * (j - 1)
+    for i in range(1, n + 1):
+        D[i, 0] = log_mu + log_lambda * (i - 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            M[i, j] = em[query[i - 1], reference[j - 1]] + max(
+                M[i - 1, j - 1], I[i - 1, j - 1], D[i - 1, j - 1]
+            )
+            I[i, j] = max(M[i, j - 1] + log_mu, I[i, j - 1] + log_lambda)
+            D[i, j] = max(M[i - 1, j] + log_mu, D[i - 1, j] + log_lambda)
+    return float(M[n, m])
+
+
+def profile_global(query_profile, ref_profile, sop, gap=-3.0) -> float:
+    """Global profile-to-profile alignment with Sum-of-Pairs scoring."""
+    s = np.asarray(sop, dtype=float)
+    q = np.asarray(query_profile, dtype=float)
+    r = np.asarray(ref_profile, dtype=float)
+    sub = q @ s @ r.T
+    n, m = len(q), len(r)
+    prev = gap * np.arange(m + 1, dtype=float)
+    for i in range(1, n + 1):
+        curr = np.empty(m + 1)
+        curr[0] = gap * i
+        for j in range(1, m + 1):
+            curr[j] = max(
+                prev[j - 1] + sub[i - 1, j - 1], prev[j] + gap, curr[j - 1] + gap
+            )
+        prev = curr
+    return float(prev[m])
+
+
+def matrix_local(query, reference, matrix, gap=-5) -> float:
+    """Local alignment with an arbitrary substitution matrix (kernel #15)."""
+    s = np.asarray(matrix, dtype=float)
+    n, m = len(query), len(reference)
+    prev = np.zeros(m + 1)
+    best = 0.0
+    for i in range(1, n + 1):
+        curr = np.zeros(m + 1)
+        for j in range(1, m + 1):
+            curr[j] = max(
+                0.0,
+                prev[j - 1] + s[query[i - 1], reference[j - 1]],
+                prev[j] + gap,
+                curr[j - 1] + gap,
+            )
+        best = max(best, curr.max())
+        prev = curr
+    return float(best)
+
+
+def banded_nw_linear(query, reference, band: int,
+                     match=2, mismatch=-2, gap=-3) -> float:
+    """Needleman-Wunsch restricted to |i - j| <= band."""
+    if abs(len(query) - len(reference)) > band:
+        raise ValueError("banded global alignment needs |Q - R| <= band")
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    prev = np.full(m + 1, NEG)
+    limit = min(m, band)
+    prev[: limit + 1] = gap * np.arange(limit + 1, dtype=float)
+    for i in range(1, n + 1):
+        curr = np.full(m + 1, NEG)
+        if i <= band:
+            curr[0] = gap * i
+        lo, hi = max(1, i - band), min(m, i + band)
+        for j in range(lo, hi + 1):
+            curr[j] = max(
+                prev[j - 1] + sub[i - 1, j - 1],
+                prev[j] + gap,
+                curr[j - 1] + gap,
+            )
+        prev = curr
+    return float(prev[m])
+
+
+def banded_gotoh_local(query, reference, band: int, match=2, mismatch=-4,
+                       gap_open=-4, gap_extend=-2) -> float:
+    """Banded Smith-Waterman-Gotoh local score (kernel #12)."""
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    oc = gap_open + gap_extend
+    h_prev = np.zeros(m + 1)
+    d_prev = np.full(m + 1, NEG)
+    best = 0.0
+    for i in range(1, n + 1):
+        h = np.full(m + 1, NEG)
+        d = np.full(m + 1, NEG)
+        if i <= band:
+            h[0] = 0.0
+        ins = NEG
+        lo, hi = max(1, i - band), min(m, i + band)
+        for j in range(lo, hi + 1):
+            h_left = h[j - 1] if abs(i - (j - 1)) <= band else NEG
+            h_up = h_prev[j] if abs((i - 1) - j) <= band else NEG
+            h_diag = h_prev[j - 1] if abs((i - 1) - (j - 1)) <= band else NEG
+            d_up = d_prev[j] if abs((i - 1) - j) <= band else NEG
+            ins = max(h_left + oc, ins + gap_extend) if j > lo else max(
+                h_left + oc, NEG
+            )
+            d[j] = max(h_up + oc, d_up + gap_extend)
+            h[j] = max(0.0, h_diag + sub[i - 1, j - 1], ins, d[j])
+            best = max(best, h[j])
+        h_prev, d_prev = h, d
+    return float(best)
+
+
+def banded_two_piece_global(query, reference, band: int, **kwargs) -> float:
+    """Banded two-piece global score via masking (kernel #13).
+
+    Reuses the dense two-piece recurrence with explicit band masks —
+    intentionally a different construction than the banded engine.
+    """
+    match = kwargs.get("match", 2)
+    mismatch = kwargs.get("mismatch", -4)
+    o1 = kwargs.get("gap_open1", -4)
+    e1 = kwargs.get("gap_extend1", -2)
+    o2 = kwargs.get("gap_open2", -24)
+    e2 = kwargs.get("gap_extend2", -1)
+    if abs(len(query) - len(reference)) > band:
+        raise ValueError("banded global alignment needs |Q - R| <= band")
+    sub = _sub_matrix(query, reference, match, mismatch)
+    n, m = len(query), len(reference)
+    oc1, oc2 = o1 + e1, o2 + e2
+
+    def in_band(i: int, j: int) -> bool:
+        return abs(i - j) <= band
+
+    ks = np.arange(m + 1, dtype=float)
+    h_prev = np.maximum(o1 + e1 * ks, o2 + e2 * ks)
+    h_prev[0] = 0.0
+    h_prev[band + 1:] = NEG
+    d1_prev = np.full(m + 1, NEG)
+    d2_prev = np.full(m + 1, NEG)
+    for i in range(1, n + 1):
+        h = np.full(m + 1, NEG)
+        d1 = np.full(m + 1, NEG)
+        d2 = np.full(m + 1, NEG)
+        if i <= band:
+            h[0] = max(o1 + e1 * i, o2 + e2 * i)
+        i1 = i2 = NEG
+        for j in range(max(1, i - band), min(m, i + band) + 1):
+            h_left = h[j - 1] if in_band(i, j - 1) else NEG
+            i1 = max(h_left + oc1, (i1 if in_band(i, j - 1) else NEG) + e1)
+            i2 = max(h_left + oc2, (i2 if in_band(i, j - 1) else NEG) + e2)
+            h_up = h_prev[j] if in_band(i - 1, j) else NEG
+            d1[j] = max(h_up + oc1, (d1_prev[j] if in_band(i - 1, j) else NEG) + e1)
+            d2[j] = max(h_up + oc2, (d2_prev[j] if in_band(i - 1, j) else NEG) + e2)
+            h_diag = h_prev[j - 1] if in_band(i - 1, j - 1) else NEG
+            h[j] = max(h_diag + sub[i - 1, j - 1], i1, d1[j], i2, d2[j])
+        h_prev, d1_prev, d2_prev = h, d1, d2
+    return float(h_prev[m])

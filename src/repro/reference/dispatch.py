@@ -1,0 +1,75 @@
+"""One entry point mapping every kernel to its textbook score.
+
+``classic_score(kernel_id, query, reference)`` evaluates the independent
+implementation from :mod:`repro.reference.classic` with the kernel's
+default parameters — the function the bulk verification campaign and the
+cross-implementation tests share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.kernels import get_kernel
+from repro.reference import classic
+
+
+def classic_score(
+    kernel_id: int, query: Sequence[Any], reference: Sequence[Any]
+) -> float:
+    """Textbook score of one pair under a kernel's default parameters."""
+    spec = get_kernel(kernel_id)
+    p = spec.default_params
+    if kernel_id == 1:
+        return classic.nw_linear(query, reference, p.match, p.mismatch,
+                                 p.linear_gap)
+    if kernel_id == 2:
+        return classic.gotoh_global(query, reference, p.match, p.mismatch,
+                                    p.gap_open, p.gap_extend)
+    if kernel_id == 3:
+        return classic.sw_linear(query, reference, p.match, p.mismatch,
+                                 p.linear_gap)
+    if kernel_id == 4:
+        return classic.gotoh_local(query, reference, p.match, p.mismatch,
+                                   p.gap_open, p.gap_extend)
+    if kernel_id == 5:
+        return classic.two_piece_global(
+            query, reference, p.match, p.mismatch,
+            p.gap_open1, p.gap_extend1, p.gap_open2, p.gap_extend2,
+        )
+    if kernel_id == 6:
+        return classic.overlap_score(query, reference, p.match, p.mismatch,
+                                     p.linear_gap)
+    if kernel_id == 7:
+        return classic.semiglobal_score(query, reference, p.match,
+                                        p.mismatch, p.linear_gap)
+    if kernel_id == 8:
+        return classic.profile_global(query, reference, p.sop, p.linear_gap)
+    if kernel_id == 9:
+        return classic.dtw_distance(query, reference)
+    if kernel_id == 10:
+        return classic.viterbi_loglik(query, reference, p.log_mu,
+                                      p.log_lambda, p.emission)
+    if kernel_id == 11:
+        return classic.banded_nw_linear(
+            query, reference, band=spec.banding,
+            match=p.match, mismatch=p.mismatch, gap=p.linear_gap,
+        )
+    if kernel_id == 12:
+        return classic.banded_gotoh_local(
+            query, reference, band=spec.banding,
+            match=p.match, mismatch=p.mismatch,
+            gap_open=p.gap_open, gap_extend=p.gap_extend,
+        )
+    if kernel_id == 13:
+        return classic.banded_two_piece_global(
+            query, reference, band=spec.banding,
+            match=p.match, mismatch=p.mismatch,
+            gap_open1=p.gap_open1, gap_extend1=p.gap_extend1,
+            gap_open2=p.gap_open2, gap_extend2=p.gap_extend2,
+        )
+    if kernel_id == 14:
+        return classic.sdtw_distance(query, reference)
+    if kernel_id == 15:
+        return classic.matrix_local(query, reference, p.matrix, p.linear_gap)
+    raise KeyError(f"no classic reference for kernel #{kernel_id}")

@@ -1,0 +1,115 @@
+"""Spec-driven row-major DP oracle.
+
+Computes the identical recurrence as :func:`repro.systolic.align`, but in
+the obvious row-by-row order with a dense pointer matrix — no chunks, no
+wavefronts, no PE registers.  Systolic output must match this oracle
+cell-for-cell; the pair of implementations cross-checks the back-end's
+dataflow against the kernel's mathematical definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import AlignmentResult
+from repro.core.spec import KernelSpec, PEInput, StartRule, band_contains
+from repro.systolic.traceback import walk_traceback
+
+
+class _MatrixPointerStore:
+    """Adapter exposing a dense pointer matrix via the memory-read API."""
+
+    def __init__(self, ptrs: np.ndarray):
+        self._ptrs = ptrs
+
+    def read(self, i: int, j: int) -> int:
+        return int(self._ptrs[i, j])
+
+
+def oracle_align(
+    spec: KernelSpec,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    params: Any = None,
+    collect_matrix: bool = False,
+) -> AlignmentResult:
+    """Row-major evaluation of ``spec`` over one sequence pair."""
+    n_rows, n_cols = len(query), len(reference)
+    if n_rows < 1 or n_cols < 1:
+        raise ValueError("query and reference must be non-empty")
+    if params is None:
+        params = spec.default_params
+    n_layers = spec.n_layers
+    sentinel = spec.sentinel()
+    banding = spec.banding
+    quantize = spec.score_type.quantize
+
+    scores = np.full((n_layers, n_rows + 1, n_cols + 1), sentinel)
+    scores[:, 0, :] = spec.init_row_scores(params, n_cols + 1).T
+    scores[:, :, 0] = spec.init_col_scores(params, n_rows + 1).T
+    ptrs = np.zeros((n_rows + 1, n_cols + 1), dtype=np.int64)
+
+    cell = PEInput(
+        up=(), diag=(), left=(), qry=None, ref=None, params=params
+    )
+    best: Optional[Tuple[float, int, int]] = None
+
+    def eligible(i: int, j: int) -> bool:
+        rule = spec.start_rule
+        if rule is StartRule.GLOBAL_MAX:
+            return True
+        if rule is StartRule.BOTTOM_RIGHT:
+            return i == n_rows and j == n_cols
+        if rule is StartRule.LAST_ROW_MAX:
+            return i == n_rows
+        return i == n_rows or j == n_cols
+
+    def neighbour(i: int, j: int) -> Tuple[float, ...]:
+        if banding is not None and not band_contains(banding, i, j):
+            return (sentinel,) * n_layers
+        return tuple(scores[layer, i, j] for layer in range(n_layers))
+
+    for i in range(1, n_rows + 1):
+        for j in range(1, n_cols + 1):
+            if not band_contains(banding, i, j):
+                continue
+            cell.up = neighbour(i - 1, j)
+            cell.diag = neighbour(i - 1, j - 1)
+            cell.left = neighbour(i, j - 1)
+            cell.qry = query[i - 1]
+            cell.ref = reference[j - 1]
+            out, ptr = spec.pe_func(cell)
+            out = tuple(quantize(s) for s in out)
+            for layer in range(n_layers):
+                scores[layer, i, j] = out[layer]
+            ptrs[i, j] = ptr
+            if eligible(i, j):
+                value = out[spec.score_layer]
+                if best is None or spec.better(value, best[0]):
+                    best = (value, i, j)
+                # Row-major scan order already yields smallest-(i, j) ties.
+
+    if best is None:
+        raise ValueError(
+            f"{spec.name}: no cell satisfied start rule "
+            f"{spec.start_rule.value}"
+        )
+    score, si, sj = best
+    start = (si, sj)
+    alignment = None
+    if spec.has_traceback:
+        alignment = walk_traceback(spec, _MatrixPointerStore(ptrs), start)
+    if alignment is not None:
+        end = (alignment.query_start, alignment.ref_start)
+    else:
+        end = (0, 0)
+    return AlignmentResult(
+        score=score,
+        start=start,
+        end=end,
+        alignment=alignment,
+        cycles=None,
+        matrix=scores if collect_matrix else None,
+    )

@@ -1,0 +1,160 @@
+"""Alignment path re-scoring.
+
+Replaying an alignment through the scoring model and comparing with the
+reported optimum is the strongest cheap check on a traceback: a path with
+the optimal score *is* an optimal alignment.  One rescorer per gap-model
+family; all follow the kernels' convention that a gap of length L costs
+``open + L * extend`` (linear = extend-only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.result import Alignment, Move
+
+
+def _pairs(alignment: Alignment, query: Sequence[Any], reference: Sequence[Any]):
+    """Yield (move, query_symbol, ref_symbol) along the path."""
+    qi, rj = alignment.query_start, alignment.ref_start
+    for move in alignment.moves:
+        if move is Move.MATCH:
+            yield move, query[qi], reference[rj]
+            qi += 1
+            rj += 1
+        elif move is Move.DEL:
+            yield move, query[qi], None
+            qi += 1
+        elif move is Move.INS:
+            yield move, None, reference[rj]
+            rj += 1
+    if qi != alignment.query_end or rj != alignment.ref_end:
+        raise ValueError(
+            f"alignment path inconsistent with its endpoints: consumed "
+            f"({qi}, {rj}), declared ({alignment.query_end}, "
+            f"{alignment.ref_end})"
+        )
+
+
+def rescore_linear(
+    alignment: Alignment,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    match: float,
+    mismatch: float,
+    gap: float,
+) -> float:
+    """Score a path under the linear gap model."""
+    score = 0.0
+    for move, q, r in _pairs(alignment, query, reference):
+        if move is Move.MATCH:
+            score += match if q == r else mismatch
+        else:
+            score += gap
+    return score
+
+
+def rescore_matrix_linear(
+    alignment: Alignment,
+    query: Sequence[int],
+    reference: Sequence[int],
+    matrix,
+    gap: float,
+) -> float:
+    """Score a path under a substitution matrix + linear gaps (kernel #15)."""
+    score = 0.0
+    for move, q, r in _pairs(alignment, query, reference):
+        if move is Move.MATCH:
+            score += matrix[q][r]
+        else:
+            score += gap
+    return score
+
+
+def rescore_affine(
+    alignment: Alignment,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    match: float,
+    mismatch: float,
+    gap_open: float,
+    gap_extend: float,
+) -> float:
+    """Score a path under the affine model (open charged once per run)."""
+    score = 0.0
+    run: Move = Move.MATCH
+    for move, q, r in _pairs(alignment, query, reference):
+        if move is Move.MATCH:
+            score += match if q == r else mismatch
+        else:
+            if move is not run:
+                score += gap_open
+            score += gap_extend
+        run = move
+    return score
+
+
+def rescore_two_piece(
+    alignment: Alignment,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    match: float,
+    mismatch: float,
+    gap_open1: float,
+    gap_extend1: float,
+    gap_open2: float,
+    gap_extend2: float,
+) -> float:
+    """Score a path under the two-piece model (best piece per gap run)."""
+    score = 0.0
+    run_len = 0
+    run_move: Move = Move.MATCH
+
+    def close_run() -> float:
+        if run_len == 0:
+            return 0.0
+        return max(
+            gap_open1 + gap_extend1 * run_len,
+            gap_open2 + gap_extend2 * run_len,
+        )
+
+    for move, q, r in _pairs(alignment, query, reference):
+        if move is Move.MATCH:
+            score += close_run()
+            run_len = 0
+            score += match if q == r else mismatch
+        else:
+            if move is not run_move and run_len:
+                score += close_run()
+                run_len = 0
+            run_len += 1
+        run_move = move
+    score += close_run()
+    return score
+
+
+def rescore_dtw(
+    alignment: Alignment,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+) -> float:
+    """Accumulated squared-Euclidean cost along a DTW warping path.
+
+    Every step of a DTW path pays the cost of the cell it lands on, so
+    gaps contribute the distance between the still-current pair.
+    """
+    cost = 0.0
+    qi, rj = alignment.query_start, alignment.ref_start
+    for move in alignment.moves:
+        if move is Move.MATCH:
+            qi += 1
+            rj += 1
+        elif move is Move.DEL:
+            qi += 1
+        elif move is Move.INS:
+            rj += 1
+        else:
+            continue
+        q, r = query[qi - 1], reference[rj - 1]
+        cost += (q[0] - r[0]) ** 2 + (q[1] - r[1]) ** 2
+    return cost

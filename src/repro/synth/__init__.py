@@ -1,0 +1,35 @@
+"""Synthesis models — the stand-in for Vitis HLS synthesis + implementation.
+
+Given a :class:`~repro.core.spec.KernelSpec` and a
+:class:`~repro.synth.compiler.LaunchConfig`, :func:`synthesize` produces a
+:class:`~repro.synth.compiler.SynthesisReport` with the quantities the
+paper's Table 2 reports: LUT/FF/BRAM/DSP utilization, the initiation
+interval, the achievable clock frequency, per-alignment cycle counts and
+device throughput.
+
+All quantities derive from the kernel's *structure* (traced datapath,
+layer count, pointer width, banking geometry) through documented
+technology constants; a small calibration table pins the clock frequencies
+of the 15 paper kernels to their published timing closure (see
+:mod:`repro.synth.calibration`).
+"""
+
+from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
+from repro.synth.device import XCVU9P, FpgaDevice
+from repro.synth.resources import ResourceEstimate, estimate_resources
+from repro.synth.throughput import cycles_per_alignment, throughput_alignments_per_sec
+from repro.synth.timing import estimate_fmax_mhz, estimate_ii
+
+__all__ = [
+    "LaunchConfig",
+    "SynthesisReport",
+    "synthesize",
+    "FpgaDevice",
+    "XCVU9P",
+    "ResourceEstimate",
+    "estimate_resources",
+    "cycles_per_alignment",
+    "throughput_alignments_per_sec",
+    "estimate_fmax_mhz",
+    "estimate_ii",
+]

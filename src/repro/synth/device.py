@@ -1,0 +1,86 @@
+"""FPGA device model: the AWS EC2 F1 instance's XCVU9P.
+
+Utilization percentages in the paper are fractions of the total resources
+of the XCVU9P-FLGB2104-2-I; placement feasibility additionally accounts
+for the F1 shell (the fixed AWS interface logic) and a routing headroom
+factor, which is what caps N_B for DSP-hungry kernels (Section 7.2's
+DTW N_B <= 24 observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource inventory of one FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram36: int
+    dsps: int
+    #: fraction of resources usable by the customer design (shell + routing)
+    usable_fraction: float = 0.92
+
+    def usable(self, kind: str) -> float:
+        """Resources available to the design after shell/routing headroom.
+
+        LUTs route denser than the default headroom suggests (the paper's
+        kernel #1 at (64, 16, 4) packs ~92 % of the device's LUTs), so the
+        LUT budget uses a higher ceiling.
+        """
+        if kind == "lut":
+            return self.total(kind) * 0.98
+        return self.total(kind) * self.usable_fraction
+
+    def total(self, kind: str) -> int:
+        """Total on-die resources of ``kind`` (lut/ff/bram/dsp)."""
+        try:
+            return {
+                "lut": self.luts,
+                "ff": self.ffs,
+                "bram": self.bram36,
+                "dsp": self.dsps,
+            }[kind]
+        except KeyError:
+            raise ValueError(f"unknown resource kind {kind!r}") from None
+
+    def utilization_pct(self, kind: str, amount: float) -> float:
+        """``amount`` as a percentage of the device total (Table 2's unit)."""
+        return 100.0 * amount / self.total(kind)
+
+
+#: The AWS F1 FPGA (xcvu9p-flgb2104-2-i).
+XCVU9P = FpgaDevice(
+    name="xcvu9p-flgb2104-2-i",
+    luts=1_182_240,
+    ffs=2_364_480,
+    bram36=2_160,
+    dsps=6_840,
+)
+
+#: A mid-range datacenter card (Alveo U50's xcu50 part) — roughly 3/4 of
+#: the F1's logic with a leaner BRAM budget.  Used by the portability
+#: experiment to show the generator retargets.
+ALVEO_U50 = FpgaDevice(
+    name="xcu50-fsvh2104-2-e",
+    luts=872_000,
+    ffs=1_743_000,
+    bram36=1_344,
+    dsps=5_952,
+)
+
+#: An embedded-class part (ZCU104's Zynq UltraScale+ ZU7EV) — an order of
+#: magnitude smaller; kernels must shrink N_PE/N_B drastically to fit.
+ZU7EV = FpgaDevice(
+    name="xczu7ev-ffvc1156-2-e",
+    luts=230_400,
+    ffs=460_800,
+    bram36=312,
+    dsps=1_728,
+)
+
+#: The discrete clock targets DP-HLS designs close timing at (Table 2).
+FREQUENCY_GRID_MHZ = (250.0, 200.0, 166.7, 150.0, 125.0)

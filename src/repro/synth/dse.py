@@ -1,0 +1,88 @@
+"""Design-space exploration over (N_PE, N_B, N_K).
+
+Table 2's "Optimal (N_PE, N_B, N_K)" column is the outcome of exactly
+this search: sweep the parallelism knobs, discard configurations that do
+not place, and keep the highest-throughput point.  ``explore`` returns
+every feasible report; ``find_optimal_config`` the best one;
+``pareto_frontier`` the throughput-vs-LUT trade-off curve a deployer
+sharing the device with other logic would consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Sequence, Tuple
+
+from repro.core.spec import KernelSpec
+from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
+from repro.synth.device import XCVU9P, FpgaDevice
+
+DEFAULT_NPE = (8, 16, 32, 64)
+DEFAULT_NB = (1, 2, 4, 8, 16)
+DEFAULT_NK = (1, 2, 3, 4, 5, 6, 7)
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Outcome of one exploration."""
+
+    feasible: Tuple[SynthesisReport, ...]
+    explored: int
+
+    @property
+    def best(self) -> SynthesisReport:
+        """Highest-throughput feasible configuration."""
+        if not self.feasible:
+            raise ValueError("no feasible configuration found")
+        return max(self.feasible, key=lambda r: r.alignments_per_sec)
+
+
+def explore(
+    spec: KernelSpec,
+    n_pe_choices: Sequence[int] = DEFAULT_NPE,
+    n_b_choices: Sequence[int] = DEFAULT_NB,
+    n_k_choices: Sequence[int] = DEFAULT_NK,
+    max_query_len: int = 256,
+    max_ref_len: int = 256,
+    device: FpgaDevice = XCVU9P,
+) -> DseResult:
+    """Sweep the parallelism space, keeping feasible configurations."""
+    feasible: List[SynthesisReport] = []
+    explored = 0
+    for n_pe, n_b, n_k in product(n_pe_choices, n_b_choices, n_k_choices):
+        explored += 1
+        report = synthesize(
+            spec,
+            LaunchConfig(
+                n_pe=n_pe, n_b=n_b, n_k=n_k,
+                max_query_len=max_query_len, max_ref_len=max_ref_len,
+            ),
+            device=device,
+        )
+        if report.feasible:
+            feasible.append(report)
+    return DseResult(feasible=tuple(feasible), explored=explored)
+
+
+def find_optimal_config(spec: KernelSpec, **kwargs) -> SynthesisReport:
+    """The Table 2 procedure: best feasible throughput point."""
+    return explore(spec, **kwargs).best
+
+
+def pareto_frontier(result: DseResult) -> List[SynthesisReport]:
+    """Configurations not dominated in (throughput up, LUT down).
+
+    Sorted by ascending LUT usage; each successive point strictly
+    improves throughput.
+    """
+    by_lut = sorted(
+        result.feasible, key=lambda r: (r.total.luts, -r.alignments_per_sec)
+    )
+    frontier: List[SynthesisReport] = []
+    best_throughput = float("-inf")
+    for report in by_lut:
+        if report.alignments_per_sec > best_throughput:
+            frontier.append(report)
+            best_throughput = report.alignments_per_sec
+    return frontier

@@ -1,0 +1,79 @@
+"""Serialization of synthesis artifacts to plain dicts / JSON.
+
+Experiment harnesses and CI pipelines want machine-readable reports; this
+module flattens :class:`~repro.synth.compiler.SynthesisReport` and
+:class:`~repro.synth.linker.LinkedDesign` into JSON-safe dictionaries
+(and back to text via ``json.dumps``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.synth.compiler import SynthesisReport
+from repro.synth.linker import LinkedDesign
+from repro.synth.resources import ResourceEstimate
+
+
+def resources_to_dict(estimate: ResourceEstimate) -> Dict[str, Any]:
+    """Flatten a resource estimate."""
+    return {
+        "lut": estimate.luts,
+        "ff": estimate.ffs,
+        "bram36": estimate.bram36,
+        "dsp": estimate.dsps,
+        "n_pe": estimate.n_pe,
+    }
+
+
+def report_to_dict(report: SynthesisReport) -> Dict[str, Any]:
+    """Flatten one synthesis report (everything Table 2 needs)."""
+    config = report.config
+    return {
+        "kernel": report.kernel_name,
+        "kernel_id": report.kernel_id,
+        "device": report.device.name,
+        "config": {
+            "n_pe": config.n_pe,
+            "n_b": config.n_b,
+            "n_k": config.n_k,
+            "max_query_len": config.max_query_len,
+            "max_ref_len": config.max_ref_len,
+        },
+        "fmax_mhz": report.fmax_mhz,
+        "ii": report.ii,
+        "cycles_per_alignment": report.cycles,
+        "alignments_per_sec": report.alignments_per_sec,
+        "feasible": report.feasible,
+        "block": resources_to_dict(report.block),
+        "total": resources_to_dict(report.total),
+        "utilization_pct": {
+            kind: report.utilization_pct(kind)
+            for kind in ("lut", "ff", "bram", "dsp")
+        },
+    }
+
+
+def linked_design_to_dict(design: LinkedDesign) -> Dict[str, Any]:
+    """Flatten a linked multi-kernel design."""
+    return {
+        "device": design.device.name,
+        "clock_mhz": design.clock_mhz,
+        "feasible": design.feasible,
+        "total_alignments_per_sec": design.total_throughput(),
+        "channels": [
+            {
+                "kernel": channel.kernel.name,
+                "n_pe": channel.n_pe,
+                "n_b": channel.n_b,
+                "alignments_per_sec": design.channel_throughput(k),
+            }
+            for k, channel in enumerate(design.channels)
+        ],
+    }
+
+
+def report_to_json(report: SynthesisReport, indent: int = 2) -> str:
+    """JSON text of one synthesis report."""
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,123 @@
+"""Multi-kernel linking: heterogeneous N_K channels on one device.
+
+Section 4 (step 5) highlights that DP-HLS can link N_K *heterogeneous*
+kernels — e.g. a mix of global and local aligners — into one design, "a
+process that would be quite cumbersome with HDL"; Section 5.3 notes N_K
+is handled by the linker.  This module models that link step: each channel
+carries its own kernel and N_B/N_PE, the device hosts the union, and the
+whole design closes timing at the slowest kernel's clock (a single clock
+domain, as with v++ linked designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.spec import KernelSpec
+from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
+from repro.synth.device import XCVU9P, FpgaDevice
+from repro.synth.throughput import throughput_alignments_per_sec
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One device channel: a kernel plus its parallelism/sizing."""
+
+    kernel: KernelSpec
+    n_pe: int = 32
+    n_b: int = 1
+    max_query_len: int = 256
+    max_ref_len: int = 256
+
+
+@dataclass
+class LinkedDesign:
+    """A linked multi-kernel design (the output of the v++ link step)."""
+
+    channels: Tuple[ChannelSpec, ...]
+    reports: Tuple[SynthesisReport, ...]
+    device: FpgaDevice
+    clock_mhz: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the union of all channels fits the device."""
+        return not self.overflows()
+
+    def overflows(self) -> dict:
+        """Resource kinds exceeded by the combined design."""
+        totals = {"lut": 0.0, "ff": 0.0, "bram": 0.0, "dsp": 0.0}
+        for report in self.reports:
+            totals["lut"] += report.total.luts
+            totals["ff"] += report.total.ffs
+            totals["bram"] += report.total.bram36
+            totals["dsp"] += report.total.dsps
+        return {
+            kind: amount - self.device.usable(kind)
+            for kind, amount in totals.items()
+            if amount > self.device.usable(kind)
+        }
+
+    def channel_throughput(self, index: int) -> float:
+        """Alignments/second of one channel at the linked clock."""
+        report = self.reports[index]
+        return throughput_alignments_per_sec(
+            report.cycles, self.clock_mhz, self.channels[index].n_b
+        )
+
+    def total_throughput(self) -> float:
+        """Aggregate alignments/second across all channels."""
+        return sum(self.channel_throughput(k) for k in range(len(self.channels)))
+
+    def summary(self) -> str:
+        """A link-step report."""
+        lines = [
+            f"== DP-HLS linked design: {len(self.channels)} channels on "
+            f"{self.device.name} @ {self.clock_mhz:.1f} MHz ==",
+        ]
+        for k, (channel, _report) in enumerate(zip(self.channels, self.reports)):
+            lines.append(
+                f"  ch{k}: {channel.kernel.name:28s} N_PE={channel.n_pe:<3d} "
+                f"N_B={channel.n_b:<3d} -> {self.channel_throughput(k):.3e} aln/s"
+            )
+        lines.append(f"  total  : {self.total_throughput():.3e} aln/s")
+        lines.append(f"  feasible: {self.feasible}")
+        return "\n".join(lines)
+
+
+def link(
+    channels: Sequence[ChannelSpec],
+    device: FpgaDevice = XCVU9P,
+    target_mhz: float = 250.0,
+) -> LinkedDesign:
+    """Link heterogeneous channels into one design.
+
+    Every channel is synthesised independently (N_K = 1 each); the linked
+    clock is the minimum achievable Fmax across channels.
+    """
+    if not channels:
+        raise ValueError("a linked design needs at least one channel")
+    reports: List[SynthesisReport] = []
+    for channel in channels:
+        reports.append(
+            synthesize(
+                channel.kernel,
+                LaunchConfig(
+                    n_pe=channel.n_pe,
+                    n_b=channel.n_b,
+                    n_k=1,
+                    max_query_len=channel.max_query_len,
+                    max_ref_len=channel.max_ref_len,
+                    target_mhz=target_mhz,
+                ),
+                device=device,
+            )
+        )
+    clock = min(report.fmax_mhz for report in reports)
+    return LinkedDesign(
+        channels=tuple(channels),
+        reports=tuple(reports),
+        device=device,
+        clock_mhz=clock,
+    )

@@ -1,0 +1,91 @@
+"""Wavefront schedule geometry of the chunked linear systolic array.
+
+The DP matrix has the query along rows (1..Q) and the reference along
+columns (1..R); row 0 and column 0 hold initialization scores.  Rows are
+split into chunks of ``n_pe`` consecutive rows; within a chunk, PE ``p``
+owns row ``chunk_base + p + 1`` and at wavefront ``w`` computes column
+``j = w - p + 1``.  With a fixed band of half-width ``B``, only wavefronts
+containing at least one in-band cell are issued (the band-tightened loop
+bounds of banded RTL designs such as BSW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.spec import band_contains
+
+
+@dataclass(frozen=True)
+class ChunkSchedule:
+    """One chunk's geometry.
+
+    ``base`` is the 0-based row offset (the chunk covers matrix rows
+    ``base+1 .. base+rows``); ``wavefronts`` lists, per issued wavefront,
+    its wavefront index ``w`` (which fixes every PE's column).
+    """
+
+    base: int
+    rows: int
+    wavefronts: Tuple[int, ...]
+
+
+def _wavefront_active(
+    w: int, base: int, rows: int, n_cols: int, banding: Optional[int]
+) -> bool:
+    """Whether wavefront ``w`` of a chunk touches any in-band cell."""
+    for p in range(rows):
+        j = w - p + 1
+        if not 1 <= j <= n_cols:
+            continue
+        i = base + p + 1
+        if band_contains(banding, i, j):
+            return True
+    return False
+
+
+def chunk_schedules(
+    n_rows: int, n_cols: int, n_pe: int, banding: Optional[int] = None
+) -> List[ChunkSchedule]:
+    """Build the full chunk/wavefront schedule for a Q x R matrix.
+
+    ``n_rows`` = query length Q, ``n_cols`` = reference length R.
+    """
+    if n_rows < 1 or n_cols < 1:
+        raise ValueError(f"matrix must be at least 1x1, got {n_rows}x{n_cols}")
+    if n_pe < 1:
+        raise ValueError(f"n_pe must be >= 1, got {n_pe}")
+    chunks: List[ChunkSchedule] = []
+    for base in range(0, n_rows, n_pe):
+        rows = min(n_pe, n_rows - base)
+        total = n_cols + rows - 1
+        if banding is None:
+            wavefronts = tuple(range(total))
+        else:
+            wavefronts = tuple(
+                w
+                for w in range(total)
+                if _wavefront_active(w, base, rows, n_cols, banding)
+            )
+        chunks.append(ChunkSchedule(base=base, rows=rows, wavefronts=wavefronts))
+    return chunks
+
+
+def count_cycles(
+    n_rows: int,
+    n_cols: int,
+    n_pe: int,
+    ii: int = 1,
+    banding: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Closed-form (compute_cycles, load_cycles) of the wavefront pipeline.
+
+    ``compute`` is issued wavefronts × II; ``load`` is one cycle per query
+    symbol (each chunk serially loads its rows' symbols into the PEs,
+    which DP-HLS does not overlap with computation — Section 7.3).
+    """
+    chunks = chunk_schedules(n_rows, n_cols, n_pe, banding)
+    compute = sum(len(c.wavefronts) for c in chunks) * ii
+    load = sum(c.rows for c in chunks)
+    return compute, load

@@ -1,0 +1,98 @@
+"""Banked traceback-pointer memory with coalesced addressing (Section 5.2).
+
+Each PE owns a dedicated memory bank so all ``N_PE`` pointers of a wavefront
+can be written in the same cycle.  Addresses are *coalesced*: every PE active
+in a given wavefront writes to the same address, and consecutive wavefronts
+map to consecutive addresses, which is what gives the real design its regular
+BRAM access pattern.
+
+For matrix cell (i, j) with i, j >= 1:
+
+* bank     = (i - 1) mod N_PE
+* chunk    = (i - 1) // N_PE
+* address  = chunk * (R + N_PE - 1) + (j - 1) + bank
+
+so that during wavefront ``w`` of chunk ``c`` every PE writes address
+``c * (R + N_PE - 1) + w``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class TracebackMemory:
+    """Per-PE banked pointer storage sized for the configured maximums."""
+
+    def __init__(
+        self,
+        n_pe: int,
+        max_query_len: int,
+        max_ref_len: int,
+        ptr_bits: int,
+    ) -> None:
+        if n_pe < 1:
+            raise ValueError(f"n_pe must be >= 1, got {n_pe}")
+        if max_query_len < 1 or max_ref_len < 1:
+            raise ValueError("maximum sequence lengths must be >= 1")
+        if ptr_bits < 2:
+            raise ValueError("traceback pointers need at least 2 bits")
+        self.n_pe = n_pe
+        self.max_query_len = max_query_len
+        self.max_ref_len = max_ref_len
+        self.ptr_bits = ptr_bits
+        n_chunks = -(-max_query_len // n_pe)  # ceil division
+        self.depth = n_chunks * (max_ref_len + n_pe - 1)
+        self._banks = np.zeros((n_pe, self.depth), dtype=np.int64)
+        self._ref_len = max_ref_len  # stride of the current alignment
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def begin_alignment(self, ref_len: int) -> None:
+        """Reset write accounting and fix the address stride for one run."""
+        if not 1 <= ref_len <= self.max_ref_len:
+            raise ValueError(
+                f"reference length {ref_len} exceeds configured maximum "
+                f"{self.max_ref_len}"
+            )
+        self._ref_len = ref_len
+        self.writes = 0
+
+    @property
+    def stride(self) -> int:
+        """Addresses per chunk for the current alignment."""
+        return self._ref_len + self.n_pe - 1
+
+    def address(self, i: int, j: int) -> Tuple[int, int]:
+        """Map matrix cell (i, j), both >= 1, to (bank, address)."""
+        if i < 1 or j < 1:
+            raise ValueError(f"cell ({i}, {j}) has no traceback pointer")
+        bank = (i - 1) % self.n_pe
+        chunk = (i - 1) // self.n_pe
+        return bank, chunk * self.stride + (j - 1) + bank
+
+    def write(self, bank: int, addr: int, ptr: int) -> None:
+        """Store one pointer (one PE, one cycle)."""
+        max_ptr = (1 << self.ptr_bits) - 1
+        if not 0 <= ptr <= max_ptr:
+            raise ValueError(
+                f"pointer {ptr} does not fit in {self.ptr_bits} bits"
+            )
+        self._banks[bank][addr] = ptr
+        self.writes += 1
+
+    def read(self, i: int, j: int) -> int:
+        """Fetch the pointer stored for matrix cell (i, j)."""
+        bank, addr = self.address(i, j)
+        return int(self._banks[bank][addr])
+
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Total pointer storage the design must provision."""
+        return self.n_pe * self.depth * self.ptr_bits
+
+    def bank_shape(self) -> Tuple[int, int]:
+        """(depth, width_bits) of one PE's bank."""
+        return self.depth, self.ptr_bits

@@ -1,0 +1,152 @@
+"""Traceback-start reduction and the FSM traceback walker (Section 5.2).
+
+``BestCellTracker`` models the per-PE local-optimum registers: each PE
+remembers the best score among the cells it computed that satisfy the
+kernel's start rule, and a log-depth reduction across PEs yields the global
+start cell.  Ties are broken toward the smallest (i, j), which the reference
+oracles replicate so systolic and oracle results are comparable cell-for-cell.
+
+``walk_traceback`` replays the kernel's traceback finite state machine over
+the banked pointer memory, applying the end rule (Section 2.2.3) and the
+matrix-boundary moves along row 0 / column 0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.result import Alignment, Move
+from repro.core.spec import EndRule, KernelSpec, StartRule
+from repro.systolic.tb_memory import TracebackMemory
+
+
+class TracebackError(RuntimeError):
+    """Raised when a kernel's traceback FSM misbehaves (loops or escapes)."""
+
+
+class BestCellTracker:
+    """Per-PE best-cell registers plus the cross-PE reduction."""
+
+    def __init__(self, spec: KernelSpec, n_pe: int, n_rows: int, n_cols: int):
+        self._spec = spec
+        self._rule = spec.start_rule
+        self._n_rows = n_rows
+        self._n_cols = n_cols
+        self.n_pe = n_pe
+        #: per-PE (score, i, j) or None
+        self._best: List[Optional[Tuple[float, int, int]]] = [None] * n_pe
+
+    def eligible(self, i: int, j: int) -> bool:
+        """Whether cell (i, j) can be a traceback start under the rule."""
+        if self._rule is StartRule.GLOBAL_MAX:
+            return True
+        if self._rule is StartRule.BOTTOM_RIGHT:
+            return i == self._n_rows and j == self._n_cols
+        if self._rule is StartRule.LAST_ROW_MAX:
+            return i == self._n_rows
+        return i == self._n_rows or j == self._n_cols  # LAST_ROW_OR_COL_MAX
+
+    def observe(self, pe: int, i: int, j: int, score: float) -> None:
+        """One PE sees one computed cell (called every active cycle)."""
+        if not self.eligible(i, j):
+            return
+        current = self._best[pe]
+        if current is None or self._spec.better(score, current[0]):
+            self._best[pe] = (score, i, j)
+            return
+        # Equal scores: keep the smallest (i, j) for deterministic ties.
+        if not self._spec.better(current[0], score):
+            if (i, j) < (current[1], current[2]):
+                self._best[pe] = (score, i, j)
+
+    def reduce(self) -> Tuple[float, int, int]:
+        """Cross-PE reduction to the global optimum start cell."""
+        winner: Optional[Tuple[float, int, int]] = None
+        for entry in self._best:
+            if entry is None:
+                continue
+            if winner is None or self._spec.better(entry[0], winner[0]):
+                winner = entry
+            elif not self._spec.better(winner[0], entry[0]):
+                if (entry[1], entry[2]) < (winner[1], winner[2]):
+                    winner = entry
+        if winner is None:
+            raise TracebackError(
+                f"{self._spec.name}: no cell satisfied start rule "
+                f"{self._rule.value}"
+            )
+        return winner
+
+    def reduction_cycles(self) -> int:
+        """Cycles of the log-depth maximum reduction (Section 5.2)."""
+        if self._rule is StartRule.BOTTOM_RIGHT:
+            return 0
+        return max(1, math.ceil(math.log2(max(2, self.n_pe)))) + 2
+
+
+def walk_traceback(
+    spec: KernelSpec,
+    memory: TracebackMemory,
+    start: Tuple[int, int],
+) -> Alignment:
+    """Replay the traceback FSM from ``start`` until the end rule fires."""
+    if spec.traceback is None or spec.tb_transition is None:
+        raise TracebackError(f"{spec.name} has no traceback stage")
+    end_rule = spec.traceback.end
+    state = spec.traceback.initial_state
+    i, j = start
+    moves: List[Move] = []
+    max_steps = i + j + 5
+    for _step in range(max_steps):
+        if _boundary_done(end_rule, i, j):
+            break
+        if i == 0:
+            # Row 0: only leftward (reference-consuming) moves remain.
+            moves.append(Move.INS)
+            j -= 1
+            continue
+        if j == 0:
+            moves.append(Move.DEL)
+            i -= 1
+            continue
+        ptr = memory.read(i, j)
+        move, state = spec.tb_transition(state, ptr)
+        if move is Move.END:
+            break
+        if move is Move.MATCH:
+            i -= 1
+            j -= 1
+        elif move is Move.DEL:
+            i -= 1
+        elif move is Move.INS:
+            j -= 1
+        else:  # pragma: no cover - defensive
+            raise TracebackError(f"{spec.name}: FSM produced {move!r}")
+        moves.append(move)
+    else:
+        raise TracebackError(
+            f"{spec.name}: traceback did not terminate within {max_steps} "
+            f"steps from cell {start} (end rule {end_rule.value})"
+        )
+    moves.reverse()
+    return Alignment(
+        moves=tuple(moves),
+        query_start=i,
+        query_end=start[0],
+        ref_start=j,
+        ref_end=start[1],
+    )
+
+
+def _boundary_done(end_rule: EndRule, i: int, j: int) -> bool:
+    if end_rule is EndRule.TOP_LEFT:
+        return i == 0 and j == 0
+    if end_rule is EndRule.TOP_ROW:
+        return i == 0
+    if end_rule is EndRule.TOP_ROW_OR_LEFT_COL:
+        return i == 0 or j == 0
+    # SENTINEL endings normally stop via a TB_END pointer, but a path that
+    # reaches row 0 / column 0 has arrived at a zero-score init cell and
+    # must terminate there as well.
+    return i == 0 or j == 0

@@ -1,0 +1,11 @@
+"""Host-side tiling for long alignments (Section 4, step 1.4 and §7.3).
+
+The device kernels are synthesised for fixed maximum sequence lengths;
+longer reads are handled by the GACT tiling heuristic [Darwin, Turakhia et
+al.]: align a tile globally, commit the traceback path up to an overlap
+margin from the tile edge, then slide the tile along the committed path.
+"""
+
+from repro.tiling.gact import TiledAlignment, tiled_align
+
+__all__ = ["TiledAlignment", "tiled_align"]

@@ -1,0 +1,123 @@
+"""Kernel verification harness — the paper's C-simulation step as an API.
+
+``verify_kernel`` runs a kernel over a workload of realistic input pairs
+at several PE counts and checks, for every run:
+
+1. systolic output == row-major oracle (score, start cell, moves),
+2. recovered tracebacks terminate and stay inside the matrix (the walker
+   enforces this; failures surface as exceptions),
+3. the engine's cycle total equals the closed-form model.
+
+A :class:`VerificationReport` summarises pass/fail per check so front-end
+authors can validate a new kernel with one call (see
+``examples/custom_kernel.py`` for the workflow it supports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.spec import KernelSpec
+from repro.reference.dp_oracle import oracle_align
+from repro.synth.throughput import cycles_per_alignment
+from repro.systolic.engine import align
+
+
+@dataclass
+class VerificationFailure:
+    """One mismatch found during verification."""
+
+    check: str
+    n_pe: int
+    pair_index: int
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one kernel over a workload."""
+
+    kernel_name: str
+    pairs_checked: int
+    runs: int
+    failures: List[VerificationFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every run matched the oracle and the cycle model."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """Human-readable verification summary."""
+        status = "PASS" if self.passed else f"FAIL ({len(self.failures)})"
+        lines = [
+            f"verification of {self.kernel_name}: {status} "
+            f"({self.pairs_checked} pairs x {self.runs // max(1, self.pairs_checked)} "
+            f"configurations)"
+        ]
+        for failure in self.failures[:10]:
+            lines.append(
+                f"  [{failure.check}] n_pe={failure.n_pe} "
+                f"pair={failure.pair_index}: {failure.detail}"
+            )
+        return "\n".join(lines)
+
+
+def verify_kernel(
+    spec: KernelSpec,
+    pairs: Sequence[Tuple[Any, Any]],
+    n_pe_values: Sequence[int] = (1, 4, 8),
+) -> VerificationReport:
+    """Verify a kernel against the oracle and cycle model on ``pairs``."""
+    if not pairs:
+        raise ValueError("verification needs at least one sequence pair")
+    report = VerificationReport(
+        kernel_name=spec.name, pairs_checked=len(pairs), runs=0
+    )
+    for index, (query, reference) in enumerate(pairs):
+        expected = oracle_align(spec, query, reference)
+        for n_pe in n_pe_values:
+            report.runs += 1
+            actual = align(spec, query, reference, n_pe=n_pe)
+            if not np.isclose(actual.score, expected.score):
+                report.failures.append(
+                    VerificationFailure(
+                        "score", n_pe, index,
+                        f"systolic {actual.score} != oracle {expected.score}",
+                    )
+                )
+                continue
+            if actual.start != expected.start:
+                report.failures.append(
+                    VerificationFailure(
+                        "start_cell", n_pe, index,
+                        f"systolic {actual.start} != oracle {expected.start}",
+                    )
+                )
+            if spec.has_traceback:
+                ours = actual.alignment.moves if actual.alignment else None
+                theirs = expected.alignment.moves if expected.alignment else None
+                if ours != theirs:
+                    report.failures.append(
+                        VerificationFailure(
+                            "traceback", n_pe, index,
+                            "recovered move sequences differ",
+                        )
+                    )
+            tb_len = (
+                actual.alignment.aligned_length if actual.alignment else 0
+            )
+            predicted = cycles_per_alignment(
+                spec, n_pe, len(query), len(reference), ii=1, tb_path_len=tb_len
+            )
+            if actual.cycles.total != predicted:
+                report.failures.append(
+                    VerificationFailure(
+                        "cycles", n_pe, index,
+                        f"engine {actual.cycles.total} != model {predicted}",
+                    )
+                )
+    return report

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import encode_dna
+
+
+def random_dna(length: int, seed: int):
+    """Deterministic random DNA as 2-bit codes."""
+    rng = np.random.RandomState(seed)
+    return tuple(int(b) for b in rng.randint(0, 4, size=length))
+
+
+def mutated_copy(sequence, seed: int, error_rate: float = 0.2):
+    """A noisy copy (substitutions/indels) of a DNA sequence."""
+    rng = np.random.RandomState(seed)
+    out = []
+    for base in sequence:
+        roll = rng.rand()
+        if roll < error_rate / 3:
+            continue  # deletion
+        if roll < 2 * error_rate / 3:
+            out.append(int(rng.randint(0, 4)))  # insertion
+        if roll < error_rate:
+            out.append(int((base + 1 + rng.randint(0, 3)) % 4))
+        else:
+            out.append(int(base))
+    if not out:
+        out.append(0)
+    return tuple(out)
+
+
+@pytest.fixture
+def dna_pair():
+    """A fixed, related (query, reference) pair of moderate size."""
+    reference = random_dna(48, seed=11)
+    query = mutated_copy(reference, seed=12)
+    return query, reference
+
+
+@pytest.fixture
+def short_dna_pair():
+    """A tiny handmade pair with a known best alignment."""
+    return encode_dna("ACGTACGGTACGT"), encode_dna("ACGTTACGGTCGT")

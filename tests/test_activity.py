@@ -1,0 +1,70 @@
+"""Tests for the PE activity / occupancy analyzer."""
+
+import pytest
+
+from repro.systolic.activity import analyze_activity, render_occupancy
+from repro.systolic.schedule import count_cycles
+
+
+class TestAnalyze:
+    def test_cell_count_exact(self):
+        report = analyze_activity(12, 20, 4)
+        assert report.cell_evaluations == 12 * 20
+
+    def test_slots_match_schedule(self):
+        report = analyze_activity(12, 20, 4)
+        compute, _ = count_cycles(12, 20, 4)
+        assert report.issue_slots == compute
+
+    def test_utilization_bounds(self):
+        report = analyze_activity(16, 16, 4)
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_single_pe_fully_utilised(self):
+        report = analyze_activity(10, 10, 1)
+        assert report.utilization == 1.0
+        assert report.idle_slots == 0
+
+    def test_utilization_decays_with_npe(self):
+        """The Fig. 3 saturation mechanism: edge idling grows with N_PE."""
+        utils = [
+            analyze_activity(64, 64, n_pe).utilization for n_pe in (1, 4, 16, 64)
+        ]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_banding_reduces_evaluations(self):
+        full = analyze_activity(64, 64, 8)
+        banded = analyze_activity(64, 64, 8, banding=8)
+        assert banded.cell_evaluations < full.cell_evaluations
+        expected = sum(
+            1 for i in range(1, 65) for j in range(1, 65) if abs(i - j) <= 8
+        )
+        assert banded.cell_evaluations == expected
+
+    def test_per_pe_balance(self):
+        """In an even chunking every PE evaluates the same cell count."""
+        report = analyze_activity(16, 20, 4)  # 16 rows / 4 PEs: even chunks
+        assert len(set(report.per_pe_active)) == 1
+
+
+class TestRender:
+    def test_staircase_pattern(self):
+        text = render_occupancy(8, 10, 4)
+        lines = text.split("\n")
+        pe_lines = [
+            ln for ln in lines
+            if ln.startswith("PE") and "occupancy" not in ln
+        ]
+        assert len(pe_lines) == 4
+        # PE p starts p slots after PE 0 (the systolic skew)
+        starts = [ln.split(None, 1)[1].index("#") for ln in pe_lines]
+        assert starts == [0, 1, 2, 3]
+
+    def test_truncation(self):
+        text = render_occupancy(64, 300, 2, max_width=50)
+        for line in text.split("\n"):
+            if line.startswith("PE") and "occupancy" not in line:
+                assert len(line) <= 6 + 50 + 1  # "PEnnn " prefix + ellipsis
+
+    def test_utilization_line(self):
+        assert "utilization" in render_occupancy(8, 8, 2)

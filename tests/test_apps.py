@@ -1,0 +1,147 @@
+"""Tests for the downstream applications built on the kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ReadMapper, greedy_assemble, progressive_msa
+from repro.apps.assembler import best_overlap
+from repro.apps.msa import GAP, pairwise_distance_matrix, upgma
+from repro.data.genome import extract_region, random_genome, reverse_complement
+from tests.conftest import mutated_copy
+
+
+class TestMsa:
+    def family(self, n=4, length=36, divergence=0.1, seed=1):
+        ancestor = random_genome(length, seed=seed, repeat_fraction=0.0)
+        return [ancestor] + [
+            mutated_copy(ancestor, seed + k, divergence) for k in range(1, n)
+        ]
+
+    def test_rows_equal_length(self):
+        msa = progressive_msa(self.family())
+        assert len({len(row) for row in msa.rows}) == 1
+
+    def test_ungapped_rows_reproduce_inputs(self):
+        family = self.family()
+        msa = progressive_msa(family)
+        for idx, row in zip(msa.order, msa.rows):
+            assert tuple(v for v in row if v != GAP) == tuple(family[idx])
+
+    def test_identical_sequences_no_gaps(self):
+        seq = random_genome(24, seed=2, repeat_fraction=0.0)
+        msa = progressive_msa([seq, seq, seq])
+        assert msa.n_columns == len(seq)
+        assert msa.identity() == 1.0
+
+    def test_related_family_high_identity(self):
+        msa = progressive_msa(self.family(divergence=0.08, seed=3))
+        assert msa.identity() > 0.8
+
+    def test_single_sequence(self):
+        seq = random_genome(10, seed=4)
+        msa = progressive_msa([seq])
+        assert msa.rows == [list(seq)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            progressive_msa([])
+
+    def test_pretty_renders_gaps(self):
+        msa = progressive_msa(self.family(n=2, divergence=0.3, seed=5))
+        text = msa.pretty()
+        assert len(text.split("\n")) == 2
+
+    def test_distance_matrix_properties(self):
+        family = self.family(n=3)
+        dist = pairwise_distance_matrix(family)
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+        assert (dist >= 0).all()
+
+    def test_upgma_pairs_closest_first(self):
+        dist = np.array(
+            [[0.0, 0.1, 0.9], [0.1, 0.0, 0.8], [0.9, 0.8, 0.0]]
+        )
+        tree = upgma(dist)
+        # topology check, child order irrelevant: {0,1} cluster first
+        assert set(map(str, tree)) in ({"(0, 1)", "2"}, {"(1, 0)", "2"})
+
+    def test_upgma_single_leaf(self):
+        assert upgma(np.zeros((1, 1))) == 0
+
+
+class TestReadMapper:
+    @pytest.fixture(scope="class")
+    def genome(self):
+        return random_genome(1200, seed=7, repeat_fraction=0.0)
+
+    @pytest.fixture(scope="class")
+    def mapper(self, genome):
+        return ReadMapper(genome, k=12)
+
+    def test_exact_read_maps_to_origin(self, genome, mapper):
+        read = extract_region(genome, 413, 50)
+        hit = mapper.map(read)
+        assert hit is not None
+        assert hit.strand == "+"
+        assert mapper.mapped_start(hit) == 413
+
+    def test_reverse_strand_detected(self, genome, mapper):
+        read = reverse_complement(extract_region(genome, 600, 50))
+        hit = mapper.map(read)
+        assert hit is not None
+        assert hit.strand == "-"
+        assert abs(mapper.mapped_start(hit) - 600) <= 2
+
+    def test_noisy_read_still_maps(self, genome, mapper):
+        read = mutated_copy(extract_region(genome, 250, 60), 8, 0.08)
+        hit = mapper.map(read)
+        assert hit is not None
+        assert abs(mapper.mapped_start(hit) - 250) <= 6
+
+    def test_foreign_read_rejected(self, mapper):
+        foreign = random_genome(50, seed=99, repeat_fraction=0.0)
+        assert mapper.map(foreign) is None
+
+    def test_short_read_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.map((0, 1, 2))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ReadMapper((0, 1, 2, 3) * 10, k=2)
+
+
+class TestAssembler:
+    def test_error_free_reconstruction(self):
+        genome = random_genome(160, seed=11, repeat_fraction=0.0)
+        reads = [genome[0:60], genome[40:110], genome[90:160]]
+        contigs = greedy_assemble(reads, min_overlap_score=30)
+        assert contigs == [genome]
+
+    def test_read_order_irrelevant(self):
+        genome = random_genome(140, seed=12, repeat_fraction=0.0)
+        reads = [genome[80:140], genome[0:60], genome[40:100]]
+        contigs = greedy_assemble(reads, min_overlap_score=30)
+        assert contigs == [genome]
+
+    def test_disjoint_reads_stay_separate(self):
+        a = random_genome(50, seed=13, repeat_fraction=0.0)
+        b = random_genome(50, seed=14, repeat_fraction=0.0)
+        contigs = greedy_assemble([a, b], min_overlap_score=30)
+        assert sorted(map(len, contigs)) == [50, 50]
+
+    def test_empty(self):
+        assert greedy_assemble([]) == []
+
+    def test_best_overlap_detects_join(self):
+        genome = random_genome(100, seed=15, repeat_fraction=0.0)
+        found = best_overlap(genome[0:60], genome[40:100])
+        assert found is not None
+        score, a_start, b_end = found
+        assert (a_start, b_end) == (40, 20)
+
+    def test_best_overlap_rejects_containment(self):
+        genome = random_genome(80, seed=16, repeat_fraction=0.0)
+        # b strictly inside a: optimal path is not a suffix->prefix join
+        assert best_overlap(genome, genome[20:50]) is None

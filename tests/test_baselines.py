@@ -1,0 +1,142 @@
+"""Tests for the baseline models (functional halves + performance sanity)."""
+
+import pytest
+
+from repro.baselines import (
+    BSW,
+    GACT,
+    SQUIGGLEFILTER,
+    CudaSW4Model,
+    EmbossWaterModel,
+    Gasal2Model,
+    Minimap2Model,
+    SeqAn3Model,
+    VitisGenomicsSWModel,
+    iso_cost_factor,
+)
+from repro.baselines.costmodel import C4_8XLARGE_USD_HR, P3_2XLARGE_USD_HR
+from repro.kernels import get_kernel
+from repro.synth.throughput import cycles_per_alignment
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+
+class TestCostModel:
+    def test_cpu_nearly_iso_cost(self):
+        assert iso_cost_factor(C4_8XLARGE_USD_HR) == pytest.approx(1.037, abs=0.01)
+
+    def test_gpu_costs_more(self):
+        assert iso_cost_factor(P3_2XLARGE_USD_HR) < 0.6
+
+    def test_invalid_price(self):
+        with pytest.raises(ValueError):
+            iso_cost_factor(0.0)
+
+
+class TestSeqAn3:
+    def test_functional_matches_framework(self):
+        ref = random_dna(24, seed=1)
+        qry = mutated_copy(ref, seed=2)
+        for kid in SeqAn3Model.SUPPORTED_KERNELS:
+            if kid in (11,):
+                q, r = random_dna(24, 3), random_dna(24, 4)
+            else:
+                q, r = qry, ref
+            baseline_score = SeqAn3Model.align(kid, q, r)
+            ours = align(get_kernel(kid), q, r, n_pe=4).score
+            assert baseline_score == ours, f"kernel #{kid}"
+
+    def test_throughput_flat_across_kernels(self):
+        """Section 7.4: SeqAn3 shows only minor variability across kernels."""
+        model = SeqAn3Model()
+        values = [
+            model.throughput_alignments_per_sec(kid, 256, 256)
+            for kid in SeqAn3Model.SUPPORTED_KERNELS
+        ]
+        assert max(values) < 2.0 * min(values)
+
+    def test_unsupported_kernel(self):
+        with pytest.raises(ValueError):
+            SeqAn3Model().throughput_alignments_per_sec(9, 256, 256)
+        with pytest.raises(ValueError):
+            SeqAn3Model.align(9, (0,), (0,))
+
+
+class TestMinimap2AndEmboss:
+    def test_minimap2_functional(self):
+        ref = random_dna(20, seed=5)
+        qry = mutated_copy(ref, seed=6)
+        assert Minimap2Model.align(qry, ref) == align(
+            get_kernel(5), qry, ref, n_pe=4
+        ).score
+
+    def test_emboss_functional(self):
+        from repro.data.protein import mutate_protein, random_protein
+
+        ref = random_protein(20, seed=7)
+        qry = mutate_protein(ref, seed=8)[:20]
+        assert EmbossWaterModel.align(qry, ref) == align(
+            get_kernel(15), qry, ref, n_pe=4
+        ).score
+
+    def test_emboss_much_slower_than_seqan(self):
+        emboss = EmbossWaterModel().throughput_alignments_per_sec(256, 256)
+        seqan = SeqAn3Model().throughput_alignments_per_sec(1, 256, 256)
+        assert emboss < seqan / 10
+
+
+class TestGpuModels:
+    def test_gasal2_functional(self):
+        ref = random_dna(20, seed=9)
+        qry = mutated_copy(ref, seed=10)
+        for kid in (2, 4):
+            assert Gasal2Model.align(kid, qry, ref) == align(
+                get_kernel(kid), qry, ref, n_pe=4
+            ).score
+
+    def test_gasal2_unsupported(self):
+        with pytest.raises(ValueError):
+            Gasal2Model().throughput_alignments_per_sec(1, 256, 256)
+
+    def test_iso_cost_discounts_gpu(self):
+        model = Gasal2Model()
+        raw = model.throughput_alignments_per_sec(2, 256, 256)
+        adjusted = model.iso_cost_throughput(2, 256, 256)
+        assert adjusted < raw
+
+    def test_cudasw_faster_than_gasal(self):
+        cud = CudaSW4Model().throughput_alignments_per_sec(256, 256)
+        gas = Gasal2Model().throughput_alignments_per_sec(4, 256, 256)
+        assert cud > gas
+
+
+class TestRtlBaselines:
+    @pytest.mark.parametrize("baseline", (GACT, BSW, SQUIGGLEFILTER))
+    def test_rtl_always_at_least_as_fast(self, baseline):
+        spec = baseline.spec()
+        cycles = cycles_per_alignment(spec, 32, 256, 256)
+        assert baseline.cycles(32, 256, 256, dp_hls_cycles=cycles) <= cycles
+
+    @pytest.mark.parametrize("baseline", (GACT, BSW, SQUIGGLEFILTER))
+    def test_rtl_resources_comparable(self, baseline):
+        from repro.synth.resources import estimate_resources
+
+        rtl = baseline.resources(32)
+        ours = estimate_resources(baseline.spec(), 32)
+        assert 0.8 * ours.luts <= rtl.luts <= ours.luts
+        assert rtl.dsps <= ours.dsps
+
+    def test_kernel_mapping(self):
+        assert GACT.kernel_id == 2
+        assert BSW.kernel_id == 12
+        assert SQUIGGLEFILTER.kernel_id == 14
+
+
+class TestHlsBaseline:
+    def test_slower_than_dp_hls(self):
+        model = VitisGenomicsSWModel()
+        dp_hls = cycles_per_alignment(get_kernel(3), 32, 256, 256)
+        assert model.cycles(256, 256) > dp_hls
+
+    def test_throughput_positive(self):
+        assert VitisGenomicsSWModel().throughput_alignments_per_sec(256, 256) > 0

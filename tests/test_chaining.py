@@ -1,0 +1,101 @@
+"""Tests for the anchor-chaining DP."""
+
+import pytest
+
+from repro.apps.chaining import Anchor, Chain, anchors_from_index, chain_anchors
+from repro.apps.read_mapper import ReadMapper
+from repro.data.genome import extract_region, random_genome
+
+
+def colinear(n, start_read=0, start_ref=100, step=20, length=12):
+    return [
+        Anchor(start_read + i * step, start_ref + i * step, length)
+        for i in range(n)
+    ]
+
+
+class TestChainAnchors:
+    def test_empty(self):
+        assert chain_anchors([]) is None
+
+    def test_single_anchor(self):
+        chain = chain_anchors([Anchor(5, 50, 12)])
+        assert chain.score == 12
+        assert chain.read_span == (5, 17)
+
+    def test_colinear_anchors_all_chain(self):
+        anchors = colinear(5)
+        chain = chain_anchors(anchors)
+        assert len(chain.anchors) == 5
+        assert chain.score > 5 * 12 - 1  # no drift, negligible cost
+
+    def test_off_diagonal_outlier_excluded(self):
+        anchors = colinear(4) + [Anchor(35, 900, 12)]
+        chain = chain_anchors(anchors)
+        assert all(a.ref_pos < 900 for a in chain.anchors)
+
+    def test_small_indel_still_chains(self):
+        # 3-base diagonal shift midway (an indel)
+        first = colinear(3)
+        shifted = [
+            Anchor(a.read_pos, a.ref_pos + 3, a.length)
+            for a in colinear(3, start_read=70, start_ref=170)
+        ]
+        chain = chain_anchors(first + shifted)
+        assert len(chain.anchors) == 6
+
+    def test_far_gap_breaks_chain(self):
+        far = colinear(2) + colinear(2, start_read=500, start_ref=600)
+        chain = chain_anchors(far, max_gap=64)
+        assert len(chain.anchors) == 2
+
+    def test_overlapping_anchors_not_chained(self):
+        anchors = [Anchor(0, 100, 12), Anchor(4, 104, 12)]  # overlap by 8
+        chain = chain_anchors(anchors)
+        assert len(chain.anchors) == 1
+
+    def test_prefers_dense_chain_over_lone_long_anchor(self):
+        dense = colinear(6, length=10)
+        lone = [Anchor(300, 9000, 25)]
+        chain = chain_anchors(dense + lone)
+        assert len(chain.anchors) == 6
+
+    def test_spans(self):
+        chain = chain_anchors(colinear(3))
+        assert chain.read_span == (0, 52)
+        assert chain.ref_span == (100, 152)
+
+    def test_invalid_max_gap(self):
+        with pytest.raises(ValueError):
+            chain_anchors([Anchor(0, 0, 5)], max_gap=0)
+
+
+class TestMapperIntegration:
+    def test_chain_locates_read(self):
+        genome = random_genome(800, seed=21, repeat_fraction=0.0)
+        mapper = ReadMapper(genome, k=12)
+        read = extract_region(genome, 333, 64)
+        chain = mapper.chain(read)
+        assert chain is not None
+        ref_start, ref_end = chain.ref_span
+        assert ref_start == 333
+        # non-overlapping k-mers cover the read up to a final sub-k stub
+        assert 333 + 64 - mapper.k < ref_end <= 333 + 64
+
+    def test_anchors_from_index(self):
+        genome = random_genome(200, seed=22, repeat_fraction=0.0)
+        mapper = ReadMapper(genome, k=12)
+        read = extract_region(genome, 50, 30)
+        anchors = anchors_from_index(read, mapper._index, 12)
+        assert anchors
+        assert all(a.length == 12 for a in anchors)
+        assert any(a.diagonal == 50 for a in anchors)
+
+    def test_foreign_read_weak_chain(self):
+        genome = random_genome(800, seed=23, repeat_fraction=0.0)
+        mapper = ReadMapper(genome, k=12)
+        foreign = random_genome(64, seed=99, repeat_fraction=0.0)
+        chain = mapper.chain(foreign)
+        real = mapper.chain(extract_region(genome, 100, 64))
+        if chain is not None:
+            assert real.score > 3 * chain.score

@@ -1,0 +1,148 @@
+"""Framework kernels vs independent textbook implementations.
+
+The engine/oracle pair shares the KernelSpec; these tests close the loop
+against :mod:`repro.reference.classic`, which shares *nothing* with the
+framework, so a semantic error in a PE function cannot hide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.blosum import BLOSUM62
+from repro.data.profiles import profile_pair
+from repro.data.protein import mutate_protein, random_protein
+from repro.data.signals import random_complex_signal, sdtw_pair, warp_signal
+from repro.kernels import get_kernel
+from repro.kernels.profile import default_sop_matrix
+from repro.reference import classic
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+
+def dna_case(seed, n=26, m=30):
+    ref = random_dna(m, seed)
+    qry = mutated_copy(ref, seed + 99)[:n]
+    return qry, ref
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_global_linear_vs_nw(seed):
+    q, r = dna_case(seed)
+    ours = align(get_kernel(1), q, r, n_pe=4).score
+    assert ours == classic.nw_linear(q, r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_local_linear_vs_sw(seed):
+    q, r = dna_case(seed + 10)
+    ours = align(get_kernel(3), q, r, n_pe=4).score
+    assert ours == classic.sw_linear(q, r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_global_affine_vs_gotoh(seed):
+    q, r = dna_case(seed + 20)
+    ours = align(get_kernel(2), q, r, n_pe=4).score
+    assert ours == classic.gotoh_global(q, r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_local_affine_vs_gotoh_local(seed):
+    q, r = dna_case(seed + 30)
+    ours = align(get_kernel(4), q, r, n_pe=4).score
+    assert ours == classic.gotoh_local(q, r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_two_piece_vs_classic(seed):
+    q, r = dna_case(seed + 40)
+    ours = align(get_kernel(5), q, r, n_pe=4).score
+    assert ours == classic.two_piece_global(q, r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_overlap_vs_classic(seed):
+    q, r = dna_case(seed + 50)
+    ours = align(get_kernel(6), q, r, n_pe=4).score
+    assert ours == classic.overlap_score(q, r)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_semiglobal_vs_classic(seed):
+    q, r = dna_case(seed + 60)
+    ours = align(get_kernel(7), q, r, n_pe=4).score
+    assert ours == classic.semiglobal_score(q, r)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_profile_vs_classic(seed):
+    qp, rp = profile_pair(n_cols=14, seed=seed)
+    spec = get_kernel(8)
+    ours = align(spec, qp, rp, n_pe=4).score
+    expected = classic.profile_global(qp, rp, default_sop_matrix(),
+                                      gap=spec.default_params.linear_gap)
+    assert np.isclose(ours, expected, atol=1e-3)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_dtw_vs_classic(seed):
+    ref = random_complex_signal(20, seed=seed)
+    qry = warp_signal(ref, seed=seed + 1)[:20]
+    ours = align(get_kernel(9), qry, ref, n_pe=4).score
+    expected = classic.dtw_distance(qry, ref)
+    assert np.isclose(ours, expected, atol=1e-2)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_viterbi_vs_classic(seed):
+    q, r = dna_case(seed + 70, n=18, m=18)
+    spec = get_kernel(10)
+    p = spec.default_params
+    ours = align(spec, q, r, n_pe=4).score
+    expected = classic.viterbi_loglik(q, r, p.log_mu, p.log_lambda, p.emission)
+    assert np.isclose(ours, expected, atol=1e-2)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_banded_global_vs_classic(seed):
+    n = 30
+    q, r = random_dna(n, seed + 80), random_dna(n, seed + 81)
+    ours = align(get_kernel(11), q, r, n_pe=4).score
+    assert ours == classic.banded_nw_linear(q, r, band=32)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_banded_local_affine_vs_classic(seed):
+    q, r = dna_case(seed + 90, n=40, m=40)
+    ours = align(get_kernel(12), q, r, n_pe=4).score
+    assert ours == classic.banded_gotoh_local(q, r, band=32)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_banded_two_piece_vs_classic(seed):
+    n = 40
+    q, r = random_dna(n, seed + 100), random_dna(n, seed + 101)
+    ours = align(get_kernel(13), q, r, n_pe=4).score
+    assert ours == classic.banded_two_piece_global(q, r, band=32)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_sdtw_vs_classic(seed):
+    q, r = sdtw_pair(ref_bases=24, seed=seed)
+    ours = align(get_kernel(14), q, r, n_pe=4).score
+    assert ours == classic.sdtw_distance(q, r)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_protein_vs_classic(seed):
+    ref = random_protein(28, seed=seed)
+    qry = mutate_protein(ref, seed=seed + 1)[:28]
+    ours = align(get_kernel(15), qry, ref, n_pe=4).score
+    assert ours == classic.matrix_local(qry, ref, BLOSUM62,
+                                        gap=get_kernel(15).default_params.linear_gap)
+
+
+def test_banded_matches_unbanded_when_band_covers_matrix():
+    """A band wider than the matrix must reproduce the unbanded result."""
+    q, r = dna_case(123, n=20, m=20)
+    assert classic.banded_nw_linear(q, r, band=64) == classic.nw_linear(q, r)

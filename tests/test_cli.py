@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommand:
+    def test_lists_all_kernels(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("global_linear", "sdtw", "protein_local_linear"):
+            assert name in out
+
+
+class TestAlignCommand:
+    def test_dna_alignment(self, capsys):
+        rc = main(["align", "2", "ACGTAGGCT", "ACGTAGCT"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "score" in out and "cigar" in out
+
+    def test_kernel_by_name(self, capsys):
+        rc = main(["align", "local_linear", "ACGT", "ACGT"])
+        assert rc == 0
+        assert "4M" in capsys.readouterr().out
+
+    def test_protein_kernel(self, capsys):
+        rc = main(["align", "15", "MKTAYI", "MKTAYI"])
+        assert rc == 0
+
+    def test_signal_kernel(self, capsys):
+        rc = main(["align", "14", "10,20,30", "5,10,20,30,40"])
+        assert rc == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_struct_alphabet_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["align", "9", "1,2", "1,2"])
+
+    def test_invalid_dna(self):
+        with pytest.raises(ValueError):
+            main(["align", "1", "ACGX", "ACGT"])
+
+
+class TestSynthCommand:
+    def test_feasible_config(self, capsys):
+        rc = main(["synth", "1", "--n-pe", "16", "--n-b", "2"])
+        assert rc == 0
+        assert "synthesis report" in capsys.readouterr().out
+
+    def test_infeasible_config_exit_code(self, capsys):
+        rc = main(["synth", "8", "--n-pe", "32", "--n-b", "16", "--n-k", "8"])
+        assert rc == 1
+
+
+class TestRtlCommand:
+    def test_emits_verilog(self, capsys):
+        assert main(["rtl", "1", "--n-pe", "8"]) == 0
+        assert "module global_linear_pe" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_verify_passes(self, capsys):
+        rc = main(["verify", "1", "--pairs", "1", "--length", "16"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_score_only_kernel(self, capsys):
+        rc = main(["verify", "14", "--pairs", "1", "--length", "16"])
+        assert rc == 0
+
+
+class TestOccupancyCommand:
+    def test_renders_gantt(self, capsys):
+        rc = main(["occupancy", "1", "--query-len", "8", "--ref-len", "10",
+                   "--n-pe", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "utilization" in out
+
+    def test_banded_kernel_uses_its_band(self, capsys):
+        rc = main(["occupancy", "11", "--query-len", "40", "--ref-len", "40"])
+        assert rc == 0
+        assert "band=32" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "GACT" in capsys.readouterr().out
+
+    def test_fig3_requires_kernel_id(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "5"])  # only kernels 1 and 9 were swept
+
+    def test_hls(self, capsys):
+        assert main(["hls"]) == 0
+        assert "Vitis" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

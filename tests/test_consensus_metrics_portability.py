@@ -1,0 +1,130 @@
+"""Tests for consensus polishing, alignment metrics and device portability."""
+
+import pytest
+
+from repro.apps.consensus import consensus, polish_contig
+from repro.core.alphabet import encode_dna
+from repro.data.genome import random_genome
+from repro.data.metrics import (
+    alignment_identity,
+    cigar_counts,
+    query_coverage,
+    reference_coverage,
+    sequence_identity,
+)
+from repro.kernels import get_kernel
+from repro.systolic import align
+from tests.conftest import mutated_copy
+
+
+class TestConsensus:
+    def test_identical_reads_exact(self):
+        truth = random_genome(30, seed=1, repeat_fraction=0.0)
+        assert consensus([truth, truth, truth]) == truth
+
+    def test_majority_overrides_noise(self):
+        """Five noisy copies out-vote each other's independent errors."""
+        truth = random_genome(40, seed=2, repeat_fraction=0.0)
+        reads = [
+            mutated_copy(truth, seed=10 + k, error_rate=0.06)
+            for k in range(5)
+        ]
+        cons = consensus(reads)
+        assert sequence_identity(cons, truth) > 0.95
+
+    def test_single_read_passthrough(self):
+        truth = random_genome(15, seed=3)
+        assert consensus([truth]) == truth
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consensus([])
+
+    def test_polish_improves_noisy_contig(self):
+        truth = random_genome(40, seed=4, repeat_fraction=0.0)
+        noisy_contig = mutated_copy(truth, seed=20, error_rate=0.12)
+        reads = [
+            mutated_copy(truth, seed=30 + k, error_rate=0.06)
+            for k in range(4)
+        ]
+        polished = polish_contig(noisy_contig, reads)
+        assert sequence_identity(polished, truth) >= \
+            sequence_identity(noisy_contig, truth)
+
+
+class TestMetrics:
+    def test_cigar_counts(self):
+        assert cigar_counts("3M1I2M2D") == {"M": 5, "I": 1, "D": 2}
+
+    def test_cigar_empty(self):
+        assert cigar_counts("") == {"M": 0, "I": 0, "D": 0}
+
+    def test_cigar_malformed(self):
+        with pytest.raises(ValueError):
+            cigar_counts("3M1X")
+
+    def test_identity_perfect(self):
+        seq = encode_dna("ACGTACGT")
+        result = align(get_kernel(1), seq, seq, n_pe=4)
+        assert alignment_identity(result.alignment, seq, seq) == 1.0
+
+    def test_identity_counts_gaps_as_errors(self):
+        a = encode_dna("ACGTACGT")
+        b = encode_dna("ACGACGT")  # one deletion
+        result = align(get_kernel(1), a, b, n_pe=4)
+        identity = alignment_identity(result.alignment, a, b)
+        assert identity == pytest.approx(7 / 8)
+
+    def test_coverage_global(self):
+        a = encode_dna("ACGTAC")
+        result = align(get_kernel(1), a, a, n_pe=4)
+        assert query_coverage(result.alignment, len(a)) == 1.0
+        assert reference_coverage(result.alignment, len(a)) == 1.0
+
+    def test_coverage_local_partial(self):
+        motif = encode_dna("GATTACAGA")
+        query = encode_dna("TTTT") + motif + encode_dna("CCCC")
+        result = align(get_kernel(3), query, motif, n_pe=4)
+        assert query_coverage(result.alignment, len(query)) < 1.0
+        assert reference_coverage(result.alignment, len(motif)) == 1.0
+
+
+class TestPortability:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.portability import build_portability
+
+        return build_portability(kernel_ids=(1, 8))
+
+    def test_every_device_gets_a_config(self, rows):
+        devices = {r.device for r in rows}
+        assert len(devices) == 3
+        assert len(rows) == 6
+
+    def test_bigger_device_never_slower(self, rows):
+        from repro.experiments.portability import throughput_by_device
+
+        table = throughput_by_device(rows)
+        f1 = table["xcvu9p-flgb2104-2-i"]
+        u50 = table["xcu50-fsvh2104-2-e"]
+        embedded = table["xczu7ev-ffvc1156-2-e"]
+        for kid in (1, 8):
+            assert f1[kid] >= u50[kid] >= embedded[kid]
+
+    def test_embedded_part_costs_real_throughput(self, rows):
+        from repro.experiments.portability import throughput_by_device
+
+        table = throughput_by_device(rows)
+        f1 = table["xcvu9p-flgb2104-2-i"]
+        embedded = table["xczu7ev-ffvc1156-2-e"]
+        # the order-of-magnitude-smaller part loses most of the parallel
+        # blocks for every kernel class, yet stays deployable
+        for kid in (1, 8):
+            assert embedded[kid] < 0.5 * f1[kid]
+            assert embedded[kid] > 0
+
+    def test_render(self, rows):
+        from repro.experiments.portability import render
+
+        text = render(rows)
+        assert "xczu7ev" in text

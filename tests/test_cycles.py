@@ -1,0 +1,119 @@
+"""Engine cycle accounting vs the closed-form throughput model.
+
+The throughput model must be an *exact* closed form of what the engine
+measures (given the true traceback length), otherwise Table 2 sweeps and
+functional runs would disagree.
+"""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.synth.throughput import (
+    cycles_per_alignment,
+    expected_traceback_length,
+    reduction_cycles,
+    throughput_alignments_per_sec,
+)
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+from tests.test_engine_vs_oracle import workload_pair
+
+
+@pytest.mark.parametrize("kid", (1, 2, 3, 5, 7, 10, 11, 12, 14))
+@pytest.mark.parametrize("n_pe", (2, 5, 8))
+def test_engine_total_matches_closed_form(kid, n_pe):
+    spec = get_kernel(kid)
+    query, reference = workload_pair(kid, seed=kid + n_pe, length=30)
+    result = align(spec, query, reference, n_pe=n_pe)
+    tb_len = result.alignment.aligned_length if result.alignment else 0
+    predicted = cycles_per_alignment(
+        spec, n_pe, len(query), len(reference), ii=1, tb_path_len=tb_len
+    )
+    assert result.cycles.total == predicted
+
+
+def test_ii_scales_compute_only():
+    spec = get_kernel(1)
+    q, r = random_dna(16, 1), random_dna(16, 2)
+    one = align(spec, q, r, n_pe=4, ii=1).cycles
+    four = align(spec, q, r, n_pe=4, ii=4).cycles
+    assert four.compute_cycles == 4 * one.compute_cycles
+    assert four.init_cycles == one.init_cycles
+    assert four.traceback_cycles == one.traceback_cycles
+
+
+def test_banding_cuts_compute_cycles():
+    banded = get_kernel(11)
+    unbanded = get_kernel(1)
+    q = random_dna(128, 3)
+    r = random_dna(128, 4)
+    cb = align(banded, q, r, n_pe=8).cycles
+    cu = align(unbanded, q, r, n_pe=8).cycles
+    # band 32 on a 128x128 matrix: each chunk issues ~(2*32 + rows)
+    # wavefronts instead of (128 + rows)
+    assert cb.compute_cycles < 0.6 * cu.compute_cycles
+
+
+def test_score_only_kernel_has_no_traceback_cycles():
+    spec = get_kernel(14)
+    q, r = workload_pair(14, seed=9, length=30)
+    cycles = align(spec, q, r, n_pe=4).cycles
+    assert cycles.traceback_cycles == 0
+
+
+def test_reduction_only_for_non_bottom_right():
+    local = align(get_kernel(3), random_dna(12, 1), random_dna(12, 2), n_pe=4)
+    global_ = align(get_kernel(1), random_dna(12, 1), random_dna(12, 2), n_pe=4)
+    assert local.cycles.reduction_cycles > 0
+    assert global_.cycles.reduction_cycles == 0
+
+
+def test_interface_model_toggle():
+    spec = get_kernel(1)
+    q, r = random_dna(16, 1), random_dna(16, 2)
+    with_if = align(spec, q, r, n_pe=4, model_interface=True).cycles
+    without = align(spec, q, r, n_pe=4, model_interface=False).cycles
+    assert with_if.interface_cycles > 0
+    assert without.interface_cycles == 0
+    assert with_if.compute_cycles == without.compute_cycles
+
+
+def test_more_pes_fewer_cycles():
+    spec = get_kernel(1)
+    ref = random_dna(64, 5)
+    qry = mutated_copy(ref, 6)
+    totals = [
+        align(spec, qry, ref, n_pe=n_pe).cycles.total for n_pe in (2, 4, 8, 16)
+    ]
+    assert totals == sorted(totals, reverse=True)
+
+
+class TestThroughputHelpers:
+    def test_throughput_formula(self):
+        assert throughput_alignments_per_sec(1000, 100.0, 2) == pytest.approx(
+            2 * 100e6 / 1000
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            throughput_alignments_per_sec(0, 100.0, 1)
+        with pytest.raises(ValueError):
+            throughput_alignments_per_sec(10, -1.0, 1)
+        with pytest.raises(ValueError):
+            throughput_alignments_per_sec(10, 100.0, 0)
+
+    def test_expected_tb_length_zero_for_score_only(self):
+        assert expected_traceback_length(get_kernel(14), 100, 100) == 0
+
+    def test_expected_tb_length_global_longest(self):
+        global_len = expected_traceback_length(get_kernel(1), 100, 100)
+        local_len = expected_traceback_length(get_kernel(3), 100, 100)
+        assert global_len > local_len
+
+    def test_reduction_cycles_rule(self):
+        assert reduction_cycles(get_kernel(1), 32) == 0
+        assert reduction_cycles(get_kernel(3), 32) == 7
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            cycles_per_alignment(get_kernel(1), 4, 0, 10)

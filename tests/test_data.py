@@ -1,0 +1,224 @@
+"""Tests for the synthetic data substrates."""
+
+import numpy as np
+import pytest
+
+from repro.data.blosum import BLOSUM62
+from repro.data.fasta import read_fasta, write_fasta
+from repro.data.genome import extract_region, random_genome, reverse_complement
+from repro.data.pbsim import CLR_ERROR_WEIGHTS, simulate_read, simulate_read_pairs
+from repro.data.profiles import profile_from_stack, profile_pair
+from repro.data.protein import (
+    SWISSPROT_FREQUENCIES,
+    mutate_protein,
+    protein_pairs,
+    random_protein,
+)
+from repro.data.signals import (
+    PoreModel,
+    quantize_signal,
+    random_complex_signal,
+    sdtw_pair,
+    squiggle_from_sequence,
+    warp_signal,
+)
+
+
+class TestGenome:
+    def test_length_and_codes(self):
+        g = random_genome(500, seed=1)
+        assert len(g) == 500
+        assert set(g) <= {0, 1, 2, 3}
+
+    def test_deterministic(self):
+        assert random_genome(200, seed=2) == random_genome(200, seed=2)
+
+    def test_gc_content_respected(self):
+        g = random_genome(20000, gc_content=0.41, repeat_fraction=0.0, seed=3)
+        gc = sum(1 for b in g if b in (1, 2)) / len(g)
+        assert abs(gc - 0.41) < 0.02
+
+    def test_repeats_create_duplicate_kmers(self):
+        no_rep = random_genome(4000, repeat_fraction=0.0, seed=4)
+        with_rep = random_genome(4000, repeat_fraction=0.4, seed=4)
+
+        def distinct_kmers(g, k=16):
+            return len({g[i:i + k] for i in range(len(g) - k)})
+
+        assert distinct_kmers(with_rep) < distinct_kmers(no_rep)
+
+    def test_extract_region_bounds(self):
+        g = random_genome(100, seed=5)
+        assert len(extract_region(g, 10, 20)) == 20
+        with pytest.raises(ValueError):
+            extract_region(g, 90, 20)
+
+    def test_reverse_complement(self):
+        assert reverse_complement((0, 1, 2, 3)) == (0, 1, 2, 3)
+        assert reverse_complement((0, 0)) == (3, 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            random_genome(0)
+        with pytest.raises(ValueError):
+            random_genome(10, gc_content=1.5)
+
+
+class TestPbsim:
+    def test_error_rate_zero_identity(self):
+        ref = random_genome(100, seed=6)
+        assert simulate_read(ref, error_rate=0.0, seed=7) == ref
+
+    def test_error_rate_scales_divergence(self):
+        ref = random_genome(2000, seed=8)
+        low = simulate_read(ref, error_rate=0.05, seed=9)
+        high = simulate_read(ref, error_rate=0.40, seed=9)
+        # higher error -> length deviates more and identity drops
+        match_low = sum(a == b for a, b in zip(low, ref)) / len(ref)
+        match_high = sum(a == b for a, b in zip(high, ref)) / len(ref)
+        assert match_high < match_low
+
+    def test_clr_weights_indel_dominated(self):
+        sub, ins, dele = CLR_ERROR_WEIGHTS
+        assert ins + dele > 5 * sub
+
+    def test_pairs_have_exact_length(self):
+        pairs = simulate_read_pairs(5, length=64, seed=10)
+        assert len(pairs) == 5
+        for p in pairs:
+            assert len(p.reference) == 64
+            assert len(p.query) <= 64
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_read((0, 1), error_rate=1.5)
+        with pytest.raises(ValueError):
+            simulate_read_pairs(0)
+
+
+class TestProtein:
+    def test_frequencies_sum_to_100(self):
+        assert abs(sum(SWISSPROT_FREQUENCIES) - 100.0) < 0.5
+
+    def test_random_protein_composition(self):
+        p = random_protein(50000, seed=11)
+        leucine = 10  # 'L' index in ARNDCQEGHILKMFPSTWYV
+        frac = sum(1 for a in p if a == leucine) / len(p)
+        assert abs(frac - 0.0966) < 0.01
+
+    def test_mutate_identity(self):
+        p = random_protein(200, seed=12)
+        hom = mutate_protein(p, identity=0.9, indel_rate=0.0, seed=13)
+        same = sum(a == b for a, b in zip(hom, p)) / len(p)
+        assert same > 0.8
+
+    def test_pairs(self):
+        pairs = protein_pairs(3, length=40, seed=14)
+        assert len(pairs) == 3
+        for q, r in pairs:
+            assert len(r) == 40 and len(q) <= 40
+
+
+class TestBlosum:
+    def test_shape(self):
+        assert len(BLOSUM62) == 20
+        assert all(len(row) == 20 for row in BLOSUM62)
+
+    def test_symmetric(self):
+        m = np.asarray(BLOSUM62)
+        assert (m == m.T).all()
+
+    def test_diagonal_positive(self):
+        assert all(BLOSUM62[i][i] > 0 for i in range(20))
+
+    def test_known_values(self):
+        from repro.core.alphabet import PROTEIN_LETTERS
+
+        idx = {ch: i for i, ch in enumerate(PROTEIN_LETTERS)}
+        assert BLOSUM62[idx["W"]][idx["W"]] == 11
+        assert BLOSUM62[idx["I"]][idx["L"]] == 2
+        assert BLOSUM62[idx["A"]][idx["A"]] == 4
+
+
+class TestSignals:
+    def test_complex_signal_quantised(self):
+        from repro.data.signals import COMPLEX_COMPONENT_T
+
+        sig = random_complex_signal(32, seed=15)
+        assert len(sig) == 32
+        for re, im in sig:
+            assert COMPLEX_COMPONENT_T.quantize(re) == re
+            assert COMPLEX_COMPONENT_T.quantize(im) == im
+
+    def test_warp_stretches_length(self):
+        sig = random_complex_signal(20, seed=16)
+        assert len(warp_signal(sig, stretch=1.5, seed=17)) == 30
+
+    def test_pore_model_deterministic(self):
+        assert PoreModel(seed=1).level(100) == PoreModel(seed=1).level(100)
+
+    def test_kmer_code_packing(self):
+        assert PoreModel.kmer_code((1, 2, 3), 0, 3) == (1 << 4) | (2 << 2) | 3
+
+    def test_squiggle_range(self):
+        genome = random_genome(40, seed=18)
+        sq = squiggle_from_sequence(genome, seed=19)
+        assert all(0 <= v <= 255 for v in sq)
+        assert len(sq) >= len(genome) - 6
+
+    def test_squiggle_too_short_sequence(self):
+        with pytest.raises(ValueError):
+            squiggle_from_sequence((0, 1), seed=20)
+
+    def test_quantize_constant_signal(self):
+        out = quantize_signal(np.full(10, 42.0))
+        assert len(set(out)) == 1
+
+    def test_sdtw_pair_query_shorter(self):
+        q, r = sdtw_pair(ref_bases=40, seed=21)
+        assert len(q) < len(r)
+
+
+class TestProfiles:
+    def test_columns_sum_to_one(self):
+        p1, p2 = profile_pair(n_cols=20, seed=22)
+        for profile in (p1, p2):
+            assert len(profile) == 20
+            for col in profile:
+                assert abs(sum(col) - 1.0) < 1e-9
+
+    def test_profile_from_stack_counts(self):
+        stack = np.array([[0, 1], [0, -1]])
+        profile = profile_from_stack(stack)
+        assert profile[0] == (1.0, 0.0, 0.0, 0.0, 0.0)
+        assert profile[1] == (0.0, 0.5, 0.0, 0.0, 0.5)
+
+    def test_related_profiles_similar(self):
+        p1, p2 = profile_pair(n_cols=50, divergence=0.05, seed=23)
+        agree = sum(
+            1 for c1, c2 in zip(p1, p2)
+            if np.argmax(c1) == np.argmax(c2)
+        )
+        assert agree > 40
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.fa"
+        records = [("seq1", "ACGT" * 30), ("seq2", "GGCC")]
+        write_fasta(path, records)
+        back = read_fasta(path)
+        assert back == dict(records)
+
+    def test_wrapping(self, tmp_path):
+        path = tmp_path / "x.fa"
+        write_fasta(path, [("s", "A" * 100)], width=10)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 11
+        assert all(len(line) <= 10 for line in lines[1:])
+
+    def test_sequence_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)

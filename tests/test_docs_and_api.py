@@ -1,0 +1,81 @@
+"""Meta-tests: documentation hygiene and the README's quickstart contract."""
+
+import ast
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC = Path(repro.__file__).parent
+
+
+def all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages([str(SRC)], prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", all_modules())
+    def test_every_module_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, name
+
+    def test_public_functions_documented(self):
+        """Every public top-level def/class/method carries a docstring.
+
+        Nested closures (initializer factories, local helpers) are
+        implementation details and exempt.
+        """
+        missing = []
+
+        def check(nodes, path):
+            for node in nodes:
+                if not isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    missing.append(f"{path.name}:{node.name}")
+                if isinstance(node, ast.ClassDef):
+                    check(node.body, path)
+
+        for path in SRC.rglob("*.py"):
+            check(ast.parse(path.read_text()).body, path)
+        assert not missing, f"undocumented public items: {missing[:10]}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart code must actually work."""
+        from repro import LaunchConfig, align, get_kernel, synthesize
+        from repro.core.alphabet import encode_dna
+
+        kernel = get_kernel("global_affine")
+        result = align(kernel, encode_dna("ACGTAC"), encode_dna("AGTACC"))
+        assert result.score is not None and result.cigar
+
+        report = synthesize(kernel, LaunchConfig(n_pe=32, n_b=16, n_k=4))
+        assert "Fmax" in report.summary()
+
+    def test_docs_exist(self):
+        docs = Path(repro.__file__).parents[2] / "docs"
+        expected = {
+            "front_end.md", "back_end.md", "kernels.md",
+            "performance_model.md", "adding_a_kernel.md", "baselines.md",
+            "apps.md",
+        }
+        assert expected <= {p.name for p in docs.glob("*.md")}
+
+    def test_top_level_markdown_present(self):
+        root = Path(repro.__file__).parents[2]
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (root / name).exists(), name
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,70 @@
+"""Tests for design-space exploration."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.synth.device import FpgaDevice
+from repro.synth.dse import (
+    DseResult,
+    explore,
+    find_optimal_config,
+    pareto_frontier,
+)
+
+SMALL_SPACE = dict(
+    n_pe_choices=(16, 32), n_b_choices=(1, 4, 8), n_k_choices=(1, 2)
+)
+
+
+class TestExplore:
+    def test_counts_and_feasibility(self):
+        result = explore(get_kernel(1), **SMALL_SPACE)
+        assert result.explored == 12
+        assert 0 < len(result.feasible) <= 12
+
+    def test_best_is_max_throughput(self):
+        result = explore(get_kernel(1), **SMALL_SPACE)
+        best = result.best
+        assert all(
+            best.alignments_per_sec >= r.alignments_per_sec
+            for r in result.feasible
+        )
+
+    def test_dsp_hungry_kernel_constrained(self):
+        """Profile alignment's DSP appetite caps its parallelism."""
+        result = explore(get_kernel(8), **SMALL_SPACE)
+        best = result.best
+        assert best.config.n_blocks < 16
+
+    def test_no_feasible_config_raises(self):
+        tiny = FpgaDevice("tiny", luts=1000, ffs=2000, bram36=2, dsps=2)
+        result = explore(get_kernel(1), device=tiny, **SMALL_SPACE)
+        with pytest.raises(ValueError):
+            _ = result.best
+
+    def test_find_optimal_config(self):
+        report = find_optimal_config(get_kernel(12), **SMALL_SPACE)
+        assert report.feasible
+
+
+class TestPareto:
+    def test_frontier_monotone(self):
+        result = explore(get_kernel(2), **SMALL_SPACE)
+        frontier = pareto_frontier(result)
+        luts = [r.total.luts for r in frontier]
+        thr = [r.alignments_per_sec for r in frontier]
+        assert luts == sorted(luts)
+        assert thr == sorted(thr)
+
+    def test_frontier_subset_of_feasible(self):
+        result = explore(get_kernel(2), **SMALL_SPACE)
+        frontier = pareto_frontier(result)
+        assert set(id(r) for r in frontier) <= set(id(r) for r in result.feasible)
+
+    def test_frontier_contains_best(self):
+        result = explore(get_kernel(2), **SMALL_SPACE)
+        frontier = pareto_frontier(result)
+        assert frontier[-1].alignments_per_sec == result.best.alignments_per_sec
+
+    def test_empty_frontier(self):
+        assert pareto_frontier(DseResult(feasible=(), explored=0)) == []

@@ -1,0 +1,115 @@
+"""White-box tests of the systolic engine's internal mechanisms.
+
+These pin behaviours the black-box equivalence tests only cover
+indirectly: the preserved-row buffer handoff between chunks, sentinel
+propagation at band edges, and — most interestingly — that deliberate
+datapath *overflow* wraps identically in engine and oracle (both quantize
+through the same hardware number type, so even wrong-width kernels stay
+bit-identical across back-ends).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.hdl_types import ap_int
+from repro.kernels import get_kernel
+from repro.kernels.variants import make_banded
+from repro.reference import oracle_align
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+
+class TestChunkHandoff:
+    def test_single_pe_serial_chunks(self):
+        """N_PE=1 exercises the preserved-row buffer on every row."""
+        spec = get_kernel(2)
+        ref = random_dna(17, seed=1)
+        qry = mutated_copy(ref, seed=2)
+        ours = align(spec, qry, ref, n_pe=1, collect_matrix=True)
+        oracle = oracle_align(spec, qry, ref, collect_matrix=True)
+        assert np.allclose(ours.matrix, oracle.matrix)
+
+    def test_chunk_boundary_rows_exact(self):
+        """Rows just below a chunk boundary read the preserved buffer."""
+        spec = get_kernel(1)
+        n_pe = 4
+        ref = random_dna(20, seed=3)
+        qry = random_dna(13, seed=4)  # 4 chunks: rows 1-4, 5-8, 9-12, 13
+        ours = align(spec, qry, ref, n_pe=n_pe, collect_matrix=True)
+        oracle = oracle_align(spec, qry, ref, collect_matrix=True)
+        for boundary_row in (5, 9, 13):
+            assert np.allclose(
+                ours.matrix[:, boundary_row, :],
+                oracle.matrix[:, boundary_row, :],
+            ), f"row {boundary_row} disagreed across the chunk boundary"
+
+    def test_query_shorter_than_one_chunk(self):
+        spec = get_kernel(1)
+        ref = random_dna(12, seed=5)
+        qry = random_dna(2, seed=6)
+        ours = align(spec, qry, ref, n_pe=8)
+        assert ours.score == oracle_align(spec, qry, ref).score
+
+
+class TestBandEdges:
+    def test_out_of_band_cells_stay_sentinel(self):
+        spec = make_banded(get_kernel(1), 3)
+        n = 12
+        q, r = random_dna(n, 7), random_dna(n, 8)
+        result = align(spec, q, r, n_pe=4, collect_matrix=True)
+        sentinel = spec.sentinel()
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                if abs(i - j) > 3:
+                    assert result.matrix[0, i, j] == sentinel
+
+    def test_band_one_is_three_diagonals(self):
+        spec = make_banded(get_kernel(1), 1)
+        n = 8
+        q, r = random_dna(n, 9), random_dna(n, 10)
+        ours = align(spec, q, r, n_pe=3)
+        oracle = oracle_align(spec, q, r)
+        assert ours.score == oracle.score
+        assert ours.alignment.moves == oracle.alignment.moves
+
+
+class TestOverflowWrapEquivalence:
+    def test_deliberate_overflow_wraps_identically(self):
+        """An 8-bit score type overflows on long matches — engine and
+        oracle must wrap bit-identically (both quantize via ap_int)."""
+        tiny = replace(
+            get_kernel(1), name="nw_tiny", score_type=ap_int(8)
+        )
+        seq = random_dna(120, seed=11)  # score would reach 240 > 127
+        ours = align(tiny, seq, seq, n_pe=4)
+        oracle = oracle_align(tiny, seq, seq)
+        assert ours.score == oracle.score
+        assert tiny.score_type.in_range(ours.score)
+
+    def test_wide_type_does_not_wrap(self):
+        seq = random_dna(120, seed=11)
+        result = align(get_kernel(1), seq, seq, n_pe=4)
+        assert result.score == 240  # 120 matches x 2
+
+
+class TestMatrixCapture:
+    def test_init_row_col_included(self):
+        spec = get_kernel(1)
+        q, r = random_dna(5, 12), random_dna(7, 13)
+        result = align(spec, q, r, n_pe=2, collect_matrix=True)
+        gap = spec.default_params.linear_gap
+        assert list(result.matrix[0, 0, :]) == [gap * j for j in range(8)]
+        assert list(result.matrix[0, :, 0]) == [gap * i for i in range(6)]
+
+    def test_matrix_shape(self):
+        spec = get_kernel(2)
+        q, r = random_dna(5, 14), random_dna(9, 15)
+        result = align(spec, q, r, n_pe=2, collect_matrix=True)
+        assert result.matrix.shape == (3, 6, 10)
+
+    def test_no_matrix_by_default(self):
+        spec = get_kernel(1)
+        q, r = random_dna(5, 16), random_dna(5, 17)
+        assert align(spec, q, r, n_pe=2).matrix is None

@@ -1,0 +1,81 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Heavy constants are shrunk through module attributes where needed so the
+suite stays fast; the examples' own assertions (homolog ranking, viral
+separation, custom-kernel equivalence) still execute.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, **attr_overrides):
+    """Execute an example as __main__ with optional constant overrides."""
+    path = EXAMPLES / name
+    if not attr_overrides:
+        runpy.run_path(str(path), run_name="__main__")
+        return
+    # Load the module without running main, patch, then call main().
+    namespace = runpy.run_path(str(path), run_name="not_main")
+    namespace.update(attr_overrides)
+    # Rebind globals the functions captured.
+    main = namespace["main"]
+    main.__globals__.update(attr_overrides)
+    main()
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "CIGAR" in out and "synthesis report" in out
+
+
+def test_custom_kernel(capsys):
+    run_example("custom_kernel.py")
+    out = capsys.readouterr().out
+    assert "edit distance" in out
+
+
+def test_protein_search(capsys):
+    run_example("protein_search.py")
+    assert "homologs" in capsys.readouterr().out
+
+
+def test_viral_detection(capsys):
+    run_example("viral_detection_sdtw.py", N_READS=6, VIRUS_BASES=80)
+    assert "separation" in capsys.readouterr().out
+
+
+def test_long_read_tiling(capsys):
+    run_example("long_read_tiling.py", READ_LENGTH=500)
+    out = capsys.readouterr().out
+    assert "tiled" in out and "direct" in out
+
+
+def test_mixed_pipeline(capsys):
+    run_example("mixed_pipeline.py")
+    out = capsys.readouterr().out
+    assert "linked design" in out and "makespan" in out
+
+
+def test_fastq_mapping_pipeline(capsys):
+    run_example("fastq_mapping_pipeline.py")
+    out = capsys.readouterr().out
+    assert "SAM written" in out and "accuracy" in out
+
+
+def test_msa_phylogeny(capsys):
+    run_example("msa_phylogeny.py")
+    out = capsys.readouterr().out
+    assert "guide tree" in out and "identity" in out
+
+
+def test_design_space_exploration(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["design_space_exploration.py", "1"])
+    run_example("design_space_exploration.py")
+    assert "selected configuration" in capsys.readouterr().out

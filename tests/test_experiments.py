@@ -1,0 +1,192 @@
+"""End-to-end tests of the experiment harnesses against the paper's claims.
+
+These check the *shape* requirements: who wins, by roughly what factor,
+where scaling saturates — not absolute tool numbers (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import fig3, fig4, fig5, fig6, hls_cmp, table2
+from repro.experiments.paper_values import (
+    FIG6_CUDASW_SPEEDUP,
+    FIG6_EMBOSS_SPEEDUP,
+    FIG6_GASAL2_BAND,
+    FIG6_MINIMAP2_SPEEDUP,
+    FIG6_SEQAN_BAND,
+    HLS_BASELINE_GAIN_PCT,
+    TABLE2,
+)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.build_table2()
+
+    def test_all_kernels_present(self, rows):
+        assert [r.kernel_id for r in rows] == list(range(1, 16))
+
+    def test_throughput_within_2x_of_paper(self, rows):
+        for r in rows:
+            ratio = r.alignments_per_sec / r.paper_alignments_per_sec
+            assert 0.5 < ratio < 2.0, f"kernel #{r.kernel_id}: {ratio:.2f}x"
+
+    def test_throughput_ordering_preserved(self, rows):
+        """Fast kernels stay fast: rank correlation with the paper."""
+        model = sorted(rows, key=lambda r: r.alignments_per_sec)
+        paper = sorted(rows, key=lambda r: r.paper_alignments_per_sec)
+        model_rank = {r.kernel_id: i for i, r in enumerate(model)}
+        paper_rank = {r.kernel_id: i for i, r in enumerate(paper)}
+        disagreements = sum(
+            abs(model_rank[k] - paper_rank[k]) > 3 for k in model_rank
+        )
+        assert disagreements <= 2
+
+    def test_fmax_matches_paper(self, rows):
+        for r in rows:
+            assert r.fmax_mhz == TABLE2[r.kernel_id].fmax_mhz
+
+    def test_profile_ii_is_four(self, rows):
+        assert next(r for r in rows if r.kernel_id == 8).ii == 4
+
+    def test_dsp_heavy_kernels(self, rows):
+        by_id = {r.kernel_id: r for r in rows}
+        assert by_id[8].dsp_pct > 20     # paper: 28.11 %
+        assert by_id[9].dsp_pct > 1      # paper: 2.84 %
+        assert by_id[1].dsp_pct < 0.1
+
+    def test_render(self, rows):
+        text = table2.render(rows)
+        assert "global_linear" in text and "aln/s" in text
+
+
+class TestFig3:
+    def test_npe_scaling_saturates(self):
+        points = fig3.sweep_npe(1, n_pe_values=(1, 2, 4, 8, 16, 32, 64))
+        thr = [p.alignments_per_sec for p in points]
+        assert all(b > a for a, b in zip(thr, thr[1:]))  # monotone
+        early_gain = thr[1] / thr[0]
+        late_gain = thr[-1] / thr[-2]
+        assert early_gain > 1.7      # near-perfect at small N_PE
+        assert late_gain < 1.5       # saturating at large N_PE
+
+    def test_nb_scaling_linear(self):
+        points = fig3.sweep_nb(1, n_b_values=(1, 2, 4, 8, 16))
+        thr = [p.alignments_per_sec for p in points]
+        for i, p in enumerate(points):
+            assert thr[i] == pytest.approx(thr[0] * p.n_b, rel=1e-6)
+
+    def test_resources_scale_with_nb(self):
+        points = fig3.sweep_nb(1, n_b_values=(1, 2, 4))
+        assert points[2].lut_pct == pytest.approx(4 * points[0].lut_pct)
+        assert points[2].bram_pct == pytest.approx(4 * points[0].bram_pct)
+
+    def test_dsp_flat_for_global_linear(self):
+        points = fig3.sweep_npe(1, n_pe_values=(8, 16, 32))
+        assert points[0].dsp_pct == points[-1].dsp_pct
+
+    def test_dsp_scales_for_dtw(self):
+        points = fig3.sweep_npe(9, n_pe_values=(8, 16, 32))
+        assert points[-1].dsp_pct > 3 * points[0].dsp_pct
+
+    def test_bram_dip_at_64(self):
+        points = {p.n_pe: p for p in fig3.sweep_npe(1, n_pe_values=(32, 64))}
+        assert points[64].bram_pct < points[32].bram_pct
+
+    def test_dtw_nb_cap_near_paper(self):
+        assert 15 <= fig3.dtw_nb_cap() <= 30  # paper: 24
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def comparisons(self):
+        return fig4.build_fig4()
+
+    def test_rtl_wins_every_panel(self, comparisons):
+        for c in comparisons:
+            assert c.rtl_aln_per_sec > c.dp_hls_aln_per_sec
+
+    def test_margins_close_to_paper(self, comparisons):
+        for c in comparisons:
+            assert abs(c.margin_pct - c.paper_margin_pct) < 3.0, c.baseline
+
+    def test_bsw_margin_largest(self, comparisons):
+        by_name = {c.baseline: c for c in comparisons}
+        assert by_name["BSW"].margin_pct > by_name["GACT"].margin_pct
+        assert by_name["BSW"].margin_pct > by_name["SquiggleFilter"].margin_pct
+
+    def test_resources_comparable(self, comparisons):
+        for c in comparisons:
+            assert 0.8 < c.rtl_lut / c.dp_hls_lut <= 1.0
+            assert c.rtl_ff == pytest.approx(c.dp_hls_ff)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig5.build_fig5()
+
+    def test_curves_parallel(self, points):
+        """Throughput ratio DP-HLS/GACT stays roughly constant over N_PE."""
+        ratios = [p.dp_hls_aln_per_sec / p.gact_aln_per_sec for p in points]
+        assert max(ratios) - min(ratios) < 0.12
+
+    def test_resource_gap_constant_fraction(self, points):
+        gaps = [p.dp_hls_lut / p.gact_lut for p in points]
+        assert max(gaps) - min(gaps) < 0.05
+
+    def test_both_scale_with_npe(self, points):
+        assert points[-1].dp_hls_aln_per_sec > 2 * points[0].dp_hls_aln_per_sec
+        assert points[-1].gact_aln_per_sec > 2 * points[0].gact_aln_per_sec
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def cpu(self):
+        return fig6.build_cpu_panel()
+
+    @pytest.fixture(scope="class")
+    def gpu(self):
+        return fig6.build_gpu_panel()
+
+    def test_dp_hls_wins_everywhere(self, cpu, gpu):
+        for row in cpu + gpu:
+            assert row.speedup > 1.0, f"{row.baseline} #{row.kernel_id}"
+
+    def test_seqan_band(self, cpu):
+        seqan = [r for r in cpu if r.baseline == "SeqAn3"]
+        lo, hi = FIG6_SEQAN_BAND
+        for r in seqan:
+            assert lo * 0.9 <= r.speedup <= hi * 1.1, f"#{r.kernel_id}: {r.speedup}"
+
+    def test_minimap2_speedup(self, cpu):
+        row = next(r for r in cpu if r.baseline == "Minimap2")
+        assert row.speedup == pytest.approx(FIG6_MINIMAP2_SPEEDUP, rel=0.25)
+
+    def test_emboss_speedup(self, cpu):
+        row = next(r for r in cpu if r.baseline == "EMBOSS Water")
+        assert row.speedup == pytest.approx(FIG6_EMBOSS_SPEEDUP, rel=0.25)
+
+    def test_gasal2_band(self, gpu):
+        lo, hi = FIG6_GASAL2_BAND
+        gasal = [r for r in gpu if r.baseline == "GASAL2"]
+        assert len(gasal) == 3
+        assert min(r.speedup for r in gasal) == pytest.approx(lo, rel=0.2)
+        assert max(r.speedup for r in gasal) == pytest.approx(hi, rel=0.2)
+
+    def test_cudasw_speedup(self, gpu):
+        row = next(r for r in gpu if r.baseline == "CUDASW++4.0")
+        assert row.speedup == pytest.approx(FIG6_CUDASW_SPEEDUP, rel=0.15)
+
+    def test_render(self):
+        assert "SeqAn3" in fig6.render()
+
+
+class TestHlsComparison:
+    def test_gain_close_to_paper(self):
+        c = hls_cmp.build_hls_comparison()
+        assert c.gain_pct > 0
+        assert abs(c.gain_pct - HLS_BASELINE_GAIN_PCT) < 8.0
+
+    def test_render(self):
+        assert "Vitis" in hls_cmp.render()

@@ -1,0 +1,79 @@
+"""Tests for JSON export and the combined reproduction summary."""
+
+import json
+
+import pytest
+
+from repro.experiments.summary import reproduce_all
+from repro.kernels import get_kernel
+from repro.synth import LaunchConfig, synthesize
+from repro.synth.export import (
+    linked_design_to_dict,
+    report_to_dict,
+    report_to_json,
+)
+from repro.synth.linker import ChannelSpec, link
+
+
+class TestReportExport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return synthesize(get_kernel(2), LaunchConfig(n_pe=16, n_b=2, n_k=2))
+
+    def test_dict_fields(self, report):
+        d = report_to_dict(report)
+        assert d["kernel"] == "global_affine"
+        assert d["config"]["n_pe"] == 16
+        assert d["feasible"] is True
+        assert d["total"]["lut"] == pytest.approx(4 * d["block"]["lut"])
+        assert set(d["utilization_pct"]) == {"lut", "ff", "bram", "dsp"}
+
+    def test_json_roundtrip(self, report):
+        text = report_to_json(report)
+        back = json.loads(text)
+        assert back["alignments_per_sec"] == pytest.approx(
+            report.alignments_per_sec
+        )
+
+    def test_json_is_plain_types(self, report):
+        # json.dumps raises on non-serialisable leftovers
+        json.dumps(report_to_dict(report))
+
+
+class TestLinkedExport:
+    def test_linked_design_dict(self):
+        design = link(
+            [ChannelSpec(get_kernel(1), n_b=2), ChannelSpec(get_kernel(3))]
+        )
+        d = linked_design_to_dict(design)
+        assert len(d["channels"]) == 2
+        assert d["total_alignments_per_sec"] == pytest.approx(
+            sum(c["alignments_per_sec"] for c in d["channels"])
+        )
+        json.dumps(d)
+
+
+class TestSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return reproduce_all(include_tiling=False)
+
+    def test_all_sections_present(self, summary):
+        assert set(summary.sections) == {
+            "table1_taxonomy", "table2_kernels",
+            "fig3_scaling_kernel1", "fig3_scaling_kernel9",
+            "fig4_rtl_baselines", "fig5_gact_scaling",
+            "fig6_sw_baselines", "sec7_5_hls_baseline",
+        }
+
+    def test_render_contains_headlines(self, summary):
+        text = summary.render()
+        assert "Table 2" in text
+        assert "GACT" in text
+        assert "SeqAn3" in text
+
+    def test_cli_all_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["all"]) == 0
+        assert "full experiment summary" in capsys.readouterr().out

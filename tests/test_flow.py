@@ -1,0 +1,63 @@
+"""Tests for the end-to-end Fig. 2A flow orchestrator."""
+
+import pytest
+
+from repro.flow import run_flow
+from repro.kernels import get_kernel
+from repro.synth import LaunchConfig
+from tests.conftest import mutated_copy, random_dna
+
+
+def workload(n=2, length=20, seed=0):
+    pairs = []
+    for k in range(n):
+        ref = random_dna(length, seed=seed + k)
+        pairs.append((mutated_copy(ref, seed + 100 + k)[:length], ref))
+    return pairs
+
+
+class TestRunFlow:
+    def test_healthy_kernel_passes(self):
+        result = run_flow(
+            get_kernel(2), workload(), LaunchConfig(n_pe=16, n_b=2)
+        )
+        assert result.passed
+        assert result.verification.passed
+        assert result.synthesis.feasible
+        assert "module global_affine_pe" in result.rtl_skeleton
+
+    def test_summary_contains_all_stages(self):
+        result = run_flow(get_kernel(1), workload(), LaunchConfig(n_pe=8))
+        text = result.summary()
+        for stage in ("C-simulation", "synthesis", "co-simulation",
+                      "implementation", "verdict"):
+            assert stage in text
+
+    def test_infeasible_config_fails_flow(self):
+        result = run_flow(
+            get_kernel(8),
+            [p for p in _profile_pairs()],
+            LaunchConfig(n_pe=32, n_b=16, n_k=8),
+        )
+        assert result.verification.passed
+        assert not result.synthesis.feasible
+        assert not result.passed
+
+    def test_custom_kernel_through_flow(self):
+        """A user kernel goes through the same gate as shipped ones."""
+        import runpy
+        from pathlib import Path
+
+        ns = runpy.run_path(
+            str(Path(__file__).parent.parent / "examples" / "custom_kernel.py"),
+            run_name="imported",
+        )
+        result = run_flow(ns["EDIT_DISTANCE"], workload(), LaunchConfig(n_pe=8))
+        assert result.passed
+
+
+def _profile_pairs():
+    from repro.data.profiles import profile_pair
+
+    p1, p2 = profile_pair(n_cols=10, seed=1)
+    return [(p1, p2)]

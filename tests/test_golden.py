@@ -1,0 +1,89 @@
+"""Golden regression vectors: fixed inputs, pinned outputs.
+
+Engine/oracle equivalence catches *internal* inconsistency; these vectors
+catch *semantic drift* — if a scoring convention, tie-break or FSM detail
+changes, a pinned score/CIGAR here changes with it and the diff shows up
+in review.  Inputs are tiny and hand-checkable; every pinned value was
+cross-checked against the independent textbook implementations when the
+vector was recorded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import encode_dna, encode_protein
+from repro.kernels import get_kernel
+from repro.systolic import align
+
+#: Query differs from the reference by one mismatch (T vs A at offset 3)
+#: and one missing base (the reference's second T at offset 9).
+QUERY = encode_dna("ACGTTAGCATCGGA")
+REF = encode_dna("ACGATAGCTATCGGA")
+
+GOLDEN_DNA = {
+    # kid: (score, cigar)
+    # #1: 13 matches (+26), 1 mismatch (-2), 1 gap (-3) = 21
+    1: (21, "8M1I6M"),
+    # #2: 13*2 - 4 (mismatch) - (4 + 2) (affine gap of 1) = 16
+    2: (16, "8M1I6M"),
+    3: (21, "8M1I6M"),
+    4: (16, "8M1I6M"),
+    # #5: short piece charges the length-1 gap: -(4 + 2) = 16
+    5: (16, "8M1I6M"),
+    # #6: overlap scoring (match 2 / mismatch -3 / gap -2) = 26 - 3 - 2 = 21
+    6: (21, "8M1I6M"),
+    7: (21, "8M1I6M"),
+}
+
+
+@pytest.mark.parametrize("kid,expected", sorted(GOLDEN_DNA.items()))
+def test_dna_kernel_golden(kid, expected):
+    result = align(get_kernel(kid), QUERY, REF, n_pe=4)
+    assert (result.score, result.cigar) == expected, (
+        f"kernel #{kid} drifted: got ({result.score}, {result.cigar!r})"
+    )
+
+
+def test_banded_kernels_golden():
+    q = encode_dna("ACGTTAGCATCGGAT")
+    r = encode_dna("ACGATAGCTATCGGA")
+    assert align(get_kernel(11), q, r, n_pe=4).score == 18
+    assert align(get_kernel(12), q, r, n_pe=4).score == 16
+    assert align(get_kernel(13), q, r, n_pe=4).score == 10
+
+
+def test_protein_golden():
+    query = encode_protein("MKWVTFISLLLLFSSAYS")
+    ref = encode_protein("MKWVTFLSLLLLFSSAYS")  # one I -> L substitution
+    result = align(get_kernel(15), query, ref, n_pe=4)
+    # Sum of BLOSUM62 diagonal over the query, swapping one I/I (+4) for
+    # the conservative I/L (+2):
+    from repro.data.blosum import BLOSUM62
+
+    diagonal = sum(BLOSUM62[a][a] for a in query)
+    assert result.score == diagonal - BLOSUM62[9][9] + BLOSUM62[9][10] == 87
+    assert result.cigar == "18M"
+
+
+def test_sdtw_golden():
+    query = (100, 120, 110)
+    reference = (10, 100, 121, 110, 10, 10)
+    result = align(get_kernel(14), query, reference, n_pe=2)
+    assert result.score == 1  # perfect placement bar one off-by-one sample
+    assert result.start == (3, 4)
+
+
+def test_viterbi_golden():
+    seq = encode_dna("ACGTACGT")
+    result = align(get_kernel(10), seq, seq, n_pe=4)
+    p = get_kernel(10).default_params
+    # Eight matching emissions, no gap states (fixed-point quantized).
+    assert np.isclose(result.score, 8 * p.emission[0][0], atol=1e-2)
+
+
+def test_dtw_golden():
+    sig_a = ((0.0, 0.0), (1.0, 0.0), (2.0, 0.0))
+    sig_b = ((0.0, 0.0), (1.0, 0.0), (1.0, 0.0), (2.0, 0.0))
+    result = align(get_kernel(9), sig_a, sig_b, n_pe=2)
+    assert result.score == 0.0  # the warp absorbs the duplicated sample
+    assert result.cigar == "2M1I1M"

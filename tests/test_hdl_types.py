@@ -1,0 +1,188 @@
+"""Unit and property tests for the ap_int / ap_fixed emulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl_types import (
+    ApFixedType,
+    ApIntType,
+    Overflow,
+    Rounding,
+    ap_int,
+    ap_uint,
+    bits_for_range,
+    bits_for_states,
+)
+
+
+class TestApIntRange:
+    def test_signed_bounds(self):
+        t = ap_int(8)
+        assert t.min_value == -128
+        assert t.max_value == 127
+
+    def test_unsigned_bounds(self):
+        t = ap_uint(8)
+        assert t.min_value == 0
+        assert t.max_value == 255
+
+    def test_one_bit_unsigned(self):
+        t = ap_uint(1)
+        assert (t.min_value, t.max_value) == (0, 1)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ApIntType(0)
+
+    def test_in_range(self):
+        t = ap_int(4)
+        assert t.in_range(-8) and t.in_range(7)
+        assert not t.in_range(8) and not t.in_range(-9)
+
+
+class TestApIntQuantize:
+    def test_identity_in_range(self):
+        t = ap_int(16)
+        assert t.quantize(1234) == 1234
+        assert t.quantize(-1234) == -1234
+
+    def test_wrap_positive_overflow(self):
+        t = ap_int(8)
+        assert t.quantize(128) == -128  # two's complement wrap
+
+    def test_wrap_negative_overflow(self):
+        t = ap_int(8)
+        assert t.quantize(-129) == 127
+
+    def test_saturate(self):
+        t = ApIntType(8, signed=True, overflow=Overflow.SATURATE)
+        assert t.quantize(1000) == 127
+        assert t.quantize(-1000) == -128
+
+    def test_unsigned_wrap(self):
+        t = ap_uint(8)
+        assert t.quantize(256) == 0
+        assert t.quantize(-1) == 255
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9))
+    def test_wrap_matches_modular_arithmetic(self, value):
+        t = ap_int(12)
+        wrapped = t.quantize(value)
+        assert t.in_range(wrapped)
+        assert (wrapped - value) % (1 << 12) == 0
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9))
+    def test_quantize_idempotent(self, value):
+        t = ap_int(10)
+        once = t.quantize(value)
+        assert t.quantize(once) == once
+
+    def test_sentinels_survive_one_more_op(self):
+        t = ap_int(16)
+        assert t.in_range(t.sentinel_low() - 100)
+        assert t.in_range(t.sentinel_high() + 100)
+
+
+class TestApFixed:
+    def test_resolution(self):
+        t = ApFixedType(16, 8)
+        assert t.resolution == 1 / 256
+
+    def test_quantize_snaps_to_grid(self):
+        t = ApFixedType(16, 8)
+        v = t.quantize(1.30078125)  # exactly on the 1/256 grid
+        assert v == 1.30078125
+        snapped = t.quantize(1.3000001)
+        assert abs(snapped - 1.3) < t.resolution
+
+    def test_range(self):
+        t = ApFixedType(8, 4)
+        assert t.max_value == 7.9375
+        assert t.min_value == -8.0
+
+    def test_saturation_default(self):
+        t = ApFixedType(8, 4)
+        assert t.quantize(1000.0) == t.max_value
+        assert t.quantize(-1000.0) == t.min_value
+
+    def test_raw_roundtrip(self):
+        t = ApFixedType(16, 8)
+        assert t.from_raw(t.to_raw(2.5)) == 2.5
+
+    def test_invalid_int_width(self):
+        with pytest.raises(ValueError):
+            ApFixedType(8, 9)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_quantize_error_bounded(self, value):
+        t = ApFixedType(24, 12)
+        q = t.quantize(value)
+        assert abs(q - value) <= t.resolution / 2 + 1e-12
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_quantize_idempotent(self, value):
+        t = ApFixedType(24, 12)
+        once = t.quantize(value)
+        assert t.quantize(once) == once
+
+
+class TestRoundingModes:
+    def test_truncate_floors(self):
+        t = ApFixedType(16, 8, rounding=Rounding.TRUNCATE)
+        assert t.quantize(1.999) == 1.99609375     # floor to the grid
+        assert t.quantize(-1.001) == -1.00390625   # toward -inf
+
+    def test_round_nearest(self):
+        t = ApFixedType(16, 8, rounding=Rounding.ROUND)
+        assert t.quantize(1.999) == 2.0
+
+    def test_truncate_never_above_value(self):
+        t = ApFixedType(16, 8, rounding=Rounding.TRUNCATE)
+        for value in (0.123, 3.7, -2.6, 0.0):
+            assert t.quantize(value) <= value
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_truncate_error_bounded_one_lsb(self, value):
+        t = ApFixedType(24, 12, rounding=Rounding.TRUNCATE)
+        q = t.quantize(value)
+        assert value - t.resolution <= q <= value + 1e-12
+
+    def test_truncate_idempotent(self):
+        t = ApFixedType(16, 8, rounding=Rounding.TRUNCATE)
+        once = t.quantize(3.1415)
+        assert t.quantize(once) == once
+
+
+class TestWidthHelpers:
+    @pytest.mark.parametrize(
+        "n,bits", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (16, 4), (17, 5)]
+    )
+    def test_bits_for_states(self, n, bits):
+        assert bits_for_states(n) == bits
+
+    def test_bits_for_states_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for_states(0)
+
+    @pytest.mark.parametrize(
+        "low,high,bits",
+        [(0, 1, 1), (0, 255, 8), (0, 256, 9), (-1, 0, 1), (-128, 127, 8),
+         (-129, 0, 9), (0, 0, 1)],
+    )
+    def test_bits_for_range(self, low, high, bits):
+        assert bits_for_range(low, high) == bits
+
+    def test_bits_for_range_empty(self):
+        with pytest.raises(ValueError):
+            bits_for_range(5, 4)
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_bits_for_range_represents_endpoints(self, a, b):
+        low, high = min(a, b), max(a, b)
+        width = bits_for_range(low, high)
+        if low >= 0:
+            assert high <= (1 << width) - 1
+        else:
+            assert -(1 << (width - 1)) <= low
+            assert high <= (1 << (width - 1)) - 1

@@ -1,0 +1,87 @@
+"""Tests for the host-side batch scheduler model."""
+
+import pytest
+
+from repro.host import AlignmentBatch, HostScheduler
+
+
+def batch_of(cycles_list):
+    batch = AlignmentBatch()
+    for c in cycles_list:
+        batch.add(c)
+    return batch
+
+
+class TestBatch:
+    def test_add_and_len(self):
+        batch = batch_of([100, 200])
+        assert len(batch) == 2
+
+    def test_invalid_job(self):
+        with pytest.raises(ValueError):
+            AlignmentBatch().add(0)
+
+
+class TestScheduler:
+    def test_empty_batch(self):
+        result = HostScheduler(2, 2).run(AlignmentBatch())
+        assert result.makespan_cycles == 0
+        assert result.utilization == 0.0
+
+    def test_single_job(self):
+        sched = HostScheduler(1, 1, dispatch_cycles=10)
+        result = sched.run(batch_of([1000]))
+        assert result.makespan_cycles == 1010
+
+    def test_equal_jobs_fill_blocks(self):
+        sched = HostScheduler(n_k=2, n_b=2, dispatch_cycles=0)
+        result = sched.run(batch_of([1000] * 4))
+        assert result.makespan_cycles == 1000
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_more_jobs_than_blocks_queue(self):
+        sched = HostScheduler(n_k=1, n_b=2, dispatch_cycles=0)
+        result = sched.run(batch_of([1000] * 4))
+        assert result.makespan_cycles == 2000
+
+    def test_dispatch_overhead_serialises_channel(self):
+        sched = HostScheduler(n_k=1, n_b=8, dispatch_cycles=100)
+        result = sched.run(batch_of([100] * 8))
+        # dispatches are 100 cycles apart, so the last job starts at 800
+        assert result.makespan_cycles == 900
+
+    def test_channels_independent(self):
+        one = HostScheduler(n_k=1, n_b=1, dispatch_cycles=0).run(
+            batch_of([1000] * 8)
+        )
+        four = HostScheduler(n_k=4, n_b=1, dispatch_cycles=0).run(
+            batch_of([1000] * 8)
+        )
+        assert four.makespan_cycles * 3 < one.makespan_cycles
+
+    def test_throughput(self):
+        sched = HostScheduler(n_k=2, n_b=2, dispatch_cycles=0)
+        result = sched.run(batch_of([1000] * 4))
+        assert result.throughput(250.0) == pytest.approx(4 * 250e6 / 1000)
+
+    def test_throughput_invalid_freq(self):
+        result = HostScheduler(1, 1).run(batch_of([10]))
+        with pytest.raises(ValueError):
+            result.throughput(0)
+
+    def test_makespan_at_least_critical_job(self):
+        sched = HostScheduler(n_k=2, n_b=4, dispatch_cycles=5)
+        jobs = [100, 5000, 200, 300, 400]
+        result = sched.run(batch_of(jobs))
+        assert result.makespan_cycles >= 5000
+
+    def test_utilization_bounded(self):
+        sched = HostScheduler(n_k=3, n_b=2, dispatch_cycles=7)
+        result = sched.run(batch_of([100, 900, 450, 222, 801, 333, 90]))
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HostScheduler(0, 1)
+        with pytest.raises(ValueError):
+            HostScheduler(1, 1, dispatch_cycles=-1)

@@ -1,0 +1,243 @@
+"""Semantic behaviour of each kernel on constructed scenarios.
+
+Beyond matching oracles, each kernel must *behave like the algorithm it
+claims to be*: Smith-Waterman finds a planted motif, overlap alignment
+detects a suffix-prefix join, sDTW locates a planted sub-signal, the
+two-piece model charges long gaps by the cheap piece, and so on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import encode_dna, encode_protein
+from repro.core.result import Move
+from repro.kernels import get_kernel
+from repro.systolic import align
+from tests.conftest import random_dna
+
+
+class TestGlobalLinear:
+    def test_identical_sequences_all_match(self):
+        spec = get_kernel(1)
+        seq = encode_dna("ACGTACGTAC")
+        result = align(spec, seq, seq, n_pe=4)
+        assert result.cigar == f"{len(seq)}M"
+        assert result.score == len(seq) * spec.default_params.match
+
+    def test_single_substitution_cost(self):
+        spec = get_kernel(1)
+        a = encode_dna("ACGTACGTAC")
+        b = encode_dna("ACGTTCGTAC")
+        result = align(spec, a, b, n_pe=4)
+        p = spec.default_params
+        assert result.score == (len(a) - 1) * p.match + p.mismatch
+
+    def test_single_deletion_cost(self):
+        spec = get_kernel(1)
+        a = encode_dna("ACGTACGTA")
+        b = encode_dna("ACGTCGTA")  # one base deleted
+        result = align(spec, a, b, n_pe=4)
+        p = spec.default_params
+        assert result.score == len(b) * p.match + p.linear_gap
+        assert "D" in result.cigar
+
+
+class TestLocalLinear:
+    def test_finds_planted_motif(self):
+        spec = get_kernel(3)
+        motif = encode_dna("GATTACAGATTACA")
+        query = random_dna(10, seed=1) + motif + random_dna(10, seed=2)
+        reference = random_dna(12, seed=3) + motif + random_dna(8, seed=4)
+        result = align(spec, query, reference, n_pe=4)
+        assert result.score >= len(motif) * spec.default_params.match
+        # the recovered span covers the planted motif in the query
+        assert result.end[0] <= 10 + 2
+        assert result.start[0] >= 10 + len(motif) - 2
+
+    def test_unrelated_sequences_score_small(self):
+        spec = get_kernel(3)
+        result = align(spec, (0,) * 20, (1,) * 20, n_pe=4)
+        assert result.score == 0
+        assert result.cigar == ""
+
+    def test_score_never_negative(self):
+        spec = get_kernel(3)
+        result = align(spec, random_dna(15, 5), random_dna(15, 6), n_pe=4)
+        assert result.score >= 0
+
+
+class TestAffine:
+    def test_one_long_gap_beats_scattered_gaps(self):
+        """Affine scoring prefers consolidating gaps; the recovered path
+        for a read with one 4-base deletion must contain one 4D run."""
+        spec = get_kernel(2)
+        ref = encode_dna("ACGTACGGATCGTACGTTGCA")
+        qry = ref[:8] + ref[12:]  # clean 4-base deletion
+        result = align(spec, qry, ref, n_pe=4)
+        assert "4I" in result.cigar
+
+    def test_affine_scores_below_linear_for_gapless(self):
+        spec = get_kernel(2)
+        seq = encode_dna("ACGTACGT")
+        result = align(spec, seq, seq, n_pe=4)
+        assert result.score == len(seq) * spec.default_params.match
+
+
+class TestTwoPiece:
+    def test_long_gap_charged_by_cheap_piece(self):
+        spec = get_kernel(5)
+        p = spec.default_params
+        ref = tuple(random_dna(60, seed=9))
+        qry = ref[:15] + ref[55:]  # 40-base deletion
+        result = align(spec, qry, ref, n_pe=8)
+        gap_len = 40
+        expected = 20 * p.match + max(
+            p.gap_open1 + p.gap_extend1 * gap_len,
+            p.gap_open2 + p.gap_extend2 * gap_len,
+        )
+        assert result.score == expected
+        # the long piece is the cheaper one at length 40
+        assert p.gap_open2 + p.gap_extend2 * gap_len > \
+            p.gap_open1 + p.gap_extend1 * gap_len
+
+    def test_short_gap_charged_by_short_piece(self):
+        spec = get_kernel(5)
+        p = spec.default_params
+        ref = tuple(random_dna(30, seed=10))
+        qry = ref[:14] + ref[16:]  # 2-base deletion
+        result = align(spec, qry, ref, n_pe=4)
+        expected = 28 * p.match + p.gap_open1 + p.gap_extend1 * 2
+        assert result.score == expected
+
+
+class TestOverlap:
+    def test_suffix_prefix_overlap(self):
+        spec = get_kernel(6)
+        core = encode_dna("GATTACAGATTACAGATTACA")
+        query = random_dna(12, seed=11) + core       # suffix = core
+        reference = core + random_dna(12, seed=12)   # prefix = core
+        result = align(spec, query, reference, n_pe=4)
+        assert result.score == len(core) * spec.default_params.match
+        # path starts at the end of the query / inside the last row or col
+        si, sj = result.start
+        assert si == len(query) or sj == len(reference)
+
+    def test_overlap_free_ends_not_penalised(self):
+        spec = get_kernel(6)
+        core = encode_dna("ACGTACGTACGT")
+        q = random_dna(6, 13) + core
+        r = core + random_dna(6, 14)
+        with_junk = align(spec, q, r, n_pe=4).score
+        without = align(spec, core, core, n_pe=4).score
+        assert with_junk == without
+
+
+class TestSemiglobal:
+    def test_read_contained_in_reference(self):
+        spec = get_kernel(7)
+        read = encode_dna("GATTACAGTC")
+        reference = random_dna(15, seed=15) + read + random_dna(15, seed=16)
+        result = align(spec, read, reference, n_pe=4)
+        assert result.score == len(read) * spec.default_params.match
+        assert result.cigar == f"{len(read)}M"
+        assert result.end[1] == 15  # located at the planted offset
+
+
+class TestDTW:
+    def test_identical_signals_zero_distance(self):
+        from repro.data.signals import random_complex_signal
+
+        sig = random_complex_signal(16, seed=17)
+        result = align(get_kernel(9), sig, sig, n_pe=4)
+        assert result.score == pytest.approx(0.0, abs=1e-6)
+        assert result.cigar == f"{len(sig)}M"
+
+    def test_stretched_signal_low_distance(self):
+        from repro.data.signals import random_complex_signal, warp_signal
+
+        ref = random_complex_signal(20, seed=18)
+        stretched = warp_signal(ref, stretch=1.5, noise=0.0, seed=19)
+        close = align(get_kernel(9), stretched, ref, n_pe=4).score
+        other = random_complex_signal(len(stretched), seed=20)
+        far = align(get_kernel(9), other, ref, n_pe=4).score
+        assert close < far
+
+    def test_warping_path_monotone(self):
+        from repro.data.signals import random_complex_signal, warp_signal
+
+        ref = random_complex_signal(12, seed=21)
+        qry = warp_signal(ref, seed=22)[:12]
+        aln = align(get_kernel(9), qry, ref, n_pe=4).alignment
+        assert all(m is not Move.END for m in aln.moves)
+
+
+class TestViterbi:
+    def test_identical_beats_mutated(self):
+        spec = get_kernel(10)
+        seq = random_dna(20, seed=23)
+        from tests.conftest import mutated_copy
+
+        same = align(spec, seq, seq, n_pe=4).score
+        other = align(spec, mutated_copy(seq, 24, 0.5)[:20], seq, n_pe=4).score
+        assert same > other
+
+    def test_loglik_negative(self):
+        spec = get_kernel(10)
+        seq = random_dna(16, seed=25)
+        assert align(spec, seq, seq, n_pe=4).score < 0
+
+
+class TestBanded:
+    def test_in_band_alignment_matches_unbanded(self):
+        """When the optimal path stays in the band, banding is lossless."""
+        banded, unbanded = get_kernel(11), get_kernel(1)
+        ref = random_dna(40, seed=26)
+        qry = ref[:10] + (3 - ref[10],) + ref[11:]  # one substitution
+        b = align(banded, qry, ref, n_pe=4)
+        u = align(unbanded, qry, ref, n_pe=4)
+        assert b.score == u.score
+        assert b.cigar == u.cigar
+
+    def test_banded_local_score_le_unbanded(self):
+        banded, unbanded = get_kernel(12), get_kernel(4)
+        q, r = random_dna(50, 27), random_dna(50, 28)
+        assert align(banded, q, r, n_pe=4).score <= align(unbanded, q, r, n_pe=4).score
+
+
+class TestSdtw:
+    def test_finds_planted_subsignal(self):
+        from repro.data.signals import sdtw_pair
+
+        q, r = sdtw_pair(ref_bases=40, seed=29)
+        spec = get_kernel(14)
+        genuine = align(spec, q, r, n_pe=4).score
+        rng = np.random.RandomState(30)
+        random_q = tuple(int(v) for v in rng.randint(0, 256, size=len(q)))
+        impostor = align(spec, random_q, r, n_pe=4).score
+        assert genuine < impostor
+
+    def test_free_placement_start_anywhere(self):
+        spec = get_kernel(14)
+        reference = tuple([50] * 10 + [200] * 5 + [50] * 10)
+        query = (200, 200, 200)
+        result = align(spec, query, reference, n_pe=4)
+        assert result.score == 0  # perfect sub-signal match, no penalty
+
+
+class TestProtein:
+    def test_identical_proteins_score_blosum_diagonal(self):
+        from repro.data.blosum import BLOSUM62
+
+        spec = get_kernel(15)
+        seq = encode_protein("MKTAYIAKQR")
+        result = align(spec, seq, seq, n_pe=4)
+        assert result.score == sum(BLOSUM62[a][a] for a in seq)
+
+    def test_conservative_substitution_scores_higher(self):
+        spec = get_kernel(15)
+        base = encode_protein("MKTAYIAKQRMKTAYIAKQR")
+        conservative = encode_protein("MKTAYLAKQRMKTAYIAKQR")  # I->L (+2)
+        radical = encode_protein("MKTAYPAKQRMKTAYIAKQR")       # I->P (-3)
+        s_cons = align(spec, conservative, base, n_pe=4).score
+        s_rad = align(spec, radical, base, n_pe=4).score
+        assert s_cons > s_rad

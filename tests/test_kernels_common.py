@@ -1,0 +1,146 @@
+"""Unit tests for the shared kernel building blocks (FSMs, inits, cascade)."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import Move
+from repro.core.spec import TB_DIAG, TB_END, TB_LEFT, TB_UP
+from repro.kernels.common import (
+    AFFINE_D_EXT,
+    AFFINE_I_EXT,
+    DEL,
+    INS,
+    LONG_DEL,
+    LONG_INS,
+    MM,
+    TP_DEL,
+    TP_DIAG,
+    TP_END,
+    TP_INS,
+    TP_LDEL,
+    TP_LINS,
+    affine_ptr,
+    affine_tb,
+    constant_init,
+    linear_gap_init,
+    linear_tb,
+    pick_best,
+    substitution,
+    two_piece_ptr,
+    two_piece_tb,
+    zero_init,
+)
+
+
+class TestPickBest:
+    def test_picks_maximum(self):
+        assert pick_best([(1, "a"), (5, "b"), (3, "c")]) == (5, "b")
+
+    def test_first_wins_ties(self):
+        assert pick_best([(5, "a"), (5, "b")]) == (5, "a")
+
+    def test_minimize(self):
+        assert pick_best([(4, "a"), (2, "b")], minimize=True) == (2, "b")
+
+    def test_substitution(self):
+        assert substitution(1, 1, 2, -3) == 2
+        assert substitution(1, 2, 2, -3) == -3
+
+
+class TestInits:
+    def test_zero_init(self):
+        scores = zero_init(2)(None, 4)
+        assert scores.shape == (4, 2)
+        assert (scores == 0).all()
+
+    def test_linear_gap_init(self):
+        class P:
+            linear_gap = -3
+
+        scores = linear_gap_init(1)(P(), 4)
+        assert list(scores[:, 0]) == [0, -3, -6, -9]
+
+    def test_constant_init(self):
+        scores = constant_init(1, boundary=99.0, corner=0.0)(None, 3)
+        assert scores[0, 0] == 0.0
+        assert (scores[1:, 0] == 99.0).all()
+
+
+class TestLinearFsm:
+    def test_moves(self):
+        assert linear_tb(MM, TB_DIAG) == (Move.MATCH, MM)
+        assert linear_tb(MM, TB_UP) == (Move.DEL, MM)
+        assert linear_tb(MM, TB_LEFT) == (Move.INS, MM)
+        assert linear_tb(MM, TB_END) == (Move.END, MM)
+
+
+class TestAffineFsm:
+    def test_ptr_packing(self):
+        ptr = affine_ptr(TB_LEFT, True, False)
+        assert ptr == TB_LEFT | AFFINE_I_EXT
+        ptr = affine_ptr(TB_UP, False, True)
+        assert ptr == TB_UP | AFFINE_D_EXT
+
+    def test_mm_diagonal(self):
+        assert affine_tb(MM, affine_ptr(TB_DIAG, False, False)) == (Move.MATCH, MM)
+
+    def test_gap_open_returns_to_mm(self):
+        move, state = affine_tb(MM, affine_ptr(TB_LEFT, False, False))
+        assert (move, state) == (Move.INS, MM)
+
+    def test_gap_extend_stays_in_gap_state(self):
+        move, state = affine_tb(MM, affine_ptr(TB_LEFT, True, False))
+        assert (move, state) == (Move.INS, INS)
+        move, state = affine_tb(INS, affine_ptr(TB_DIAG, True, False))
+        assert (move, state) == (Move.INS, INS)
+
+    def test_del_state_mirrors_ins(self):
+        move, state = affine_tb(DEL, affine_ptr(TB_DIAG, False, True))
+        assert (move, state) == (Move.DEL, DEL)
+        move, state = affine_tb(DEL, affine_ptr(TB_DIAG, False, False))
+        assert (move, state) == (Move.DEL, MM)
+
+    def test_end(self):
+        assert affine_tb(MM, affine_ptr(TB_END, False, False))[0] is Move.END
+
+    def test_unknown_state(self):
+        with pytest.raises(ValueError):
+            affine_tb(9, 0)
+
+
+class TestTwoPieceFsm:
+    def test_ptr_distinct_sources(self):
+        ptrs = {
+            two_piece_ptr(src, False, False, False, False)
+            for src in (TP_DIAG, TP_DEL, TP_INS, TP_LDEL, TP_LINS, TP_END)
+        }
+        assert len(ptrs) == 6
+
+    def test_ptr_fits_seven_bits(self):
+        ptr = two_piece_ptr(TP_END, True, True, True, True)
+        assert ptr < (1 << 7)
+
+    def test_long_gap_state(self):
+        move, state = two_piece_tb(MM, two_piece_ptr(TP_LINS, False, False, True, False))
+        assert (move, state) == (Move.INS, LONG_INS)
+        move, state = two_piece_tb(LONG_INS, two_piece_ptr(TP_DIAG, False, False, True, False))
+        assert (move, state) == (Move.INS, LONG_INS)
+        move, state = two_piece_tb(LONG_INS, two_piece_ptr(TP_DIAG, False, False, False, False))
+        assert (move, state) == (Move.INS, MM)
+
+    def test_short_and_long_independent(self):
+        ptr = two_piece_ptr(TP_DEL, True, False, True, False)
+        move, state = two_piece_tb(MM, ptr)
+        assert (move, state) == (Move.DEL, MM)  # short del, no d_ext
+
+    def test_long_del(self):
+        ptr = two_piece_ptr(TP_LDEL, False, False, False, True)
+        assert two_piece_tb(MM, ptr) == (Move.DEL, LONG_DEL)
+        assert two_piece_tb(LONG_DEL, ptr) == (Move.DEL, LONG_DEL)
+
+    def test_end(self):
+        assert two_piece_tb(MM, two_piece_ptr(TP_END, 0, 0, 0, 0))[0] is Move.END
+
+    def test_unknown_state(self):
+        with pytest.raises(ValueError):
+            two_piece_tb(9, 0)

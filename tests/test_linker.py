@@ -1,0 +1,67 @@
+"""Tests for heterogeneous multi-kernel linking."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.synth.device import FpgaDevice
+from repro.synth.linker import ChannelSpec, link
+
+
+def mixed_channels():
+    return [
+        ChannelSpec(get_kernel(2), n_pe=32, n_b=4),   # global aligner
+        ChannelSpec(get_kernel(3), n_pe=32, n_b=4),   # local aligner
+        ChannelSpec(get_kernel(14), n_pe=16, n_b=2),  # sDTW filter
+    ]
+
+
+class TestLink:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            link([])
+
+    def test_single_channel(self):
+        design = link([ChannelSpec(get_kernel(1), n_pe=32, n_b=2)])
+        assert design.feasible
+        assert design.total_throughput() == design.channel_throughput(0)
+
+    def test_mixed_global_local(self):
+        """The paper's example: a mix of global and local aligners."""
+        design = link(mixed_channels())
+        assert design.feasible
+        assert len(design.reports) == 3
+        assert design.total_throughput() == pytest.approx(
+            sum(design.channel_throughput(k) for k in range(3))
+        )
+
+    def test_clock_set_by_slowest_channel(self):
+        fast_only = link([ChannelSpec(get_kernel(1))])
+        with_slow = link(
+            [ChannelSpec(get_kernel(1)), ChannelSpec(get_kernel(10))]
+        )
+        assert fast_only.clock_mhz == 250.0
+        assert with_slow.clock_mhz == 125.0  # Viterbi closes at 125 MHz
+
+    def test_slow_clock_penalises_fast_channel(self):
+        alone = link([ChannelSpec(get_kernel(1), n_b=2)])
+        linked = link(
+            [ChannelSpec(get_kernel(1), n_b=2), ChannelSpec(get_kernel(10))]
+        )
+        assert linked.channel_throughput(0) == pytest.approx(
+            alone.channel_throughput(0) * 125.0 / 250.0
+        )
+
+    def test_overflow_detected(self):
+        tiny = FpgaDevice("tiny", luts=50_000, ffs=100_000, bram36=100, dsps=100)
+        design = link(mixed_channels(), device=tiny)
+        assert not design.feasible
+        assert design.overflows()
+
+    def test_summary_renders(self):
+        text = link(mixed_channels()).summary()
+        assert "ch0" in text and "total" in text and "sdtw" in text
+
+    def test_resources_additive(self):
+        design = link(mixed_channels())
+        combined_lut = sum(r.total.luts for r in design.reports)
+        assert combined_lut > max(r.total.luts for r in design.reports)

@@ -1,0 +1,102 @@
+"""Additional hypothesis properties across kernels and substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import get_kernel
+from repro.reference import oracle_align
+from repro.systolic import align
+from tests.test_engine_vs_oracle import assert_equivalent
+
+dna = st.lists(st.integers(0, 3), min_size=1, max_size=18)
+
+
+@given(q=dna, r=dna, n_pe=st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_overlap_property(q, r, n_pe):
+    assert_equivalent(get_kernel(6), tuple(q), tuple(r), n_pe)
+
+
+@given(q=dna, r=dna, n_pe=st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_semiglobal_property(q, r, n_pe):
+    assert_equivalent(get_kernel(7), tuple(q), tuple(r), n_pe)
+
+
+@given(
+    n=st.integers(2, 18), seed=st.integers(0, 10**6), n_pe=st.integers(1, 5)
+)
+@settings(max_examples=25, deadline=None)
+def test_banded_global_property(n, seed, n_pe):
+    rng = np.random.RandomState(seed)
+    q = tuple(int(b) for b in rng.randint(0, 4, n))
+    r = tuple(int(b) for b in rng.randint(0, 4, n))
+    assert_equivalent(get_kernel(11), q, r, n_pe)
+
+
+@given(
+    q=st.lists(st.integers(0, 19), min_size=1, max_size=16),
+    r=st.lists(st.integers(0, 19), min_size=1, max_size=16),
+    n_pe=st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_protein_property(q, r, n_pe):
+    assert_equivalent(get_kernel(15), tuple(q), tuple(r), n_pe)
+
+
+@given(
+    q=st.lists(st.integers(0, 255), min_size=1, max_size=16),
+    r=st.lists(st.integers(0, 255), min_size=1, max_size=16),
+    n_pe=st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_sdtw_property(q, r, n_pe):
+    assert_equivalent(get_kernel(14), tuple(q), tuple(r), n_pe)
+
+
+@given(q=dna, r=dna)
+@settings(max_examples=25, deadline=None)
+def test_score_symmetry_of_symmetric_models(q, r):
+    """Kernels with symmetric scoring are query/reference symmetric in
+    score (traceback moves swap roles)."""
+    for kid in (1, 3):
+        spec = get_kernel(kid)
+        forward = align(spec, tuple(q), tuple(r), n_pe=3).score
+        backward = align(spec, tuple(r), tuple(q), n_pe=3).score
+        assert forward == backward
+
+
+@given(q=dna, r=dna)
+@settings(max_examples=25, deadline=None)
+def test_local_dominates_global(q, r):
+    """A local optimum is never below the global score of the same pair."""
+    local = align(get_kernel(3), tuple(q), tuple(r), n_pe=3).score
+    global_ = align(get_kernel(1), tuple(q), tuple(r), n_pe=3).score
+    assert local >= global_ or local >= 0 > global_
+
+
+@given(q=dna)
+@settings(max_examples=20, deadline=None)
+def test_self_alignment_is_all_matches(q):
+    spec = get_kernel(1)
+    result = align(spec, tuple(q), tuple(q), n_pe=3)
+    assert result.score == len(q) * spec.default_params.match
+    assert result.cigar == f"{len(q)}M"
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    extra=st.lists(st.integers(0, 3), min_size=1, max_size=6),
+)
+@settings(max_examples=20, deadline=None)
+def test_semiglobal_invariant_to_reference_padding(seed, extra):
+    """Semi-global scores cannot drop when the reference grows."""
+    rng = np.random.RandomState(seed)
+    read = tuple(int(b) for b in rng.randint(0, 4, 10))
+    ref = tuple(int(b) for b in rng.randint(0, 4, 16))
+    spec = get_kernel(7)
+    base = align(spec, read, ref, n_pe=3).score
+    padded = align(spec, read, ref + tuple(extra), n_pe=3).score
+    assert padded >= base

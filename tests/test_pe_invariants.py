@@ -1,0 +1,118 @@
+"""Fuzzed invariants of every kernel's PE function.
+
+Direct property tests on ``pe_func`` itself (no engine): pointer values
+must fit the declared ``tb_ptr_bits``, the declared layer count must be
+honoured, and outputs must stay finite under random in-range inputs —
+the guarantees the traceback memory and the synthesis models rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import PEInput
+from repro.kernels import KERNELS, get_kernel
+
+ALL_IDS = sorted(KERNELS)
+
+
+def random_symbol(alphabet, rng):
+    if alphabet.is_struct:
+        return tuple(float(rng.uniform(-2, 2)) for _ in alphabet.fields)
+    if alphabet.size:
+        return int(rng.randint(0, alphabet.size))
+    return int(rng.randint(0, 256))
+
+
+def random_cell(spec, rng):
+    span = min(1000.0, abs(spec.sentinel()) / 4)
+
+    def layer():
+        return tuple(
+            float(rng.uniform(-span, span)) for _ in range(spec.n_layers)
+        )
+
+    return PEInput(
+        up=layer(), diag=layer(), left=layer(),
+        qry=random_symbol(spec.alphabet, rng),
+        ref=random_symbol(spec.alphabet, rng),
+        params=spec.default_params,
+    )
+
+
+@pytest.mark.parametrize("kid", ALL_IDS)
+def test_pointer_fits_declared_width(kid):
+    spec = get_kernel(kid)
+    rng = np.random.RandomState(kid)
+    limit = 1 << spec.tb_ptr_bits
+    for _ in range(200):
+        _scores, ptr = spec.pe_func(random_cell(spec, rng))
+        assert 0 <= ptr < limit, (
+            f"{spec.name}: pointer {ptr} needs more than "
+            f"{spec.tb_ptr_bits} bits"
+        )
+
+
+@pytest.mark.parametrize("kid", ALL_IDS)
+def test_layer_count_honoured(kid):
+    spec = get_kernel(kid)
+    rng = np.random.RandomState(kid + 100)
+    for _ in range(20):
+        scores, _ptr = spec.pe_func(random_cell(spec, rng))
+        assert len(scores) == spec.n_layers
+        assert all(np.isfinite(s) for s in scores)
+
+
+@pytest.mark.parametrize("kid", ALL_IDS)
+def test_quantized_outputs_in_type_range(kid):
+    """After quantization every layer fits the declared score type."""
+    spec = get_kernel(kid)
+    rng = np.random.RandomState(kid + 200)
+    t = spec.score_type
+    for _ in range(50):
+        scores, _ptr = spec.pe_func(random_cell(spec, rng))
+        for s in scores:
+            q = t.quantize(s)
+            assert t.min_value <= q <= t.max_value
+
+
+@given(
+    up=st.floats(-1000, 1000), diag=st.floats(-1000, 1000),
+    left=st.floats(-1000, 1000), q=st.integers(0, 3), r=st.integers(0, 3),
+)
+@settings(max_examples=80, deadline=None)
+def test_nw_cell_is_max_of_three_candidates(up, diag, left, q, r):
+    """Kernel #1's output equals the max of its three explicit candidates."""
+    spec = get_kernel(1)
+    p = spec.default_params
+    cell = PEInput(
+        up=(up,), diag=(diag,), left=(left,), qry=q, ref=r, params=p
+    )
+    (score,), _ptr = spec.pe_func(cell)
+    sub = p.match if q == r else p.mismatch
+    assert score == max(diag + sub, up + p.linear_gap, left + p.linear_gap)
+
+
+@given(
+    h=st.floats(-500, 500), i_val=st.floats(-500, 500),
+    d_val=st.floats(-500, 500),
+)
+@settings(max_examples=60, deadline=None)
+def test_affine_layers_monotone_in_inputs(h, i_val, d_val):
+    """Raising the affine kernel's inputs never lowers its outputs."""
+    spec = get_kernel(2)
+    p = spec.default_params
+
+    def run(delta):
+        cell = PEInput(
+            up=(h + delta, i_val, d_val + delta),
+            diag=(h + delta, i_val, d_val),
+            left=(h + delta, i_val + delta, d_val),
+            qry=0, ref=0, params=p,
+        )
+        return spec.pe_func(cell)[0]
+
+    low = run(0.0)
+    high = run(10.0)
+    assert all(b >= a for a, b in zip(low, high))

@@ -1,0 +1,85 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.plots import (
+    bar_chart,
+    line_chart,
+    plot_fig3_throughput,
+    plot_fig5,
+    plot_fig6,
+)
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart({"s": [(1, 1), (2, 2), (3, 3)]}, width=20, height=5)
+        assert "o" in text
+        assert text.count("\n") >= 6
+
+    def test_multiple_series_glyphs(self):
+        text = line_chart(
+            {"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]},
+            width=20, height=5,
+        )
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_log_scales_label(self):
+        text = line_chart(
+            {"s": [(1, 10), (10, 100)]}, log_x=True, log_y=True
+        )
+        assert "(log x)" in text and "(log y)" in text
+
+    def test_constant_series_ok(self):
+        text = line_chart({"s": [(1, 5), (2, 5)]})
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+    def test_nonpositive_log_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, 1)]}, log_x=True)
+
+    def test_grid_dimensions(self):
+        text = line_chart({"s": [(1, 1), (9, 9)]}, width=30, height=7)
+        plot_rows = [ln for ln in text.split("\n") if ln.startswith("  |")]
+        assert len(plot_rows) == 7
+        assert all(len(ln) == 3 + 30 for ln in plot_rows)
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.split("\n")
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_minimum_one_hash(self):
+        text = bar_chart({"tiny": 0.001, "big": 100.0}, width=10)
+        assert "tiny | #" in text
+
+    def test_unit_suffix(self):
+        assert "2x" in bar_chart({"a": 2.0}, unit="x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestFigurePlots:
+    def test_fig3_plot(self):
+        text = plot_fig3_throughput(1)
+        assert "log-log" in text and "N_PE" in text
+
+    def test_fig5_plot(self):
+        text = plot_fig5()
+        assert "GACT" in text
+
+    def test_fig6_plot(self):
+        text = plot_fig6()
+        assert "EMBOSS" in text and "x" in text

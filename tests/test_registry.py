@@ -1,0 +1,76 @@
+"""Tests for the kernel registry (Table 1's index)."""
+
+import pytest
+
+from repro.core.spec import KernelSpec, Objective
+from repro.kernels import KERNELS, get_kernel, kernel_ids
+
+
+class TestRegistry:
+    def test_fifteen_kernels(self):
+        assert kernel_ids() == list(range(1, 16))
+
+    def test_lookup_by_id_and_name(self):
+        assert get_kernel(3) is get_kernel("local_linear")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="known ids"):
+            get_kernel(42)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known names"):
+            get_kernel("needleman")
+
+    def test_all_are_specs(self):
+        assert all(isinstance(s, KernelSpec) for s in KERNELS.values())
+
+    def test_names_unique(self):
+        names = [s.name for s in KERNELS.values()]
+        assert len(set(names)) == len(names)
+
+
+class TestTable1Metadata:
+    """The registry carries Table 1's taxonomy."""
+
+    def test_layer_counts(self):
+        expected = {1: 1, 2: 3, 3: 1, 4: 3, 5: 5, 6: 1, 7: 1, 8: 1, 9: 1,
+                    10: 3, 11: 1, 12: 3, 13: 5, 14: 1, 15: 1}
+        for kid, layers in expected.items():
+            assert KERNELS[kid].n_layers == layers, f"kernel #{kid}"
+
+    def test_objectives(self):
+        minimisers = {9, 14}
+        for kid, spec in KERNELS.items():
+            expected = Objective.MINIMIZE if kid in minimisers else Objective.MAXIMIZE
+            assert spec.objective is expected
+
+    def test_traceback_presence(self):
+        score_only = {10, 12, 14}
+        for kid, spec in KERNELS.items():
+            assert spec.has_traceback == (kid not in score_only)
+
+    def test_banded_kernels(self):
+        for kid, spec in KERNELS.items():
+            assert (spec.banding is not None) == (kid in {11, 12, 13})
+
+    def test_pointer_widths(self):
+        # Section 4: #1 needs 2 bits, #2 needs 4; two-piece needs >= 7.
+        assert KERNELS[1].tb_ptr_bits == 2
+        assert KERNELS[2].tb_ptr_bits == 4
+        assert KERNELS[5].tb_ptr_bits == 7
+        assert KERNELS[13].tb_ptr_bits == 7
+
+    def test_two_piece_has_five_tb_states(self):
+        assert set(KERNELS[5].tb_states) == {
+            "MM", "INS", "DEL", "LONG_INS", "LONG_DEL"
+        }
+
+    def test_alphabets(self):
+        assert KERNELS[15].alphabet.size == 20
+        assert KERNELS[9].alphabet.is_struct
+        assert KERNELS[8].alphabet.is_struct
+        assert KERNELS[1].alphabet.size == 4
+
+    def test_reference_tools_recorded(self):
+        assert "Minimap2" in KERNELS[5].reference_tools
+        assert "SquiggleFilter" in KERNELS[14].reference_tools

@@ -1,0 +1,105 @@
+"""Traceback optimality: replaying a reported path reproduces its score.
+
+For every traceback kernel, the alignment the engine recovers is re-scored
+by an independent walker over the scoring model; the result must equal the
+reported optimal score exactly (fixed-point kernels) or to quantization
+tolerance (fixed-point fraction kernels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel
+from repro.reference.rescore import (
+    rescore_affine,
+    rescore_dtw,
+    rescore_linear,
+    rescore_matrix_linear,
+    rescore_two_piece,
+)
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+
+def dna_case(seed, n=30, m=34):
+    ref = random_dna(m, seed)
+    return mutated_copy(ref, seed + 7)[:n], ref
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("kid", (1, 3, 6, 7, 11))
+def test_linear_kernels_path_score(kid, seed):
+    spec = get_kernel(kid)
+    if kid == 11:
+        q = random_dna(30, seed)
+        r = random_dna(30, seed + 1)
+    else:
+        q, r = dna_case(seed + kid)
+    result = align(spec, q, r, n_pe=4)
+    p = spec.default_params
+    rescored = rescore_linear(
+        result.alignment, q, r, p.match, p.mismatch, p.linear_gap
+    )
+    assert rescored == result.score
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("kid", (2, 4))
+def test_affine_kernels_path_score(kid, seed):
+    spec = get_kernel(kid)
+    q, r = dna_case(seed + 50 + kid)
+    result = align(spec, q, r, n_pe=4)
+    p = spec.default_params
+    rescored = rescore_affine(
+        result.alignment, q, r, p.match, p.mismatch, p.gap_open, p.gap_extend
+    )
+    assert rescored == result.score
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("kid", (5, 13))
+def test_two_piece_kernels_path_score(kid, seed):
+    spec = get_kernel(kid)
+    n = 30
+    q = random_dna(n, seed + kid)
+    r = random_dna(n, seed + kid + 1)
+    result = align(spec, q, r, n_pe=4)
+    p = spec.default_params
+    rescored = rescore_two_piece(
+        result.alignment, q, r, p.match, p.mismatch,
+        p.gap_open1, p.gap_extend1, p.gap_open2, p.gap_extend2,
+    )
+    assert rescored == result.score
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_protein_path_score(seed):
+    from repro.data.protein import mutate_protein, random_protein
+
+    spec = get_kernel(15)
+    ref = random_protein(26, seed=seed)
+    qry = mutate_protein(ref, seed=seed + 1)[:26]
+    result = align(spec, qry, ref, n_pe=4)
+    p = spec.default_params
+    rescored = rescore_matrix_linear(result.alignment, qry, ref, p.matrix, p.linear_gap)
+    assert rescored == result.score
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_dtw_path_cost(seed):
+    from repro.data.signals import random_complex_signal, warp_signal
+
+    spec = get_kernel(9)
+    ref = random_complex_signal(18, seed=seed)
+    qry = warp_signal(ref, seed=seed + 1)[:18]
+    result = align(spec, qry, ref, n_pe=4)
+    rescored = rescore_dtw(result.alignment, qry, ref)
+    assert np.isclose(rescored, result.score, atol=1e-2)
+
+
+def test_inconsistent_path_rejected():
+    from repro.core.result import Alignment, Move
+
+    bad = Alignment((Move.MATCH,), 0, 2, 0, 1)  # claims 2 query symbols
+    with pytest.raises(ValueError, match="inconsistent"):
+        rescore_linear(bad, (0, 1), (0,), 2, -2, -3)

@@ -1,0 +1,58 @@
+"""Tests for the structural Verilog skeleton generator (Section 7.2)."""
+
+import pytest
+
+from repro.kernels import KERNELS, get_kernel
+from repro.synth import LaunchConfig
+from repro.synth.rtlgen import generate_rtl_skeleton
+
+
+class TestSkeletonStructure:
+    def test_contains_pe_block_kernel_hierarchy(self):
+        text = generate_rtl_skeleton(get_kernel(1))
+        assert "module global_linear_pe" in text
+        assert "module global_linear_block" in text
+        assert "module global_linear_kernel" in text
+
+    def test_systolic_chain_generate_loop(self):
+        text = generate_rtl_skeleton(get_kernel(1), LaunchConfig(n_pe=16))
+        assert "parameter N_PE = 16" in text
+        assert "pe_chain" in text
+        # PE 0 reads the preserved-row buffer; others read the bus
+        assert "p == 0 ? row_buffer_rd : bus[p-1][0]" in text
+
+    def test_tb_banks_only_for_traceback_kernels(self):
+        with_tb = generate_rtl_skeleton(get_kernel(2))
+        without = generate_rtl_skeleton(get_kernel(14))
+        assert "tb_banks" in with_tb
+        assert "tb_banks" not in without
+
+    def test_tb_bank_geometry_matches_memory_model(self):
+        from repro.systolic.tb_memory import TracebackMemory
+
+        config = LaunchConfig(n_pe=8, max_query_len=64, max_ref_len=32)
+        mem = TracebackMemory(8, 64, 32, get_kernel(1).tb_ptr_bits)
+        text = generate_rtl_skeleton(get_kernel(1), config)
+        assert f"bank [0:{mem.depth - 1}]" in text
+
+    def test_score_width_propagates(self):
+        text = generate_rtl_skeleton(get_kernel(9))  # 32-bit fixed point
+        assert "parameter SCORE_W = 32" in text
+
+    def test_layer_ports_emitted(self):
+        text = generate_rtl_skeleton(get_kernel(5))  # 5 layers
+        for layer in range(5):
+            assert f"up_l{layer}" in text
+
+    def test_nb_generate_loop(self):
+        text = generate_rtl_skeleton(get_kernel(1), LaunchConfig(n_b=4))
+        assert "blk < 4" in text
+
+    def test_datapath_summary_from_trace(self):
+        text = generate_rtl_skeleton(get_kernel(8))
+        assert "multipliers   : 30" in text
+
+    @pytest.mark.parametrize("kid", sorted(KERNELS))
+    def test_all_kernels_generate(self, kid):
+        text = generate_rtl_skeleton(get_kernel(kid))
+        assert text.count("endmodule") == 3

@@ -1,0 +1,81 @@
+"""Tests for the DeviceRuntime host API."""
+
+import pytest
+
+from repro.host import DeviceRuntime
+from repro.kernels import get_kernel
+from repro.kernels.global_linear import ScoringParams
+from repro.synth import LaunchConfig
+from tests.conftest import mutated_copy, random_dna
+
+
+def small_config(**overrides):
+    base = dict(n_pe=8, n_b=2, n_k=2, max_query_len=64, max_ref_len=64)
+    base.update(overrides)
+    return LaunchConfig(**base)
+
+
+def pairs(n, length=40):
+    out = []
+    for k in range(n):
+        ref = random_dna(length, seed=100 + k)
+        out.append((mutated_copy(ref, 200 + k)[:length], ref))
+    return out
+
+
+class TestDeviceRuntime:
+    def test_align_one(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        q, r = pairs(1)[0]
+        result = runtime.align_one(q, r)
+        assert result.alignment is not None
+
+    def test_align_batch_results_and_performance(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        outcome = runtime.align_batch(pairs(8))
+        assert len(outcome.results) == 8
+        assert outcome.alignments_per_sec > 0
+        assert 0 < outcome.utilization <= 1.0
+
+    def test_batch_uses_all_blocks(self):
+        narrow = DeviceRuntime(get_kernel(1), small_config(n_b=1, n_k=1))
+        wide = DeviceRuntime(get_kernel(1), small_config(n_b=2, n_k=2))
+        batch = pairs(16)
+        slow = narrow.align_batch(batch)
+        fast = wide.align_batch(batch)
+        assert fast.alignments_per_sec > 2 * slow.alignments_per_sec
+
+    def test_custom_params(self):
+        harsh = ScoringParams(match=1, mismatch=-9, linear_gap=-9)
+        default_rt = DeviceRuntime(get_kernel(1), small_config())
+        harsh_rt = DeviceRuntime(get_kernel(1), small_config(), params=harsh)
+        q, r = pairs(1)[0]
+        assert harsh_rt.align_one(q, r).score <= default_rt.align_one(q, r).score
+
+    def test_infeasible_config_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            DeviceRuntime(
+                get_kernel(8), LaunchConfig(n_pe=32, n_b=16, n_k=8)
+            )
+
+    def test_over_length_pair_rejected(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        long_pair = pairs(1, length=100)[0]
+        with pytest.raises(ValueError, match="tiling"):
+            runtime.align_one(*long_pair)
+
+    def test_empty_batch_rejected(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        with pytest.raises(ValueError):
+            runtime.align_batch([])
+
+    def test_ii_propagates_from_synthesis(self):
+        runtime = DeviceRuntime(
+            get_kernel(9), small_config(n_b=1, n_k=1)
+        )
+        from repro.data.signals import random_complex_signal, warp_signal
+
+        ref = random_complex_signal(32, seed=1)
+        qry = warp_signal(ref, seed=2)[:32]
+        result = runtime.align_one(qry, ref)
+        assert result.cycles.ii == 4  # DTW's multiplier-bound II

@@ -1,0 +1,94 @@
+"""Tests for the sensitivity analysis and the DP-matrix visualization."""
+
+import pytest
+
+from repro.core.alphabet import encode_dna
+from repro.experiments.matrix_viz import render_dp_matrix
+from repro.experiments.sensitivity import render, run_sensitivity
+from repro.kernels import get_kernel
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_sensitivity(factors=(0.8, 1.25))
+
+    def test_constants_restored_after_run(self, rows):
+        from repro.baselines.cpu import SeqAn3Model
+        from repro.systolic import engine
+
+        assert engine.INTERFACE_CYCLES_PER_BASE == 4
+        assert SeqAn3Model.CELLS_PER_SEC == 1.28e11
+
+    def test_directions_never_flip(self, rows):
+        """±25 % on any calibrated constant keeps every headline claim."""
+        for row in rows:
+            if row.output == "seqan_min_speedup":
+                assert row.perturbed_value > 1.0  # DP-HLS still wins
+            if row.output == "gact_margin_pct":
+                assert 0.0 < row.perturbed_value < 20.0  # RTL still ahead
+            if row.output == "kernel1_aln_per_sec":
+                assert row.perturbed_value > 1e6
+
+    def test_elasticity_bounded(self, rows):
+        assert all(abs(r.relative_change) < 0.30 for r in rows)
+
+    def test_interface_constant_moves_throughput(self, rows):
+        moved = [
+            r for r in rows
+            if r.constant == "INTERFACE_CYCLES_PER_BASE"
+            and r.output == "kernel1_aln_per_sec"
+        ]
+        assert all(abs(r.relative_change) > 0.05 for r in moved)
+
+    def test_seqan_constant_only_moves_seqan(self, rows):
+        unaffected = [
+            r for r in rows
+            if r.constant == "SeqAn3Model.CELLS_PER_SEC"
+            and r.output != "seqan_min_speedup"
+        ]
+        assert all(r.relative_change == 0.0 for r in unaffected)
+
+    def test_render(self, rows):
+        text = render(rows)
+        assert "INTERFACE_CYCLES_PER_BASE" in text
+
+
+class TestMatrixViz:
+    def test_render_marks_path(self):
+        text = render_dp_matrix(
+            get_kernel(1), encode_dna("GATTACA"), encode_dna("GCATGCA")
+        )
+        assert "[0]" in text  # corner cell is on the global path
+        assert text.count("[") == 8  # 7 query rows + the corner
+
+    def test_margins_show_sequences(self):
+        text = render_dp_matrix(
+            get_kernel(1), encode_dna("ACG"), encode_dna("AG")
+        )
+        lines = text.split("\n")
+        assert lines[1].split() == ["A", "G"]
+        assert [ln[0] for ln in lines[3:]] == ["A", "C", "G"]
+
+    def test_score_only_kernel(self):
+        text = render_dp_matrix(get_kernel(14), (10, 20), (10, 15, 20))
+        assert "score only" in text
+
+    def test_banded_kernel_shows_sentinels(self):
+        from repro.kernels.variants import make_banded
+
+        spec = make_banded(get_kernel(1), 1)
+        text = render_dp_matrix(spec, encode_dna("ACGTAC"), encode_dna("ACGTAC"))
+        assert "·" in text  # out-of-band cells
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="teaching"):
+            render_dp_matrix(
+                get_kernel(1), encode_dna("A" * 50), encode_dna("A" * 50)
+            )
+
+    def test_local_kernel_partial_path(self):
+        text = render_dp_matrix(
+            get_kernel(3), encode_dna("TTGATTACA"), encode_dna("CCGATTACA")
+        )
+        assert "[" in text

@@ -1,0 +1,120 @@
+"""Tests for the banked traceback memory and its address coalescing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systolic.schedule import chunk_schedules
+from repro.systolic.tb_memory import TracebackMemory
+
+
+class TestConstruction:
+    def test_depth_geometry(self):
+        mem = TracebackMemory(n_pe=8, max_query_len=32, max_ref_len=16, ptr_bits=2)
+        assert mem.depth == (32 // 8) * (16 + 8 - 1)
+
+    def test_depth_rounds_chunks_up(self):
+        mem = TracebackMemory(n_pe=8, max_query_len=33, max_ref_len=16, ptr_bits=2)
+        assert mem.depth == 5 * (16 + 8 - 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TracebackMemory(0, 16, 16, 2)
+        with pytest.raises(ValueError):
+            TracebackMemory(4, 0, 16, 2)
+        with pytest.raises(ValueError):
+            TracebackMemory(4, 16, 16, 1)
+
+    def test_storage_bits(self):
+        mem = TracebackMemory(4, 16, 16, 3)
+        assert mem.storage_bits() == 4 * mem.depth * 3
+
+    def test_bank_shape(self):
+        mem = TracebackMemory(4, 16, 16, 7)
+        assert mem.bank_shape() == (mem.depth, 7)
+
+
+class TestAddressing:
+    def test_roundtrip(self):
+        mem = TracebackMemory(4, 16, 16, 4)
+        mem.begin_alignment(10)
+        bank, addr = mem.address(5, 7)
+        mem.write(bank, addr, 9)
+        assert mem.read(5, 7) == 9
+
+    def test_cells_map_uniquely(self):
+        mem = TracebackMemory(4, 12, 10, 4)
+        mem.begin_alignment(10)
+        seen = set()
+        for i in range(1, 13):
+            for j in range(1, 11):
+                key = mem.address(i, j)
+                assert key not in seen
+                seen.add(key)
+
+    def test_border_cells_rejected(self):
+        mem = TracebackMemory(4, 8, 8, 2)
+        with pytest.raises(ValueError):
+            mem.address(0, 3)
+        with pytest.raises(ValueError):
+            mem.address(3, 0)
+
+    def test_ptr_width_enforced(self):
+        mem = TracebackMemory(2, 8, 8, 2)
+        mem.begin_alignment(8)
+        with pytest.raises(ValueError):
+            mem.write(0, 0, 4)  # needs 3 bits
+
+    def test_ref_len_bound(self):
+        mem = TracebackMemory(2, 8, 8, 2)
+        with pytest.raises(ValueError):
+            mem.begin_alignment(9)
+
+
+class TestCoalescing:
+    """The Section 5.2 properties: within one wavefront all PEs write the
+    same address; consecutive wavefronts write consecutive addresses."""
+
+    @given(
+        st.integers(1, 24), st.integers(1, 24), st.integers(1, 8)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_wavefront_coalescing(self, n, m, n_pe):
+        mem = TracebackMemory(n_pe, n, m, 4)
+        mem.begin_alignment(m)
+        chunks = chunk_schedules(n, m, n_pe)
+        for chunk_idx, chunk in enumerate(chunks):
+            prev_addr = None
+            for w in chunk.wavefronts:
+                addrs = set()
+                for p in range(chunk.rows):
+                    j = w - p + 1
+                    if 1 <= j <= m:
+                        i = chunk.base + p + 1
+                        _bank, addr = mem.address(i, j)
+                        addrs.add(addr)
+                assert len(addrs) == 1, "PEs of one wavefront disagree on address"
+                addr = addrs.pop()
+                assert addr == chunk_idx * mem.stride + w
+                if prev_addr is not None:
+                    assert addr == prev_addr + 1, "wavefront addresses not consecutive"
+                prev_addr = addr
+
+    def test_banks_match_pes(self):
+        n_pe = 4
+        mem = TracebackMemory(n_pe, 16, 16, 2)
+        mem.begin_alignment(16)
+        for i in range(1, 17):
+            bank, _ = mem.address(i, 3)
+            assert bank == (i - 1) % n_pe
+
+    def test_write_counter(self):
+        mem = TracebackMemory(2, 4, 4, 2)
+        mem.begin_alignment(4)
+        for i in range(1, 5):
+            for j in range(1, 5):
+                bank, addr = mem.address(i, j)
+                mem.write(bank, addr, 1)
+        assert mem.writes == 16
+        mem.begin_alignment(4)
+        assert mem.writes == 0

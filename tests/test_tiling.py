@@ -1,0 +1,91 @@
+"""Tests for GACT-style tiled long alignment."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.reference.rescore import rescore_affine, rescore_linear
+from repro.systolic import align
+from repro.tiling import tiled_align
+from repro.tiling.gact import expected_tiles
+from tests.conftest import mutated_copy, random_dna
+
+
+class TestExpectedTiles:
+    def test_single_tile(self):
+        assert expected_tiles(100, 100, tile_size=128, overlap=32) == 1
+
+    def test_multiple_tiles(self):
+        assert expected_tiles(300, 300, tile_size=128, overlap=32) == 1 + 2
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            expected_tiles(100, 100, tile_size=64, overlap=64)
+
+
+class TestTiledAlign:
+    def test_short_input_single_tile_matches_untiled(self):
+        spec = get_kernel(2)
+        ref = random_dna(60, seed=1)
+        qry = mutated_copy(ref, seed=2, error_rate=0.1)
+        tiled = tiled_align(spec, qry, ref, tile_size=128, overlap=32)
+        direct = align(spec, qry, ref, n_pe=32)
+        assert tiled.n_tiles == 1
+        assert tiled.alignment.moves == direct.alignment.moves
+
+    def test_long_alignment_near_optimal(self):
+        """Tiling with sufficient overlap recovers a near-optimal path."""
+        spec = get_kernel(2)
+        ref = random_dna(500, seed=3)
+        qry = mutated_copy(ref, seed=4, error_rate=0.08)
+        tiled = tiled_align(spec, qry, ref, tile_size=128, overlap=48)
+        p = spec.default_params
+        tiled_score = rescore_affine(
+            tiled.alignment, qry, ref, p.match, p.mismatch,
+            p.gap_open, p.gap_extend,
+        )
+        optimal = align(spec, qry, ref, n_pe=32,
+                        max_query_len=len(qry), max_ref_len=len(ref)).score
+        assert tiled_score >= 0.95 * optimal
+
+    def test_tile_count_matches_closed_form(self):
+        spec = get_kernel(2)
+        ref = random_dna(400, seed=5)
+        qry = mutated_copy(ref, seed=6, error_rate=0.05)
+        tiled = tiled_align(spec, qry, ref, tile_size=128, overlap=32)
+        # identity-dominated alignments advance ~(tile - overlap) per tile
+        predicted = expected_tiles(len(qry), len(ref), 128, 32)
+        assert abs(tiled.n_tiles - predicted) <= 2
+
+    def test_path_consumes_both_sequences(self):
+        spec = get_kernel(1)
+        ref = random_dna(300, seed=7)
+        qry = mutated_copy(ref, seed=8, error_rate=0.15)
+        tiled = tiled_align(spec, qry, ref, tile_size=100, overlap=25)
+        aln = tiled.alignment
+        assert aln.query_end == len(qry)
+        assert aln.ref_end == len(ref)
+        # replay validates internal consistency (raises on mismatch)
+        p = spec.default_params
+        rescore_linear(aln, qry, ref, p.match, p.mismatch, p.linear_gap)
+
+    def test_cycles_accumulate(self):
+        spec = get_kernel(2)
+        ref = random_dna(300, seed=9)
+        qry = mutated_copy(ref, seed=10, error_rate=0.1)
+        tiled = tiled_align(spec, qry, ref, tile_size=128, overlap=32)
+        assert tiled.total_cycles == sum(r.total for r in tiled.tile_reports)
+        assert tiled.n_tiles == len(tiled.tile_reports)
+
+    def test_local_kernel_rejected(self):
+        with pytest.raises(ValueError, match="global"):
+            tiled_align(get_kernel(3), random_dna(10, 1), random_dna(10, 2))
+
+    def test_score_only_kernel_rejected(self):
+        with pytest.raises(ValueError, match="traceback"):
+            tiled_align(get_kernel(14), (1, 2, 3), (1, 2, 3))
+
+    def test_invalid_overlap(self):
+        spec = get_kernel(2)
+        with pytest.raises(ValueError):
+            tiled_align(spec, random_dna(10, 1), random_dna(10, 2),
+                        tile_size=32, overlap=32)

@@ -1,0 +1,103 @@
+"""Tests for the spec transformers (banded / score-only / reparameterised)."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.kernels.variants import make_banded, make_score_only, with_params
+from repro.reference import oracle_align
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+
+class TestMakeBanded:
+    def test_derived_banded_matches_shipped_kernel(self):
+        """make_banded(#1, 32) must behave exactly like shipped kernel #11."""
+        derived = make_banded(get_kernel(1), 32)
+        shipped = get_kernel(11)
+        n = 40
+        q, r = random_dna(n, 1), random_dna(n, 2)
+        a = align(derived, q, r, n_pe=4)
+        b = align(shipped, q, r, n_pe=4)
+        assert a.score == b.score
+        assert a.cigar == b.cigar
+        assert a.cycles.compute_cycles == b.cycles.compute_cycles
+
+    def test_systolic_matches_oracle_on_derived(self):
+        derived = make_banded(get_kernel(4), 8)
+        q, r = random_dna(30, 3), random_dna(30, 4)
+        a = align(derived, q, r, n_pe=4)
+        b = oracle_align(derived, q, r)
+        assert a.score == b.score and a.cigar == b.cigar
+
+    def test_name_and_metadata(self):
+        derived = make_banded(get_kernel(1), 16)
+        assert derived.name == "global_linear_banded16"
+        assert derived.banding == 16
+        assert "Banding" in derived.modifications
+
+    def test_already_banded_rejected(self):
+        with pytest.raises(ValueError, match="already banded"):
+            make_banded(get_kernel(11), 8)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            make_banded(get_kernel(1), 0)
+
+
+class TestMakeScoreOnly:
+    def test_score_preserved(self):
+        base = get_kernel(4)
+        derived = make_score_only(base)
+        ref = random_dna(30, 5)
+        qry = mutated_copy(ref, 6)
+        a = align(derived, qry, ref, n_pe=4)
+        b = align(base, qry, ref, n_pe=4)
+        assert a.score == b.score
+        assert a.alignment is None and b.alignment is not None
+
+    def test_traceback_cycles_eliminated(self):
+        base = get_kernel(2)
+        derived = make_score_only(base)
+        ref = random_dna(30, 7)
+        qry = mutated_copy(ref, 8)
+        assert align(derived, qry, ref, n_pe=4).cycles.traceback_cycles == 0
+
+    def test_bram_savings(self):
+        from repro.synth.resources import estimate_resources
+
+        base = get_kernel(2)
+        derived = make_score_only(base)
+        assert estimate_resources(derived, 32).bram36 < \
+            estimate_resources(base, 32).bram36
+
+    def test_already_score_only_rejected(self):
+        with pytest.raises(ValueError, match="already score-only"):
+            make_score_only(get_kernel(14))
+
+
+class TestWithParams:
+    def test_rebinding_changes_scores(self):
+        from repro.kernels.global_linear import ScoringParams
+
+        base = get_kernel(1)
+        harsher = with_params(base, ScoringParams(match=1, mismatch=-9,
+                                                  linear_gap=-9))
+        ref = random_dna(20, 9)
+        qry = mutated_copy(ref, 10)
+        assert align(harsher, qry, ref, n_pe=4).score < \
+            align(base, qry, ref, n_pe=4).score
+
+    def test_wrong_params_type_rejected(self):
+        from repro.kernels.global_affine import ScoringParams as AffineParams
+
+        with pytest.raises(TypeError):
+            with_params(get_kernel(1), AffineParams())
+
+    def test_composition(self):
+        """Transformers compose: banded + score-only of a user kernel."""
+        derived = make_score_only(make_banded(get_kernel(2), 16))
+        q, r = random_dna(24, 11), random_dna(24, 12)
+        a = align(derived, q, r, n_pe=4)
+        b = oracle_align(derived, q, r)
+        assert a.score == b.score
+        assert derived.banding == 16 and not derived.has_traceback

@@ -1,0 +1,71 @@
+"""Tests for the experiment workloads and the table renderer."""
+
+import pytest
+
+from repro.experiments.report import format_table, speedup
+from repro.experiments.workloads import WORKLOADS
+from repro.kernels import KERNELS
+
+
+class TestWorkloads:
+    def test_every_kernel_has_a_workload(self):
+        assert set(WORKLOADS) == set(KERNELS)
+
+    @pytest.mark.parametrize("kid", sorted(WORKLOADS))
+    def test_pairs_match_alphabet(self, kid):
+        workload = WORKLOADS[kid]
+        alphabet = KERNELS[kid].alphabet
+        pairs = workload.make_pairs(2, seed=kid)
+        assert len(pairs) == 2
+        for query, reference in pairs:
+            assert len(query) >= 1 and len(reference) >= 1
+            assert alphabet.validate_symbol(query[0])
+            assert alphabet.validate_symbol(reference[-1])
+
+    @pytest.mark.parametrize("kid", sorted(WORKLOADS))
+    def test_pairs_fit_declared_maxima(self, kid):
+        workload = WORKLOADS[kid]
+        for query, reference in workload.make_pairs(2, seed=kid + 1):
+            assert len(query) <= workload.max_query_len
+            assert len(reference) <= workload.max_ref_len
+
+    def test_banded_workloads_equal_lengths(self):
+        for kid in (11, 13):
+            for q, r in WORKLOADS[kid].make_pairs(3, seed=5):
+                assert len(q) == len(r)
+
+    def test_deterministic(self):
+        a = WORKLOADS[1].make_pairs(2, seed=9)
+        b = WORKLOADS[1].make_pairs(2, seed=9)
+        assert a == b
+
+    def test_protein_workload_longer(self):
+        assert WORKLOADS[15].max_query_len == 360  # Swiss-Prot mean length
+
+
+class TestFormatTable:
+    def test_alignment_and_divider(self):
+        text = format_table(["name", "value"], [("a", 1), ("bb", 22)])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines[0]) == len(lines[1])
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="hello")
+        assert text.startswith("hello")
+
+    def test_float_formats(self):
+        text = format_table(["v"], [(1.5,), (3.51e6,), (0.0,), (1e-9,)])
+        assert "1.5" in text
+        assert "3.510e+06" in text
+        assert "1.000e-09" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

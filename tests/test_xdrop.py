@@ -1,0 +1,85 @@
+"""Tests for X-Drop adaptive-banded extension."""
+
+import pytest
+
+from repro.pruning import xdrop_extend
+from repro.reference.classic import nw_linear
+from tests.conftest import mutated_copy, random_dna
+
+
+class TestBasics:
+    def test_identical_sequences_full_extension(self):
+        seq = random_dna(30, seed=1)
+        result = xdrop_extend(seq, seq, match=2, mismatch=-3, gap=-3)
+        assert result.score == 2 * len(seq)
+        assert result.end == (len(seq), len(seq))
+
+    def test_empty_inputs(self):
+        result = xdrop_extend((), (0, 1))
+        assert result.score == 0.0
+        assert result.cells_computed == 0
+
+    def test_invalid_xdrop(self):
+        with pytest.raises(ValueError):
+            xdrop_extend((0,), (0,), x_drop=0)
+
+    def test_extension_stops_in_junk(self):
+        """A good prefix followed by unrelated tails: extension must stop
+        near the end of the shared prefix rather than sweep the matrix."""
+        shared = random_dna(20, seed=2)
+        query = shared + random_dna(60, seed=3)
+        reference = shared + random_dna(60, seed=4)
+        result = xdrop_extend(query, reference, x_drop=12.0)
+        assert result.score >= 2 * len(shared) - 8
+        assert result.end[0] <= len(shared) + 20
+
+
+class TestAgainstFullDP:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_global_dp_on_similar_sequences(self, seed):
+        """With a generous X, the extension score of similar sequences
+        equals the best global-prefix score of the full DP."""
+        ref = random_dna(30, seed=seed + 10)
+        qry = mutated_copy(ref, seed + 50, error_rate=0.1)
+        result = xdrop_extend(qry, ref, x_drop=1000.0)
+        # Best prefix-vs-prefix score over all prefix pairs:
+        best = max(
+            nw_linear(qry[:i], ref[:j], match=2, mismatch=-3, gap=-3)
+            for i in range(1, len(qry) + 1)
+            for j in range(1, len(ref) + 1)
+        )
+        assert result.score == best
+
+    def test_larger_x_never_worse(self):
+        ref = random_dna(40, seed=20)
+        qry = mutated_copy(ref, 21, error_rate=0.25)
+        loose = xdrop_extend(qry, ref, x_drop=100.0)
+        tight = xdrop_extend(qry, ref, x_drop=5.0)
+        assert loose.score >= tight.score
+        assert loose.cells_computed >= tight.cells_computed
+
+
+class TestAdaptiveBand:
+    def test_band_adapts_to_quality(self):
+        """Dissimilar sequences keep the live band narrow; similar ones
+        keep it alive across the whole matrix."""
+        ref = random_dna(40, seed=30)
+        similar = mutated_copy(ref, 31, error_rate=0.05)
+        unrelated = random_dna(40, seed=32)
+        good = xdrop_extend(similar, ref, x_drop=10.0)
+        bad = xdrop_extend(unrelated, ref, x_drop=10.0)
+        # the good extension survives to the far corner; the bad one dies
+        assert len(good.band_widths) > len(bad.band_widths)
+        assert good.end[0] + good.end[1] > bad.end[0] + bad.end[1]
+        assert good.score > bad.score
+
+    def test_prunes_most_of_matrix(self):
+        ref = random_dna(60, seed=33)
+        qry = mutated_copy(ref, 34, error_rate=0.1)
+        result = xdrop_extend(qry, ref, x_drop=10.0)
+        assert result.cells_computed < 0.5 * len(ref) * len(qry)
+
+    def test_max_band_reported(self):
+        ref = random_dna(30, seed=35)
+        result = xdrop_extend(ref, ref, x_drop=10.0)
+        assert result.max_band == max(result.band_widths)
