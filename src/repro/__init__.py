@@ -39,18 +39,23 @@ from repro.core import (
     TracebackSpec,
 )
 from repro.kernels import KERNELS, get_kernel, kernel_ids
+from repro.parallel import BatchResult, ParallelExecutor, WorkError, run_batch
 from repro.reference import oracle_align
 from repro.synth import LaunchConfig, SynthesisReport, synthesize
 from repro.systolic import align
 from repro.tiling import tiled_align
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "align",
     "oracle_align",
     "synthesize",
     "tiled_align",
+    "ParallelExecutor",
+    "run_batch",
+    "BatchResult",
+    "WorkError",
     "get_kernel",
     "kernel_ids",
     "KERNELS",

@@ -6,8 +6,14 @@ Commands mirror the workflow of Fig. 2A plus the experiment harnesses:
 * ``align KERNEL QUERY REF``    — functional alignment of two sequences
 * ``synth KERNEL``              — Vitis-style synthesis report
 * ``rtl KERNEL``                — structural Verilog skeleton (Section 7.2)
+* ``verify KERNEL``             — oracle verification of a stock workload
+* ``campaign KERNEL|all``       — bulk two-tier verification campaign
+* ``fuzz``                      — differential fuzzing of the engine
 * ``table2`` / ``fig3`` / ``fig4`` / ``fig5`` / ``fig6`` / ``hls`` /
   ``tiling``                    — regenerate an evaluation table/figure
+
+``verify``, ``campaign`` and ``fuzz`` accept ``--workers N`` to fan work
+items across a process pool (:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -115,21 +121,51 @@ def cmd_verify(args) -> int:
         (q[: args.length], r[: args.length])
         for q, r in workload.make_pairs(args.pairs, args.seed)
     ]
-    report = verify_kernel(spec, pairs, n_pe_values=(1, 4, 8))
+    report = verify_kernel(
+        spec, pairs, n_pe_values=(1, 4, 8), workers=args.workers
+    )
     print(report.summary())
     return 0 if report.passed else 1
 
 
 def cmd_campaign(args) -> int:
-    """Run a bulk two-tier verification campaign."""
-    from repro.campaign import run_campaign
+    """Run a bulk two-tier verification campaign (one kernel or ``all``)."""
+    from repro.campaign import run_campaign, run_full_campaign
 
+    if args.kernel == "all":
+        full = run_full_campaign(
+            n_pairs=args.pairs, engine_sample=args.engine_sample,
+            max_length=args.length, seed=args.seed, workers=args.workers,
+        )
+        print(full.summary())
+        return 0 if full.passed else 1
     spec = _kernel_arg(args.kernel)
     report = run_campaign(
         spec.kernel_id, n_pairs=args.pairs, engine_sample=args.engine_sample,
-        max_length=args.length, seed=args.seed,
+        max_length=args.length, seed=args.seed, workers=args.workers,
     )
     print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_fuzz(args) -> int:
+    """Differentially fuzz the systolic engine against its oracles."""
+    from repro.verify_fuzz import fuzz
+
+    kernels = [_kernel_arg(k).kernel_id for k in args.kernel] or None
+    cases = args.cases
+    if args.budget is not None and cases is None:
+        cases = 1  # one case per kernel per round; rounds fill the budget
+    report = fuzz(
+        kernels=kernels,
+        cases_per_kernel=cases if cases is not None else 10,
+        seed=args.seed,
+        workers=args.workers,
+        max_len=args.max_len,
+        budget_s=args.budget,
+    )
+    print(report.summary())
+    print(f"elapsed: {report.elapsed_s:.1f}s")
     return 0 if report.passed else 1
 
 
@@ -231,13 +267,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pairs", type=int, default=3)
     p.add_argument("--length", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for the per-pair checks")
 
     p = sub.add_parser("campaign", help="bulk functional-verification campaign")
-    p.add_argument("kernel")
+    p.add_argument("kernel", help="kernel number/name, or 'all'")
     p.add_argument("--pairs", type=int, default=25)
     p.add_argument("--engine-sample", type=int, default=2)
     p.add_argument("--length", type=int, default=48)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for the broad tier")
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the engine against the reference oracles",
+    )
+    p.add_argument("--kernel", action="append", default=[],
+                   help="kernel number/name (repeatable; default: all)")
+    p.add_argument("--cases", type=int, default=None,
+                   help="cases per kernel (per round under --budget)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="keep fuzzing until this many seconds have elapsed")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--max-len", type=int, default=32,
+                   help="upper bound on randomized sequence lengths")
 
     p = sub.add_parser("occupancy", help="render the PE activity Gantt")
     p.add_argument("kernel")
@@ -270,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": cmd_verify,
         "occupancy": cmd_occupancy,
         "campaign": cmd_campaign,
+        "fuzz": cmd_fuzz,
         "matrix": cmd_matrix,
     }
     handler = handlers.get(args.command, cmd_experiment)

@@ -5,27 +5,55 @@ it owns a synthesized kernel configuration, accepts batches of sequence
 pairs, runs each pair through the functional engine (results) while the
 scheduler model accounts for block occupancy (performance), and reports
 batch-level throughput and utilization.
+
+``submit`` is the batch entry point: with ``workers > 1`` it fans the
+functional work across CPU cores through :mod:`repro.parallel` — the
+software mirror of the N_K channel fan-out — while the performance model
+still accounts for the *device's* concurrency, and a failing pair becomes
+a structured error record instead of aborting the batch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.result import AlignmentResult
 from repro.core.spec import KernelSpec
 from repro.host.scheduler import AlignmentBatch, HostScheduler, ScheduleResult
+from repro.parallel import ParallelExecutor, WorkError
 from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
 from repro.systolic.engine import align
 
 
+def _align_pair_task(payload: Tuple, _seed: int) -> AlignmentResult:
+    """Picklable per-pair work item for pooled execution.
+
+    Kernels are resolved by id inside the worker because
+    :class:`~repro.core.spec.KernelSpec` closures do not pickle.
+    """
+    from repro.kernels import get_kernel
+
+    kernel_id, params, n_pe, ii, max_q, max_r, query, reference = payload
+    return align(
+        get_kernel(kernel_id), query, reference, params=params,
+        n_pe=n_pe, ii=ii, max_query_len=max_q, max_ref_len=max_r,
+    )
+
+
 @dataclass
 class BatchOutcome:
-    """Results plus the modelled performance of one submitted batch."""
+    """Results plus the modelled performance of one submitted batch.
 
-    results: List[AlignmentResult]
+    ``results`` is index-aligned with the submitted pairs; a pair whose
+    alignment failed holds ``None`` there and a :class:`WorkError` (with
+    the matching index) in ``errors``.
+    """
+
+    results: List[Optional[AlignmentResult]]
     schedule: ScheduleResult
     clock_mhz: float
+    errors: List[WorkError] = field(default_factory=list)
 
     @property
     def alignments_per_sec(self) -> float:
@@ -69,18 +97,76 @@ class DeviceRuntime:
         )
 
     def align_batch(
-        self, pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]]
+        self,
+        pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
+        workers: int = 1,
     ) -> BatchOutcome:
-        """Align a batch, modelling its dispatch across channels/blocks."""
+        """Align a batch, modelling its dispatch across channels/blocks.
+
+        A pair that fails to align raises (the historical contract); use
+        :meth:`submit` for failure-isolating batch execution.
+        """
+        outcome = self.submit(pairs, workers=workers)
+        if outcome.errors:
+            first = outcome.errors[0]
+            raise ValueError(
+                f"pair {first.index} failed: {first.message}"
+            )
+        return outcome
+
+    def submit(
+        self,
+        pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
+        workers: int = 1,
+        timeout: Optional[float] = None,
+    ) -> BatchOutcome:
+        """Align a batch with host-side parallelism and failure isolation.
+
+        ``workers=1`` (default) keeps the historical serial path: every
+        pair runs in-process, in order, producing bit-identical results.
+        ``workers > 1`` fans pairs across a process pool; that path
+        requires the runtime's spec to be the registered kernel (worker
+        processes re-resolve it by id).  ``timeout`` bounds each pair's
+        wall-clock seconds.  Failed pairs surface in ``errors`` with their
+        batch index; surviving pairs are unaffected.
+        """
         if not pairs:
             raise ValueError("batch must contain at least one pair")
-        results: List[AlignmentResult] = []
+        executor = ParallelExecutor(workers=workers, timeout=timeout)
+        if workers == 1:
+            def task(pair, _seed):
+                return self.align_one(*pair)
+
+            batch_result = executor.map(task, list(pairs))
+        else:
+            from repro.kernels import KERNELS
+
+            if KERNELS.get(self.spec.kernel_id) is not self.spec:
+                raise ValueError(
+                    f"parallel submission needs a registered kernel so "
+                    f"workers can resolve it by id; "
+                    f"{self.spec.name!r} is not kernel "
+                    f"#{self.spec.kernel_id} in the registry — "
+                    f"use workers=1"
+                )
+            payloads = [
+                (
+                    self.spec.kernel_id, self.params, self.config.n_pe,
+                    self.report.ii, self.config.max_query_len,
+                    self.config.max_ref_len, query, reference,
+                )
+                for query, reference in pairs
+            ]
+            batch_result = executor.map(_align_pair_task, payloads)
+        results = batch_result.values(strict=False)
         batch = AlignmentBatch()
-        for query, reference in pairs:
-            result = self.align_one(query, reference)
-            results.append(result)
-            batch.add(result.cycles.total)
+        for result in results:
+            if result is not None:
+                batch.add(result.cycles.total)
         schedule = self._scheduler.run(batch)
         return BatchOutcome(
-            results=results, schedule=schedule, clock_mhz=self.report.fmax_mhz
+            results=results,
+            schedule=schedule,
+            clock_mhz=self.report.fmax_mhz,
+            errors=batch_result.errors,
         )

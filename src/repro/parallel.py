@@ -1,0 +1,296 @@
+"""Process-pool batch execution layer (the host analogue of N_K channels).
+
+The paper gets its throughput by replicating the kernel ``N_K`` times and
+letting the host drain a batch of alignments across the copies.  This
+module is the software twin of that host program: a batch of work items is
+fanned out across CPU cores, chunked to amortize dispatch overhead (the
+``DISPATCH_CYCLES`` of :mod:`repro.host.scheduler`, but for processes),
+and reassembled in submission order.
+
+Three properties the rest of the system relies on:
+
+* **Determinism** — every item gets a seed derived only from
+  ``(base_seed, index)`` via :func:`derive_seed`, and outcomes are returned
+  in index order, so a run with ``workers=4`` is indistinguishable from a
+  run with ``workers=1``.
+* **Failure isolation** — a worker exception (or per-item timeout) becomes
+  a structured :class:`WorkError` record on that item; the rest of the
+  batch completes normally.
+* **Serial transparency** — ``workers=1`` executes in-process through the
+  exact same chunk runner the pool uses, so the serial path stays
+  bit-identical and debuggable.
+
+Work functions must be module-level callables taking ``(item, seed)``:
+they cross process boundaries by reference, and items must be picklable
+(pass ``kernel_id`` instead of a :class:`~repro.core.spec.KernelSpec`,
+whose closures do not pickle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BatchError",
+    "BatchResult",
+    "ItemOutcome",
+    "ParallelExecutor",
+    "WorkError",
+    "derive_seed",
+    "run_batch",
+]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Stable per-item seed: a 63-bit digest of ``(base_seed, index)``.
+
+    Hash-based (not ``base_seed + index``) so neighbouring items never get
+    correlated RNG streams, and stable across platforms and Python
+    versions so recorded reproducers stay valid.
+
+    >>> derive_seed(0, 0) == derive_seed(0, 0)
+    True
+    >>> derive_seed(0, 1) != derive_seed(1, 0)
+    True
+    """
+    payload = f"{base_seed}:{index}".encode("ascii")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+@dataclass(frozen=True)
+class WorkError:
+    """Structured record of one failed work item."""
+
+    index: int
+    error_type: str
+    message: str
+    #: Formatted traceback — diagnostic only, excluded from equality so
+    #: serial and pooled runs compare equal.
+    traceback: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        return f"item {self.index}: {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ItemOutcome:
+    """Result slot for one work item, ordered by submission index."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: Optional[WorkError] = None
+
+
+class BatchError(RuntimeError):
+    """Raised by :meth:`BatchResult.values` when any item failed."""
+
+    def __init__(self, errors: Sequence[WorkError]):
+        self.errors = list(errors)
+        preview = "; ".join(str(e) for e in self.errors[:3])
+        more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
+        super().__init__(f"{len(self.errors)} work item(s) failed: {preview}{more}")
+
+
+@dataclass
+class BatchResult:
+    """Outcomes of one batch, in submission order, plus wall-clock cost."""
+
+    outcomes: List[ItemOutcome]
+    workers: int
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def errors(self) -> List[WorkError]:
+        """Structured records of every failed item."""
+        return [o.error for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every item completed."""
+        return not self.errors
+
+    def values(self, strict: bool = True) -> List[Any]:
+        """Item values in submission order.
+
+        With ``strict`` (default) any failure raises :class:`BatchError`;
+        otherwise failed slots hold ``None`` so callers can zip outcomes
+        against inputs.
+        """
+        if strict and not self.ok:
+            raise BatchError(self.errors)
+        return [o.value if o.ok else None for o in self.outcomes]
+
+
+class _ItemTimeout(Exception):
+    """Internal marker raised by the SIGALRM handler."""
+
+
+def _call_with_timeout(fn: Callable[..., Any], args: tuple, timeout: Optional[float]):
+    """Run ``fn(*args)``, raising :class:`_ItemTimeout` after ``timeout`` s.
+
+    Uses a real (SIGALRM) interval timer, so it bounds genuine runtime,
+    not just cooperative checkpoints.  Only armed when a timeout is set;
+    the previous handler/timer are restored either way.
+    """
+    if not timeout:
+        return fn(*args)
+
+    def on_alarm(_signum, _frame):
+        raise _ItemTimeout(f"work item exceeded {timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(*args)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_chunk(
+    fn: Callable[[Any, int], Any],
+    entries: Sequence[Tuple[int, int, Any]],
+    timeout: Optional[float],
+) -> List[ItemOutcome]:
+    """Execute one chunk of ``(index, seed, item)`` entries.
+
+    Shared by the pool workers and the in-process serial path, which is
+    what keeps ``workers=1`` bit-identical to ``workers=N``.
+    """
+    import traceback as tb_module
+
+    outcomes: List[ItemOutcome] = []
+    for index, seed, item in entries:
+        try:
+            value = _call_with_timeout(fn, (item, seed), timeout)
+        except _ItemTimeout as exc:
+            outcomes.append(ItemOutcome(
+                index=index, ok=False,
+                error=WorkError(index, "TimeoutError", str(exc)),
+            ))
+        except Exception as exc:  # noqa: BLE001 - isolation is the contract
+            outcomes.append(ItemOutcome(
+                index=index, ok=False,
+                error=WorkError(
+                    index, type(exc).__name__, str(exc),
+                    traceback=tb_module.format_exc(),
+                ),
+            ))
+        else:
+            outcomes.append(ItemOutcome(index=index, ok=True, value=value))
+    return outcomes
+
+
+def default_workers() -> int:
+    """Worker count used when none is requested: the usable core count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+class ParallelExecutor:
+    """Chunked, order-preserving, failure-isolating process-pool mapper.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None`` uses :func:`default_workers`; ``1`` runs
+        in-process (no pool, no pickling).
+    chunk_size:
+        Items per dispatched chunk.  ``None`` splits the batch into about
+        four chunks per worker — large enough to amortize process dispatch,
+        small enough to load-balance uneven item costs.
+    timeout:
+        Per-item wall-clock budget in seconds; an overrunning item becomes
+        a ``TimeoutError`` :class:`WorkError` without killing its worker.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.workers = workers if workers is not None else default_workers()
+        self.chunk_size = chunk_size
+        self.timeout = timeout
+
+    def _chunks(
+        self, entries: List[Tuple[int, int, Any]]
+    ) -> List[List[Tuple[int, int, Any]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(entries) // (self.workers * 4)))
+        return [entries[k:k + size] for k in range(0, len(entries), size)]
+
+    def map(
+        self,
+        fn: Callable[[Any, int], Any],
+        items: Sequence[Any],
+        seed: int = 0,
+    ) -> BatchResult:
+        """Apply ``fn(item, derived_seed)`` to every item.
+
+        Returns a :class:`BatchResult` whose outcomes are in submission
+        order regardless of worker scheduling.
+        """
+        started = time.perf_counter()
+        entries = [
+            (index, derive_seed(seed, index), item)
+            for index, item in enumerate(items)
+        ]
+        if not entries:
+            return BatchResult(outcomes=[], workers=self.workers, elapsed_s=0.0)
+        if self.workers == 1:
+            outcomes = _run_chunk(fn, entries, self.timeout)
+            return BatchResult(
+                outcomes=outcomes, workers=1,
+                elapsed_s=time.perf_counter() - started,
+            )
+        chunks = self._chunks(entries)
+        outcomes = []
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            futures = [
+                pool.submit(_run_chunk, fn, chunk, self.timeout)
+                for chunk in chunks
+            ]
+            for future in futures:
+                outcomes.extend(future.result())
+        outcomes.sort(key=lambda o: o.index)
+        return BatchResult(
+            outcomes=outcomes, workers=self.workers,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+
+def run_batch(
+    fn: Callable[[Any, int], Any],
+    items: Sequence[Any],
+    workers: int = 1,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    executor = ParallelExecutor(
+        workers=workers, chunk_size=chunk_size, timeout=timeout
+    )
+    return executor.map(fn, items, seed=seed)

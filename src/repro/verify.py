@@ -10,7 +10,10 @@ at several PE counts and checks, for every run:
 
 A :class:`VerificationReport` summarises pass/fail per check so front-end
 authors can validate a new kernel with one call (see
-``examples/custom_kernel.py`` for the workflow it supports).
+``examples/custom_kernel.py`` for the workflow it supports).  With
+``workers > 1`` the per-pair checks fan out across a process pool (see
+:mod:`repro.parallel`); that path needs the spec to be a registered
+kernel, since worker processes re-resolve it by id.
 """
 
 from __future__ import annotations
@@ -21,12 +24,13 @@ from typing import Any, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.spec import KernelSpec
+from repro.parallel import ParallelExecutor
 from repro.reference.dp_oracle import oracle_align
 from repro.synth.throughput import cycles_per_alignment
 from repro.systolic.engine import align
 
 
-@dataclass
+@dataclass(frozen=True)
 class VerificationFailure:
     """One mismatch found during verification."""
 
@@ -66,10 +70,74 @@ class VerificationReport:
         return "\n".join(lines)
 
 
+def _check_pair(
+    spec: KernelSpec,
+    index: int,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    n_pe_values: Sequence[int],
+) -> Tuple[int, List[VerificationFailure]]:
+    """All checks for one pair at every PE count: (runs, failures)."""
+    failures: List[VerificationFailure] = []
+    runs = 0
+    expected = oracle_align(spec, query, reference)
+    for n_pe in n_pe_values:
+        runs += 1
+        actual = align(spec, query, reference, n_pe=n_pe)
+        if not np.isclose(actual.score, expected.score):
+            failures.append(
+                VerificationFailure(
+                    "score", n_pe, index,
+                    f"systolic {actual.score} != oracle {expected.score}",
+                )
+            )
+            continue
+        if actual.start != expected.start:
+            failures.append(
+                VerificationFailure(
+                    "start_cell", n_pe, index,
+                    f"systolic {actual.start} != oracle {expected.start}",
+                )
+            )
+        if spec.has_traceback:
+            ours = actual.alignment.moves if actual.alignment else None
+            theirs = expected.alignment.moves if expected.alignment else None
+            if ours != theirs:
+                failures.append(
+                    VerificationFailure(
+                        "traceback", n_pe, index,
+                        "recovered move sequences differ",
+                    )
+                )
+        tb_len = (
+            actual.alignment.aligned_length if actual.alignment else 0
+        )
+        predicted = cycles_per_alignment(
+            spec, n_pe, len(query), len(reference), ii=1, tb_path_len=tb_len
+        )
+        if actual.cycles.total != predicted:
+            failures.append(
+                VerificationFailure(
+                    "cycles", n_pe, index,
+                    f"engine {actual.cycles.total} != model {predicted}",
+                )
+            )
+    return runs, failures
+
+
+def _verify_pair_task(payload: Tuple, _seed: int):
+    """Picklable pooled work item: re-resolve the spec by id, check one pair."""
+    from repro.kernels import get_kernel
+
+    kernel_id, index, query, reference, n_pe_values = payload
+    return _check_pair(get_kernel(kernel_id), index, query, reference, n_pe_values)
+
+
 def verify_kernel(
     spec: KernelSpec,
     pairs: Sequence[Tuple[Any, Any]],
     n_pe_values: Sequence[int] = (1, 4, 8),
+    workers: int = 1,
 ) -> VerificationReport:
     """Verify a kernel against the oracle and cycle model on ``pairs``."""
     if not pairs:
@@ -77,47 +145,27 @@ def verify_kernel(
     report = VerificationReport(
         kernel_name=spec.name, pairs_checked=len(pairs), runs=0
     )
-    for index, (query, reference) in enumerate(pairs):
-        expected = oracle_align(spec, query, reference)
-        for n_pe in n_pe_values:
-            report.runs += 1
-            actual = align(spec, query, reference, n_pe=n_pe)
-            if not np.isclose(actual.score, expected.score):
-                report.failures.append(
-                    VerificationFailure(
-                        "score", n_pe, index,
-                        f"systolic {actual.score} != oracle {expected.score}",
-                    )
-                )
-                continue
-            if actual.start != expected.start:
-                report.failures.append(
-                    VerificationFailure(
-                        "start_cell", n_pe, index,
-                        f"systolic {actual.start} != oracle {expected.start}",
-                    )
-                )
-            if spec.has_traceback:
-                ours = actual.alignment.moves if actual.alignment else None
-                theirs = expected.alignment.moves if expected.alignment else None
-                if ours != theirs:
-                    report.failures.append(
-                        VerificationFailure(
-                            "traceback", n_pe, index,
-                            "recovered move sequences differ",
-                        )
-                    )
-            tb_len = (
-                actual.alignment.aligned_length if actual.alignment else 0
+    if workers == 1:
+        checked = [
+            _check_pair(spec, index, query, reference, n_pe_values)
+            for index, (query, reference) in enumerate(pairs)
+        ]
+    else:
+        from repro.kernels import KERNELS
+
+        if KERNELS.get(spec.kernel_id) is not spec:
+            raise ValueError(
+                f"parallel verification needs a registered kernel so "
+                f"workers can resolve it by id; {spec.name!r} is not "
+                f"kernel #{spec.kernel_id} in the registry — use workers=1"
             )
-            predicted = cycles_per_alignment(
-                spec, n_pe, len(query), len(reference), ii=1, tb_path_len=tb_len
-            )
-            if actual.cycles.total != predicted:
-                report.failures.append(
-                    VerificationFailure(
-                        "cycles", n_pe, index,
-                        f"engine {actual.cycles.total} != model {predicted}",
-                    )
-                )
+        payloads = [
+            (spec.kernel_id, index, query, reference, tuple(n_pe_values))
+            for index, (query, reference) in enumerate(pairs)
+        ]
+        executor = ParallelExecutor(workers=workers)
+        checked = executor.map(_verify_pair_task, payloads).values()
+    for runs, failures in checked:
+        report.runs += runs
+        report.failures.extend(failures)
     return report

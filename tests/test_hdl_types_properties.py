@@ -1,0 +1,169 @@
+"""Seeded property tests for the HDL type layer (no hypothesis needed).
+
+Wrap and saturate semantics of ``ap_int``/``ap_uint``/``ap_fixed`` are
+cross-checked against plain-Python modular arithmetic over randomized
+widths and values.  Everything is driven by fixed-seed ``random.Random``
+generators (arbitrary-precision, unlike numpy's int64-bounded RNG), so
+a failure reproduces exactly; widening the sweep means bumping N_SAMPLES,
+not changing seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.hdl_types import ApFixedType, ApIntType, Overflow, Rounding
+
+N_SAMPLES = 300
+
+
+def _random_values(rng, bound):
+    """Integers spanning in-range, boundary and far-out-of-range regimes.
+
+    Uses ``random.Random`` (arbitrary precision) because 64-bit widths
+    produce bounds beyond numpy's int64 RNG range.
+    """
+    regime = rng.randrange(3)
+    if regime == 0:
+        return rng.randint(-bound, bound)
+    if regime == 1:  # hug the representable boundary
+        return rng.choice([-bound, -bound + 1, bound - 1, bound, 0])
+    return rng.randint(-8 * bound, 8 * bound)
+
+
+def _cases(seed):
+    rng = random.Random(seed)
+    for _ in range(N_SAMPLES):
+        width = rng.randint(1, 64)
+        value = _random_values(rng, 1 << width)
+        yield width, value
+
+
+class TestApIntWrap:
+    def test_signed_wrap_is_twos_complement_mod(self):
+        for width, value in _cases(seed=1):
+            t = ApIntType(width, signed=True, overflow=Overflow.WRAP)
+            span = 1 << width
+            half = 1 << (width - 1)
+            expected = ((value + half) % span) - half
+            assert t.quantize(value) == expected, (width, value)
+
+    def test_unsigned_wrap_is_plain_mod(self):
+        for width, value in _cases(seed=2):
+            t = ApIntType(width, signed=False, overflow=Overflow.WRAP)
+            assert t.quantize(value) == value % (1 << width), (width, value)
+
+    def test_wrap_result_always_in_range(self):
+        for width, value in _cases(seed=3):
+            for signed in (True, False):
+                t = ApIntType(width, signed=signed, overflow=Overflow.WRAP)
+                assert t.in_range(t.quantize(value)), (width, value, signed)
+
+    def test_in_range_values_pass_through(self):
+        rng = random.Random(4)
+        for _ in range(N_SAMPLES):
+            width = rng.randint(1, 64)
+            for signed in (True, False):
+                t = ApIntType(width, signed=signed, overflow=Overflow.WRAP)
+                value = rng.randint(t.min_value, t.max_value)
+                assert t.quantize(value) == value
+
+
+class TestApIntSaturate:
+    def test_saturate_is_plain_clamp(self):
+        for width, value in _cases(seed=5):
+            for signed in (True, False):
+                t = ApIntType(width, signed=signed, overflow=Overflow.SATURATE)
+                expected = max(t.min_value, min(t.max_value, value))
+                assert t.quantize(value) == expected, (width, value, signed)
+
+    def test_wrap_and_saturate_agree_in_range(self):
+        rng = random.Random(6)
+        for _ in range(N_SAMPLES):
+            width = rng.randint(1, 64)
+            wrap = ApIntType(width, overflow=Overflow.WRAP)
+            sat = ApIntType(width, overflow=Overflow.SATURATE)
+            value = rng.randint(wrap.min_value, wrap.max_value)
+            assert wrap.quantize(value) == sat.quantize(value)
+
+    def test_sentinels_survive_one_more_step(self):
+        for width in range(2, 65):
+            t = ApIntType(width, overflow=Overflow.SATURATE)
+            assert t.in_range(t.sentinel_low() - abs(t.sentinel_low() // 2))
+            assert t.in_range(t.sentinel_high() + t.sentinel_high() // 2)
+
+
+def _random_fixed(rng):
+    width = rng.randint(2, 32)
+    int_width = rng.randint(0, width)
+    return width, int_width
+
+
+class TestApFixed:
+    def test_quantize_idempotent(self):
+        rng = random.Random(7)
+        for _ in range(N_SAMPLES):
+            width, int_width = _random_fixed(rng)
+            t = ApFixedType(width, int_width)
+            value = float(rng.uniform(-2.0 * abs(t.max_value) - 1, 2.0 * t.max_value + 1))
+            q = t.quantize(value)
+            assert t.quantize(q) == q, (width, int_width, value)
+
+    def test_round_stays_within_half_resolution_in_range(self):
+        rng = random.Random(8)
+        for _ in range(N_SAMPLES):
+            width, int_width = _random_fixed(rng)
+            t = ApFixedType(width, int_width, rounding=Rounding.ROUND)
+            value = float(
+                rng.uniform(t.min_value + t.resolution, t.max_value - t.resolution)
+            )
+            assert abs(t.quantize(value) - value) <= t.resolution / 2 + 1e-12
+
+    def test_truncate_floors_toward_negative_infinity(self):
+        rng = random.Random(9)
+        for _ in range(N_SAMPLES):
+            width, int_width = _random_fixed(rng)
+            t = ApFixedType(width, int_width, rounding=Rounding.TRUNCATE)
+            value = float(
+                rng.uniform(t.min_value + t.resolution, t.max_value - t.resolution)
+            )
+            q = t.quantize(value)
+            assert q <= value + 1e-12
+            assert value - q < t.resolution + 1e-12
+
+    def test_saturate_clamps_out_of_range(self):
+        rng = random.Random(10)
+        for _ in range(N_SAMPLES):
+            width, int_width = _random_fixed(rng)
+            t = ApFixedType(width, int_width, overflow=Overflow.SATURATE)
+            high = t.quantize(t.max_value * 4 + 1)
+            low = t.quantize(t.min_value * 4 - 1)
+            assert high == t.max_value
+            assert low == t.min_value
+
+    def test_raw_roundtrip_matches_grid(self):
+        rng = random.Random(11)
+        for _ in range(N_SAMPLES):
+            width, int_width = _random_fixed(rng)
+            t = ApFixedType(width, int_width)
+            value = float(rng.uniform(t.min_value, t.max_value))
+            raw = t.to_raw(value)
+            assert t.from_raw(raw) == raw * t.resolution
+            assert t.quantize(value) == t.from_raw(raw)
+
+    def test_wrap_mode_matches_underlying_int_wrap(self):
+        """ap_fixed WRAP must wrap its raw bits exactly like ap_int."""
+        rng = random.Random(12)
+        for _ in range(N_SAMPLES):
+            width, int_width = _random_fixed(rng)
+            t = ApFixedType(width, int_width, overflow=Overflow.WRAP)
+            raw_type = ApIntType(width, signed=True, overflow=Overflow.WRAP)
+            value = float(rng.uniform(4 * t.min_value - 1, 4 * t.max_value + 1))
+            expected_raw = raw_type.quantize(round(value / t.resolution))
+            assert t.quantize(value) == expected_raw * t.resolution
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ApFixedType(0, 0)
+        with pytest.raises(ValueError):
+            ApFixedType(8, 9)

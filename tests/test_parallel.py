@@ -1,0 +1,148 @@
+"""Tests for the process-pool batch execution layer (repro.parallel)."""
+
+import time
+
+import pytest
+
+from repro.parallel import (
+    BatchError,
+    ParallelExecutor,
+    derive_seed,
+    run_batch,
+)
+
+
+def _double(item, _seed):
+    return item * 2
+
+
+def _echo_seed(item, seed):
+    return (item, seed)
+
+
+def _poison_13(item, _seed):
+    if item == 13:
+        raise ValueError("poisoned item")
+    return item + 1
+
+
+def _sleep_for(item, _seed):
+    time.sleep(item)
+    return item
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, 9) == derive_seed(5, 9)
+
+    def test_distinct_across_indices_and_bases(self):
+        seeds = {derive_seed(b, i) for b in range(4) for i in range(64)}
+        assert len(seeds) == 4 * 64
+
+    def test_not_symmetric(self):
+        assert derive_seed(0, 1) != derive_seed(1, 0)
+
+    def test_fits_numpy_seed_after_mod(self):
+        assert 0 <= derive_seed(123, 456) % (2 ** 32) < 2 ** 32
+
+    def test_golden_values_pinned(self):
+        """Recorded reproducer seeds must stay valid across releases."""
+        assert derive_seed(0, 0) == 7689419447139100721
+        assert derive_seed(0, 1) == 8724540124617128742
+        assert derive_seed(42, 7) == 7041254291183900872
+
+
+class TestSerialPath:
+    def test_maps_in_order(self):
+        result = run_batch(_double, [1, 2, 3], workers=1)
+        assert result.ok
+        assert result.values() == [2, 4, 6]
+
+    def test_empty_batch(self):
+        result = run_batch(_double, [], workers=1)
+        assert result.ok and len(result) == 0 and result.values() == []
+
+    def test_seeds_passed_per_item(self):
+        result = run_batch(_echo_seed, ["a", "b"], workers=1, seed=3)
+        assert result.values() == [
+            ("a", derive_seed(3, 0)), ("b", derive_seed(3, 1))
+        ]
+
+
+class TestPooledPath:
+    def test_matches_serial_bit_for_bit(self):
+        items = list(range(17))
+        serial = run_batch(_double, items, workers=1, seed=9)
+        pooled = run_batch(_double, items, workers=3, seed=9)
+        assert serial.outcomes == pooled.outcomes
+
+    def test_order_preserved_with_tiny_chunks(self):
+        result = run_batch(_double, list(range(11)), workers=2, chunk_size=1)
+        assert result.values() == [2 * k for k in range(11)]
+
+    def test_chunk_count_amortizes_dispatch(self):
+        executor = ParallelExecutor(workers=2)
+        entries = [(i, 0, i) for i in range(100)]
+        chunks = executor._chunks(entries)
+        assert 2 <= len(chunks) <= 100
+        assert sum(len(c) for c in chunks) == 100
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_poisoned_item_does_not_kill_batch(self, workers):
+        items = [10, 13, 20, 30]
+        result = run_batch(_poison_13, items, workers=workers)
+        assert not result.ok
+        assert len(result.errors) == 1
+        error = result.errors[0]
+        assert error.index == 1
+        assert error.error_type == "ValueError"
+        assert "poisoned" in error.message
+        assert result.values(strict=False) == [11, None, 21, 31]
+
+    def test_strict_values_raise_batch_error(self):
+        result = run_batch(_poison_13, [13], workers=1)
+        with pytest.raises(BatchError, match="poisoned"):
+            result.values()
+
+    def test_serial_and_pooled_errors_compare_equal(self):
+        """Tracebacks differ between processes; structured records don't."""
+        serial = run_batch(_poison_13, [13, 1], workers=1)
+        pooled = run_batch(_poison_13, [13, 1], workers=2)
+        assert serial.outcomes == pooled.outcomes
+
+
+class TestTimeout:
+    def test_overrunning_item_becomes_timeout_error(self):
+        result = run_batch(
+            _sleep_for, [0.0, 0.5], workers=1, timeout=0.15
+        )
+        assert result.values(strict=False)[0] == 0.0
+        assert len(result.errors) == 1
+        assert result.errors[0].error_type == "TimeoutError"
+        assert result.errors[0].index == 1
+
+    def test_pooled_timeout_isolated_per_item(self):
+        result = run_batch(
+            _sleep_for, [0.5, 0.0], workers=2, chunk_size=1, timeout=0.15
+        )
+        assert result.errors[0].index == 0
+        assert result.values(strict=False)[1] == 0.0
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelExecutor(workers=0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelExecutor(chunk_size=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            ParallelExecutor(timeout=0)
+
+    def test_default_workers_positive(self):
+        assert ParallelExecutor().workers >= 1
