@@ -1,0 +1,134 @@
+"""Microbench: service latency and throughput vs offered load.
+
+Drives the in-proc alignment service open-loop at several offered-load
+points (fractions of a measured single-runtime capacity estimate) and
+records achieved throughput plus exact p50/p95/p99 latency per point.
+The classic serving curve must emerge: latency grows with offered load,
+and achieved throughput tracks the offer while the service is
+uncongested.  The summary table lands in ``benchmarks/output/`` as text
+and the raw points as JSON.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import OUTPUT_DIR, emit
+from repro.host import DeviceRuntime
+from repro.kernels import get_kernel
+from repro.service import (
+    BatcherConfig,
+    DevicePool,
+    InProcClient,
+    LoadGenerator,
+    ServiceCore,
+)
+from repro.synth import LaunchConfig
+
+KERNEL_IDS = (1, 3)
+PAIR_LENGTH = 16
+PAIRS_PER_KERNEL = 8
+REQUESTS_PER_POINT = 80
+#: Offered load as a fraction of the measured serial alignment capacity.
+LOAD_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def _random_pair(length: int, seed: int):
+    rng = np.random.RandomState(seed)
+    return (
+        tuple(int(b) for b in rng.randint(0, 4, size=length)),
+        tuple(int(b) for b in rng.randint(0, 4, size=length)),
+    )
+
+
+def _workload():
+    workload = []
+    for k, kernel_id in enumerate(KERNEL_IDS):
+        for index in range(PAIRS_PER_KERNEL):
+            query, reference = _random_pair(
+                PAIR_LENGTH, seed=1000 * k + index
+            )
+            workload.append((kernel_id, query, reference))
+    return workload
+
+
+def _calibrate_capacity(pool: DevicePool, workload) -> float:
+    """Alignments/second of one runtime on this box (serial estimate)."""
+    member = pool.members[0]
+    kernel_id = member.kernel_id
+    pairs = [(q, r) for kid, q, r in workload if kid == kernel_id][:4]
+    started = time.perf_counter()
+    for query, reference in pairs:
+        member.runtime.align_one(query, reference)
+    per_alignment = (time.perf_counter() - started) / len(pairs)
+    return 1.0 / per_alignment
+
+
+def test_service_latency_vs_offered_load():
+    """Measure the latency/throughput curve at three offered loads."""
+    config = LaunchConfig(
+        n_pe=8, n_b=4, n_k=1, max_query_len=64, max_ref_len=64
+    )
+    pool = DevicePool([
+        DeviceRuntime(get_kernel(kernel_id), config)
+        for kernel_id in KERNEL_IDS
+    ])
+    workload = _workload()
+    capacity = _calibrate_capacity(pool, workload)
+    core = ServiceCore(pool, BatcherConfig(
+        max_batch=4, max_delay_ms=10.0, max_queue_depth=4096
+    )).start()
+    client = InProcClient(core)
+    generator = LoadGenerator(client, workload, seed=7)
+    points = []
+    try:
+        for fraction in LOAD_FRACTIONS:
+            rate = max(20.0, capacity * fraction)
+            report = generator.run(rate, REQUESTS_PER_POINT)
+            assert report.errors == 0, report.summary()
+            assert report.ok + report.rejected == report.sent
+            assert report.ok > 0
+            points.append((fraction, report))
+    finally:
+        core.stop()
+
+    # Throughput must track the offer while uncongested: the lightest
+    # point is far below capacity, so nearly everything completes.
+    lightest = points[0][1]
+    assert lightest.rejected == 0
+    assert lightest.achieved_rps > 0.5 * lightest.offered_rps
+
+    rows = [
+        "service latency vs offered load "
+        f"(kernels {KERNEL_IDS}, len {PAIR_LENGTH}, "
+        f"{REQUESTS_PER_POINT} req/point, "
+        f"~{capacity:.0f} aln/s serial capacity)",
+        f"{'load':>6} {'offered':>9} {'achieved':>9} {'ok':>4} {'rej':>4} "
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}",
+    ]
+    for fraction, report in points:
+        rows.append(
+            f"{fraction:>5.2f}x {report.offered_rps:>9.1f} "
+            f"{report.achieved_rps:>9.1f} {report.ok:>4} "
+            f"{report.rejected:>4} "
+            f"{report.percentile_ms(0.50):>8.2f} "
+            f"{report.percentile_ms(0.95):>8.2f} "
+            f"{report.percentile_ms(0.99):>8.2f}"
+        )
+    emit("service_latency", "\n".join(rows))
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "service_latency.json").write_text(json.dumps(
+        {
+            "kernels": list(KERNEL_IDS),
+            "pair_length": PAIR_LENGTH,
+            "requests_per_point": REQUESTS_PER_POINT,
+            "serial_capacity_rps": capacity,
+            "points": [
+                {"load_fraction": fraction, **report.to_dict()}
+                for fraction, report in points
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n")

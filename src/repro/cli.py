@@ -9,6 +9,8 @@ Commands mirror the workflow of Fig. 2A plus the experiment harnesses:
 * ``verify KERNEL``             — oracle verification of a stock workload
 * ``campaign KERNEL|all``       — bulk two-tier verification campaign
 * ``fuzz``                      — differential fuzzing of the engine
+* ``serve``                     — run the online alignment service (TCP)
+* ``loadgen``                   — open-loop Poisson load against a service
 * ``table2`` / ``fig3`` / ``fig4`` / ``fig5`` / ``fig6`` / ``hls`` /
   ``tiling``                    — regenerate an evaluation table/figure
 
@@ -169,6 +171,126 @@ def cmd_fuzz(args) -> int:
     return 0 if report.passed else 1
 
 
+def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int):
+    """Build a :class:`DevicePool` serving the requested kernels."""
+    from repro.host import DeviceRuntime
+    from repro.service import DevicePool
+    from repro.synth import LaunchConfig
+
+    runtimes = []
+    for spec in kernels:
+        if spec.alphabet.is_struct:
+            raise SystemExit(
+                f"kernel {spec.name} consumes struct symbols and cannot be "
+                f"served over the JSON-line protocol"
+            )
+        for _ in range(replicas):
+            runtimes.append(DeviceRuntime(
+                spec,
+                LaunchConfig(
+                    n_pe=n_pe, n_b=n_b, n_k=1,
+                    max_query_len=max_len, max_ref_len=max_len,
+                ),
+            ))
+    return DevicePool(runtimes)
+
+
+def _service_workload(kernels, pairs_per_kernel: int, length: int, seed: int):
+    """Random (kernel_id, query, reference) tuples for the load generator."""
+    import random
+
+    rng = random.Random(seed)
+    workload = []
+    for spec in kernels:
+        cardinality = spec.alphabet.size or 64
+        for _ in range(pairs_per_kernel):
+            workload.append((
+                spec.kernel_id,
+                tuple(rng.randrange(cardinality) for _ in range(length)),
+                tuple(rng.randrange(cardinality) for _ in range(length)),
+            ))
+    rng.shuffle(workload)
+    return workload
+
+
+def cmd_serve(args) -> int:
+    """Run the always-on alignment service until interrupted."""
+    from repro.service import AlignmentServer, BatcherConfig, ServiceCore
+
+    kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
+    pool = _service_pool(
+        kernels, args.n_pe, args.n_b, args.replicas, args.max_len
+    )
+    core = ServiceCore(pool, BatcherConfig(
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue_depth=args.queue_bound,
+    )).start()
+    server = AlignmentServer((args.host, args.port), core)
+    host, port = server.server_address
+    print(f"serving kernels {pool.kernel_ids()} on {host}:{port} "
+          f"({len(pool.members)} runtimes, max_batch={args.max_batch}, "
+          f"max_delay={args.max_delay_ms}ms, queue_bound={args.queue_bound})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        import json as json_module
+
+        print(json_module.dumps(core.metrics_snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive open-loop Poisson load against a service and report latency."""
+    import json as json_module
+
+    from repro.service import (
+        AlignmentClient,
+        BatcherConfig,
+        InProcClient,
+        LoadGenerator,
+        ServiceCore,
+    )
+
+    kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
+    workload = _service_workload(kernels, args.pairs, args.length, args.seed)
+    core = None
+    if args.in_proc:
+        pool = _service_pool(
+            kernels, args.n_pe, args.n_b, args.replicas, args.max_len
+        )
+        core = ServiceCore(pool, BatcherConfig(
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.queue_bound,
+        )).start()
+        client = InProcClient(core)
+    else:
+        client = AlignmentClient(args.host, args.port)
+    failures = 0
+    try:
+        generator = LoadGenerator(client, workload, seed=args.seed)
+        for rate in args.rate or [100.0]:
+            report = generator.run(
+                rate, args.requests, deadline_ms=args.deadline_ms
+            )
+            failures += report.errors
+            print(report.summary())
+        snapshot = client.metrics()
+        if not snapshot.get("counters"):
+            print("error: empty metrics snapshot")
+            return 1
+        print(json_module.dumps(snapshot, indent=2, sort_keys=True))
+    finally:
+        client.close()
+        if core is not None:
+            core.stop()
+    return 0 if failures == 0 else 1
+
+
 def cmd_occupancy(args) -> int:
     """Render the PE activity Gantt for a matrix shape."""
     from repro.systolic.activity import render_occupancy
@@ -294,6 +416,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-len", type=int, default=32,
                    help="upper bound on randomized sequence lengths")
 
+    p = sub.add_parser("serve", help="run the online alignment service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--kernel", action="append", default=[],
+                   help="kernel number/name to deploy (repeatable; default 1)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="runtimes per deployed kernel")
+    p.add_argument("--n-pe", type=int, default=16)
+    p.add_argument("--n-b", type=int, default=4)
+    p.add_argument("--max-len", type=int, default=256)
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="size-triggered flush threshold (per kernel)")
+    p.add_argument("--max-delay-ms", type=float, default=20.0,
+                   help="deadline-triggered flush linger bound")
+    p.add_argument("--queue-bound", type=int, default=256,
+                   help="per-kernel admission bound (backpressure)")
+
+    p = sub.add_parser(
+        "loadgen", help="drive open-loop Poisson load against a service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--in-proc", action="store_true",
+                   help="spin up an in-process service instead of TCP")
+    p.add_argument("--kernel", action="append", default=[],
+                   help="kernel number/name to request (repeatable; default 1)")
+    p.add_argument("--rate", action="append", type=float, default=[],
+                   help="offered load in req/s (repeatable; default 100)")
+    p.add_argument("--requests", type=int, default=100,
+                   help="requests per offered-load point")
+    p.add_argument("--pairs", type=int, default=16,
+                   help="distinct random pairs per kernel in the workload")
+    p.add_argument("--length", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline-ms", type=float, default=None)
+    p.add_argument("--replicas", type=int, default=1)
+    p.add_argument("--n-pe", type=int, default=16)
+    p.add_argument("--n-b", type=int, default=4)
+    p.add_argument("--max-len", type=int, default=256)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-delay-ms", type=float, default=20.0)
+    p.add_argument("--queue-bound", type=int, default=256)
+
     p = sub.add_parser("occupancy", help="render the PE activity Gantt")
     p.add_argument("kernel")
     p.add_argument("--query-len", type=int, default=24)
@@ -327,6 +492,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": cmd_campaign,
         "fuzz": cmd_fuzz,
         "matrix": cmd_matrix,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     handler = handlers.get(args.command, cmd_experiment)
     return handler(args)

@@ -103,9 +103,12 @@ class DeviceRuntime:
     ) -> BatchOutcome:
         """Align a batch, modelling its dispatch across channels/blocks.
 
-        A pair that fails to align raises (the historical contract); use
-        :meth:`submit` for failure-isolating batch execution.
+        A pair that fails to align raises (the historical contract), and
+        so does an empty batch; use :meth:`submit` for failure-isolating
+        batch execution.
         """
+        if not pairs:
+            raise ValueError("batch must contain at least one pair")
         outcome = self.submit(pairs, workers=workers)
         if outcome.errors:
             first = outcome.errors[0]
@@ -128,10 +131,10 @@ class DeviceRuntime:
         requires the runtime's spec to be the registered kernel (worker
         processes re-resolve it by id).  ``timeout`` bounds each pair's
         wall-clock seconds.  Failed pairs surface in ``errors`` with their
-        batch index; surviving pairs are unaffected.
+        batch index; surviving pairs are unaffected.  An empty batch is a
+        no-op: the scheduler already models it as a zero-cycle schedule,
+        so online callers (the service batcher) never special-case it.
         """
-        if not pairs:
-            raise ValueError("batch must contain at least one pair")
         executor = ParallelExecutor(workers=workers, timeout=timeout)
         if workers == 1:
             def task(pair, _seed):

@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import os
 import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -142,8 +143,18 @@ def _call_with_timeout(fn: Callable[..., Any], args: tuple, timeout: Optional[fl
     Uses a real (SIGALRM) interval timer, so it bounds genuine runtime,
     not just cooperative checkpoints.  Only armed when a timeout is set;
     the previous handler/timer are restored either way.
+
+    Signal handlers can only be installed from the process's main thread.
+    When the in-process (``workers=1``) path runs on a worker thread —
+    the service's batcher dispatch threads do exactly that —
+    ``signal.signal`` would raise ``ValueError``, so the call falls back
+    to a documented no-timeout path: the item runs unbounded rather than
+    failing spuriously.  Pool workers are unaffected (chunks always run
+    on each worker process's main thread).
     """
     if not timeout:
+        return fn(*args)
+    if threading.current_thread() is not threading.main_thread():
         return fn(*args)
 
     def on_alarm(_signum, _frame):

@@ -1,0 +1,59 @@
+"""Online alignment serving: the always-on face of the simulated FPGA.
+
+Everything below the :mod:`repro.host` layer is batch-offline: you hand
+``DeviceRuntime.submit`` a pre-formed batch and wait for it to drain.
+This package turns that into a request path, mirroring the paper's host
+design (Section 4, step 6) one level up:
+
+* :mod:`repro.service.protocol` — request/response dataclasses with a
+  deterministic JSON-line wire encoding;
+* :mod:`repro.service.batcher`  — per-kernel dynamic batching with size-
+  and deadline-triggered flush plus admission control (the software twin
+  of the arbiter filling ``N_B`` blocks);
+* :mod:`repro.service.pool`     — a pool of :class:`DeviceRuntime`\\ s
+  (optionally built from a linked multi-kernel design) with least-loaded
+  routing;
+* :mod:`repro.service.server`   — the serving core and a threaded TCP
+  front end;
+* :mod:`repro.service.client`   — TCP/in-proc clients and an open-loop
+  Poisson load generator;
+* :mod:`repro.service.metrics`  — counters and latency/occupancy
+  histograms with p50/p95/p99 snapshots.
+"""
+
+from repro.service.batcher import BatcherConfig, DynamicBatcher
+from repro.service.client import (
+    AlignmentClient,
+    InProcClient,
+    LoadGenerator,
+    LoadReport,
+)
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.pool import DevicePool
+from repro.service.protocol import (
+    AlignRequest,
+    AlignResponse,
+    ProtocolError,
+    Status,
+)
+from repro.service.server import AlignmentServer, ReplySlot, ServiceCore
+
+__all__ = [
+    "AlignRequest",
+    "AlignResponse",
+    "AlignmentClient",
+    "AlignmentServer",
+    "BatcherConfig",
+    "Counter",
+    "DevicePool",
+    "DynamicBatcher",
+    "Histogram",
+    "InProcClient",
+    "LoadGenerator",
+    "LoadReport",
+    "MetricsRegistry",
+    "ProtocolError",
+    "ReplySlot",
+    "ServiceCore",
+    "Status",
+]

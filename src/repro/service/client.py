@@ -1,0 +1,381 @@
+"""Clients of the alignment service, plus an open-loop load generator.
+
+:class:`AlignmentClient` speaks the JSON-line protocol over TCP: a
+reader thread demultiplexes responses by request id, so many requests
+can be in flight on one connection (the wire analogue of ``N_K``
+channels).  :class:`InProcClient` offers the same surface directly over
+a :class:`~repro.service.server.ServiceCore` — no sockets — which is
+what the CI smoke job and the latency benchmark use.
+
+:class:`LoadGenerator` drives either client *open-loop*: arrival times
+are drawn from a seeded Poisson process at the offered rate and requests
+fire at their scheduled instants regardless of completions, so queueing
+delay shows up in the measured latency instead of throttling the
+offered load (closed-loop generators hide saturation).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.protocol import (
+    AlignRequest,
+    AlignResponse,
+    ProtocolError,
+    Status,
+    decode_line,
+    encode_line,
+)
+from repro.service.server import ReplySlot, ServiceCore
+
+
+def exact_percentile(samples: Sequence[float], q: float) -> float:
+    """Exact ``q``-percentile (nearest-rank) of a non-empty sample list.
+
+    >>> exact_percentile([1.0, 2.0, 3.0, 4.0], 0.5)
+    2.0
+    """
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class InProcClient:
+    """The client surface over an in-process :class:`ServiceCore`."""
+
+    def __init__(self, core: ServiceCore) -> None:
+        self.core = core
+        self._ids = itertools.count()
+
+    def _next_id(self) -> str:
+        return f"inproc-{next(self._ids)}"
+
+    def submit(
+        self,
+        kernel_id: int,
+        query: Sequence[Any],
+        reference: Sequence[Any],
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+        request_id: Optional[str] = None,
+    ) -> ReplySlot:
+        """Fire one request; returns its reply slot immediately."""
+        request = AlignRequest(
+            request_id=request_id or self._next_id(),
+            kernel_id=kernel_id,
+            query=tuple(query),
+            reference=tuple(reference),
+            deadline_ms=deadline_ms,
+            priority=priority,
+        )
+        return self.core.submit(request)
+
+    def align(
+        self,
+        kernel_id: int,
+        query: Sequence[Any],
+        reference: Sequence[Any],
+        timeout: Optional[float] = 30.0,
+        **kwargs: Any,
+    ) -> AlignResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(kernel_id, query, reference, **kwargs).result(timeout)
+
+    def metrics(self) -> Dict:
+        """Live metrics snapshot."""
+        return self.core.metrics_snapshot()
+
+    def close(self) -> None:
+        """No-op (the core's owner stops it)."""
+
+
+class AlignmentClient:
+    """JSON-line TCP client with response demultiplexing by id."""
+
+    def __init__(
+        self, host: str, port: int, connect_timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), connect_timeout)
+        self._wfile = self._sock.makefile("wb")
+        self._rfile = self._sock.makefile("rb")
+        self._write_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[str, ReplySlot] = {}
+        self._metrics_waiters: Dict[str, "_Mailbox"] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="alignment-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    def _next_id(self) -> str:
+        return f"req-{next(self._ids)}"
+
+    def _send(self, payload: bytes) -> None:
+        with self._write_lock:
+            self._wfile.write(payload)
+            self._wfile.flush()
+
+    def _read_loop(self) -> None:
+        """Demultiplex every incoming line to its waiting slot."""
+        try:
+            for raw in self._rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    message = decode_line(line)
+                except ProtocolError:
+                    continue
+                kind = message.get("type")
+                message_id = message.get("id")
+                if kind == "result" and message_id is not None:
+                    with self._pending_lock:
+                        slot = self._pending.pop(message_id, None)
+                    if slot is not None:
+                        slot.resolve(AlignResponse.from_dict(message))
+                elif kind in ("metrics", "pong") and message_id is not None:
+                    with self._pending_lock:
+                        box = self._metrics_waiters.pop(message_id, None)
+                    if box is not None:
+                        box.put(message)
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._fail_pending("connection closed before a response arrived")
+
+    def _fail_pending(self, reason: str) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for slot in pending:
+            slot.resolve(AlignResponse(
+                request_id=slot.request.request_id,
+                status=Status.ERROR,
+                error=reason,
+            ))
+
+    def submit(
+        self,
+        kernel_id: int,
+        query: Sequence[Any],
+        reference: Sequence[Any],
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+        request_id: Optional[str] = None,
+    ) -> ReplySlot:
+        """Fire one request over the wire; returns its reply slot."""
+        request = AlignRequest(
+            request_id=request_id or self._next_id(),
+            kernel_id=kernel_id,
+            query=tuple(query),
+            reference=tuple(reference),
+            deadline_ms=deadline_ms,
+            priority=priority,
+        )
+        slot = ReplySlot(request)
+        with self._pending_lock:
+            self._pending[request.request_id] = slot
+        try:
+            self._send(request.to_line())
+        except (OSError, ValueError):
+            with self._pending_lock:
+                self._pending.pop(request.request_id, None)
+            slot.resolve(AlignResponse(
+                request_id=request.request_id,
+                status=Status.ERROR,
+                error="connection lost while sending",
+            ))
+        return slot
+
+    def align(
+        self,
+        kernel_id: int,
+        query: Sequence[Any],
+        reference: Sequence[Any],
+        timeout: Optional[float] = 30.0,
+        **kwargs: Any,
+    ) -> AlignResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(kernel_id, query, reference, **kwargs).result(timeout)
+
+    def metrics(self, timeout: float = 10.0) -> Dict:
+        """Fetch the server's live metrics snapshot."""
+        message_id = self._next_id()
+        box = _Mailbox()
+        with self._pending_lock:
+            self._metrics_waiters[message_id] = box
+        self._send(encode_line({"type": "metrics", "id": message_id}))
+        reply = box.get(timeout)
+        return reply["snapshot"]
+
+    def ping(self, timeout: float = 10.0) -> bool:
+        """Round-trip liveness probe."""
+        message_id = self._next_id()
+        box = _Mailbox()
+        with self._pending_lock:
+            self._metrics_waiters[message_id] = box
+        self._send(encode_line({"type": "ping", "id": message_id}))
+        return box.get(timeout).get("type") == "pong"
+
+    def close(self) -> None:
+        """Close the connection (pending requests resolve as errors)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class _Mailbox:
+    """A one-shot blocking slot for control-plane replies."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Optional[Dict] = None
+
+    def put(self, value: Dict) -> None:
+        """Deliver the reply."""
+        self._value = value
+        self._event.set()
+
+    def get(self, timeout: Optional[float]) -> Dict:
+        """Wait for the reply."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("no control-plane reply from the server")
+        assert self._value is not None
+        return self._value
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run at one offered load."""
+
+    offered_rps: float
+    sent: int
+    ok: int
+    rejected: int
+    errors: int
+    elapsed_s: float
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed-OK throughput over the run."""
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> Optional[float]:
+        """Exact latency percentile of the OK responses."""
+        if not self.latencies_ms:
+            return None
+        return exact_percentile(self.latencies_ms, q)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (what the benchmark persists)."""
+        return {
+            "offered_rps": self.offered_rps,
+            "sent": self.sent,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "achieved_rps": self.achieved_rps,
+            "p50_ms": self.percentile_ms(0.50),
+            "p95_ms": self.percentile_ms(0.95),
+            "p99_ms": self.percentile_ms(0.99),
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        p50 = self.percentile_ms(0.50)
+        p99 = self.percentile_ms(0.99)
+        return (
+            f"offered {self.offered_rps:8.1f} rps | achieved "
+            f"{self.achieved_rps:8.1f} rps | ok {self.ok} rej {self.rejected} "
+            f"err {self.errors} | p50 "
+            f"{p50 if p50 is None else format(p50, '.2f')} ms | p99 "
+            f"{p99 if p99 is None else format(p99, '.2f')} ms"
+        )
+
+
+class LoadGenerator:
+    """Seeded open-loop Poisson traffic over any client.
+
+    ``workload`` is a list of ``(kernel_id, query, reference)`` tuples;
+    requests cycle through it.  Arrival gaps are ``Exp(rate)`` draws
+    from ``random.Random(seed)``, so a run is reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        workload: Sequence[Tuple[int, Sequence[Any], Sequence[Any]]],
+        seed: int = 0,
+    ) -> None:
+        if not workload:
+            raise ValueError("the load generator needs a non-empty workload")
+        self.client = client
+        self.workload = list(workload)
+        self.seed = seed
+
+    def run(
+        self,
+        rate_rps: float,
+        n_requests: int,
+        deadline_ms: Optional[float] = None,
+        result_timeout: float = 120.0,
+    ) -> LoadReport:
+        """Offer ``n_requests`` at ``rate_rps`` and collect every answer."""
+        if rate_rps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_rps}")
+        if n_requests < 1:
+            raise ValueError(f"need at least one request, got {n_requests}")
+        rng = random.Random(self.seed)
+        started = time.perf_counter()
+        next_fire = started
+        slots: List[ReplySlot] = []
+        for index in range(n_requests):
+            delay = next_fire - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            kernel_id, query, reference = self.workload[index % len(self.workload)]
+            slots.append(self.client.submit(
+                kernel_id, query, reference, deadline_ms=deadline_ms
+            ))
+            next_fire += rng.expovariate(rate_rps)
+        ok = rejected = errors = 0
+        latencies: List[float] = []
+        for slot in slots:
+            response = slot.result(timeout=result_timeout)
+            if response.status is Status.OK:
+                ok += 1
+                if response.latency_ms is not None:
+                    latencies.append(response.latency_ms)
+            elif response.status is Status.REJECTED:
+                rejected += 1
+            else:
+                errors += 1
+        elapsed = time.perf_counter() - started
+        return LoadReport(
+            offered_rps=rate_rps,
+            sent=n_requests,
+            ok=ok,
+            rejected=rejected,
+            errors=errors,
+            elapsed_s=elapsed,
+            latencies_ms=latencies,
+        )

@@ -1,0 +1,174 @@
+"""A pool of deployed runtimes with least-loaded routing.
+
+The paper links ``N_K`` (possibly heterogeneous) kernels into one design
+and lets the host spread work over them; a serving deployment does the
+same across whole :class:`~repro.host.runtime.DeviceRuntime` instances.
+:class:`DevicePool` indexes its members by kernel id — several members
+may serve the same kernel (replicas), and one pool may serve several
+kernels (a heterogeneous deployment, buildable directly from a
+:class:`~repro.synth.linker.LinkedDesign` via :meth:`from_linked_design`).
+
+Routing is least-loaded: a flushed batch goes to the member currently
+holding the fewest in-flight pairs for that kernel.  Execution goes
+through ``DeviceRuntime.submit``, so functional work can fan across the
+:mod:`repro.parallel` process pool (``workers > 1``) while per-pair
+failures stay isolated as structured errors.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.host.runtime import BatchOutcome, DeviceRuntime
+from repro.synth.compiler import LaunchConfig
+from repro.synth.linker import LinkedDesign
+
+
+@dataclass
+class PoolMember:
+    """One runtime plus its live load accounting."""
+
+    runtime: DeviceRuntime
+    name: str
+    in_flight: int = 0
+    batches_served: int = 0
+    pairs_served: int = 0
+
+    @property
+    def kernel_id(self) -> int:
+        """Kernel this member serves."""
+        return self.runtime.spec.kernel_id
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe load summary."""
+        return {
+            "name": self.name,
+            "kernel_id": self.kernel_id,
+            "kernel": self.runtime.spec.name,
+            "n_b": self.runtime.config.n_b,
+            "in_flight": self.in_flight,
+            "batches_served": self.batches_served,
+            "pairs_served": self.pairs_served,
+        }
+
+
+@dataclass(frozen=True)
+class PoolRejection(RuntimeError):
+    """Raised when a batch cannot be routed (unsupported kernel)."""
+
+    kernel_id: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"kernel #{self.kernel_id}: {self.reason}"
+
+
+class DevicePool:
+    """Kernel-indexed runtime pool with least-loaded batch routing."""
+
+    def __init__(
+        self, runtimes: Sequence[DeviceRuntime], workers: int = 1
+    ) -> None:
+        if not runtimes:
+            raise ValueError("a device pool needs at least one runtime")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.members: List[PoolMember] = [
+            PoolMember(runtime=rt, name=f"rt{k}:{rt.spec.name}")
+            for k, rt in enumerate(runtimes)
+        ]
+        self._by_kernel: Dict[int, List[PoolMember]] = {}
+        for member in self.members:
+            self._by_kernel.setdefault(member.kernel_id, []).append(member)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_linked_design(
+        cls,
+        design: LinkedDesign,
+        workers: int = 1,
+        params_by_kernel: Optional[Dict[int, Any]] = None,
+    ) -> "DevicePool":
+        """Deploy every channel of a linked design as one pool member.
+
+        Each channel becomes a :class:`DeviceRuntime` with the channel's
+        ``N_PE``/``N_B`` sizing (``N_K = 1``: the channel *is* one of the
+        design's K channels) at the design's linked clock target.
+        """
+        params_by_kernel = params_by_kernel or {}
+        runtimes = [
+            DeviceRuntime(
+                channel.kernel,
+                LaunchConfig(
+                    n_pe=channel.n_pe,
+                    n_b=channel.n_b,
+                    n_k=1,
+                    max_query_len=channel.max_query_len,
+                    max_ref_len=channel.max_ref_len,
+                ),
+                params=params_by_kernel.get(channel.kernel.kernel_id),
+            )
+            for channel in design.channels
+        ]
+        return cls(runtimes, workers=workers)
+
+    def kernel_ids(self) -> List[int]:
+        """Kernels this pool can serve, ascending."""
+        return sorted(self._by_kernel)
+
+    def supports(self, kernel_id: int) -> bool:
+        """Whether any member serves ``kernel_id``."""
+        return kernel_id in self._by_kernel
+
+    def max_lengths(self, kernel_id: int) -> Tuple[int, int]:
+        """Largest (query, reference) lengths any member accepts."""
+        members = self._by_kernel.get(kernel_id)
+        if not members:
+            raise PoolRejection(kernel_id, "no runtime serves this kernel")
+        return (
+            max(m.runtime.config.max_query_len for m in members),
+            max(m.runtime.config.max_ref_len for m in members),
+        )
+
+    def _acquire(self, kernel_id: int, n_pairs: int) -> PoolMember:
+        """Pick the least-loaded member for a kernel and book the load."""
+        with self._lock:
+            members = self._by_kernel.get(kernel_id)
+            if not members:
+                raise PoolRejection(kernel_id, "no runtime serves this kernel")
+            member = min(members, key=lambda m: (m.in_flight, m.name))
+            member.in_flight += n_pairs
+            return member
+
+    def _release(self, member: PoolMember, n_pairs: int) -> None:
+        """Return booked load after a batch drains."""
+        with self._lock:
+            member.in_flight -= n_pairs
+            member.batches_served += 1
+            member.pairs_served += n_pairs
+
+    def execute(
+        self,
+        kernel_id: int,
+        pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
+    ) -> Tuple[BatchOutcome, PoolMember]:
+        """Run one flushed batch on the least-loaded member.
+
+        Returns the runtime's :class:`BatchOutcome` (index-aligned with
+        ``pairs``; per-pair failures isolated in ``errors``) plus the
+        member that served it.
+        """
+        member = self._acquire(kernel_id, len(pairs))
+        try:
+            outcome = member.runtime.submit(list(pairs), workers=self.workers)
+        finally:
+            self._release(member, len(pairs))
+        return outcome, member
+
+    def stats(self) -> List[Dict[str, Any]]:
+        """Load summaries of every member."""
+        with self._lock:
+            return [member.stats() for member in self.members]

@@ -1,0 +1,362 @@
+"""The serving core and its threaded TCP front end.
+
+:class:`ServiceCore` is the transport-agnostic engine: requests enter
+through :meth:`ServiceCore.submit` and resolve a :class:`ReplySlot`
+(a minimal future) with an :class:`~repro.service.protocol.AlignResponse`.
+Internally a request flows
+
+    submit → validate → batcher.offer → (size/deadline flush)
+           → dispatch executor → DevicePool.execute → resolve slots
+
+with every hop recorded in the metrics registry.  Admission failures
+(backpressure, unknown kernel, overlong pair, struct alphabet) resolve
+immediately — every submitted request is *answered*, never dropped.
+
+:class:`AlignmentServer` wraps the core in a ``ThreadingTCPServer``
+speaking the JSON-line protocol: one handler thread per connection reads
+requests; responses are written by whichever dispatch thread resolves
+them (a per-connection write lock keeps lines atomic), so responses may
+legally arrive out of request order — clients demultiplex by id.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.kernels import KERNELS
+from repro.service.batcher import BatcherConfig, DynamicBatcher, PendingEntry
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import DevicePool, PoolRejection
+from repro.service.protocol import (
+    AlignRequest,
+    AlignResponse,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    rejection,
+    response_from_result,
+)
+
+class ReplySlot:
+    """A minimal thread-safe future holding one response.
+
+    Done callbacks run on the resolving thread (or inline when already
+    resolved); exceptions they raise are swallowed so one broken client
+    connection cannot poison a dispatch thread.
+    """
+
+    def __init__(self, request: AlignRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: Optional[AlignResponse] = None
+        self._callbacks: List[Callable[[AlignResponse], None]] = []
+        self._lock = threading.Lock()
+
+    def resolve(self, response: AlignResponse) -> None:
+        """Deliver the response exactly once (later calls are ignored)."""
+        with self._lock:
+            if self._response is not None:
+                return
+            self._response = response
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+        self._event.set()
+        for callback in callbacks:
+            try:
+                callback(response)
+            except Exception:  # noqa: BLE001 - callbacks must not poison dispatch
+                pass
+
+    def add_done_callback(
+        self, callback: Callable[[AlignResponse], None]
+    ) -> None:
+        """Run ``callback(response)`` on resolution (inline if done)."""
+        with self._lock:
+            if self._response is None:
+                self._callbacks.append(callback)
+                return
+            response = self._response
+        try:
+            callback(response)
+        except Exception:  # noqa: BLE001 - same contract as resolve()
+            pass
+
+    def result(self, timeout: Optional[float] = None) -> AlignResponse:
+        """Block until resolved; raises ``TimeoutError`` on expiry."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} unresolved after {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    @property
+    def done(self) -> bool:
+        """Whether the response has been delivered."""
+        return self._event.is_set()
+
+
+class ServiceCore:
+    """Transport-agnostic serving engine: batcher + pool + metrics."""
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        config: Optional[BatcherConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        dispatchers: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.pool = pool
+        self.config = config or BatcherConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._clock = clock
+        self.batcher = DynamicBatcher(self.config, self._on_flush, clock=clock)
+        workers = dispatchers if dispatchers is not None else len(pool.members)
+        if workers < 1:
+            raise ValueError(f"dispatchers must be >= 1, got {workers}")
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="service-dispatch"
+        )
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "ServiceCore":
+        """Start the batcher's flusher thread."""
+        self._running = True
+        self.batcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Flush residual work, drain dispatches, and refuse new traffic."""
+        self._running = False
+        self.batcher.stop()
+        self._dispatch.shutdown(wait=True)
+
+    def __enter__(self) -> "ServiceCore":
+        """Context-manager start."""
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        """Context-manager stop."""
+        self.stop()
+
+    # -- request path -------------------------------------------------
+
+    def submit(self, request: AlignRequest) -> ReplySlot:
+        """Admit one request; the returned slot always resolves."""
+        slot = ReplySlot(request)
+        self.metrics.counter("requests_total").inc()
+        problem = self._validate(request)
+        if problem is not None:
+            self.metrics.counter("errors_total").inc()
+            slot.resolve(error_response(request.request_id, problem))
+            return slot
+        if not self._running:
+            self.metrics.counter("rejected_total").inc()
+            slot.resolve(rejection(request.request_id, "service is stopped"))
+            return slot
+        admitted = self.batcher.offer(
+            request.kernel_id,
+            payload=slot,
+            priority=request.priority,
+            deadline_ms=request.deadline_ms,
+        )
+        if not admitted:
+            self.metrics.counter("rejected_total").inc()
+            slot.resolve(
+                rejection(
+                    request.request_id,
+                    f"kernel #{request.kernel_id} queue is full "
+                    f"(depth {self.config.max_queue_depth}); retry later",
+                )
+            )
+            return slot
+        self.metrics.counter("admitted_total").inc()
+        return slot
+
+    def _validate(self, request: AlignRequest) -> Optional[str]:
+        """Admission-time checks; a string describes the refusal."""
+        if not self.pool.supports(request.kernel_id):
+            known = self.pool.kernel_ids()
+            return (
+                f"kernel #{request.kernel_id} is not deployed on this "
+                f"service (deployed: {known})"
+            )
+        spec = KERNELS.get(request.kernel_id)
+        if spec is not None and spec.alphabet.is_struct:
+            return (
+                f"kernel #{request.kernel_id} consumes struct symbols, "
+                f"which the JSON-line protocol cannot carry"
+            )
+        max_q, max_r = self.pool.max_lengths(request.kernel_id)
+        if len(request.query) > max_q or len(request.reference) > max_r:
+            return (
+                f"pair {len(request.query)}x{len(request.reference)} exceeds "
+                f"the deployed maxima {max_q}x{max_r}"
+            )
+        return None
+
+    # -- batch execution ----------------------------------------------
+
+    def _on_flush(
+        self, kernel_id: int, entries: List[PendingEntry], trigger: str
+    ) -> None:
+        """Batcher callback: account the flush and hand off to dispatch."""
+        self.metrics.counter("flushes_total").inc()
+        self.metrics.counter(f"flush_{trigger}_total").inc()
+        self.metrics.histogram(
+            "batch_size", bounds=[float(b) for b in range(1, 129)]
+        ).observe(len(entries))
+        self.metrics.histogram(
+            "batch_occupancy", bounds=[k / 64.0 for k in range(1, 65)]
+        ).observe(len(entries) / self.config.max_batch)
+        try:
+            self._dispatch.submit(self._run_batch, kernel_id, entries)
+        except RuntimeError:
+            # Executor already shut down: answer rather than drop.
+            for entry in entries:
+                self._resolve_entry(
+                    entry,
+                    rejection(
+                        entry.payload.request.request_id,
+                        "service shut down before dispatch",
+                    ),
+                )
+
+    def _run_batch(self, kernel_id: int, entries: List[PendingEntry]) -> None:
+        """Execute one flushed batch on the pool and resolve its slots."""
+        pairs = [
+            (entry.payload.request.query, entry.payload.request.reference)
+            for entry in entries
+        ]
+        try:
+            outcome, _member = self.pool.execute(kernel_id, pairs)
+        except (PoolRejection, ValueError) as exc:
+            self.metrics.counter("errors_total").inc(len(entries))
+            for entry in entries:
+                self._resolve_entry(
+                    entry,
+                    error_response(entry.payload.request.request_id, str(exc)),
+                )
+            return
+        errors = {err.index: err for err in outcome.errors}
+        now = self._clock()
+        for index, entry in enumerate(entries):
+            request = entry.payload.request
+            latency_ms = (now - entry.enqueued_at) * 1000.0
+            if index in errors:
+                self.metrics.counter("errors_total").inc()
+                response = error_response(
+                    request.request_id, errors[index].message
+                )
+            else:
+                self.metrics.counter("aligned_total").inc()
+                response = response_from_result(
+                    request.request_id,
+                    outcome.results[index],
+                    latency_ms=latency_ms,
+                )
+            self.metrics.histogram("latency_ms").observe(latency_ms)
+            self._resolve_entry(entry, response)
+
+    @staticmethod
+    def _resolve_entry(entry: PendingEntry, response: AlignResponse) -> None:
+        """Resolve the reply slot riding in a pending entry."""
+        slot: ReplySlot = entry.payload
+        slot.resolve(response)
+
+    # -- introspection ------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict:
+        """Service metrics plus live pool stats (JSON-safe)."""
+        snapshot = self.metrics.snapshot()
+        snapshot["pool"] = self.pool.stats()
+        snapshot["kernels"] = self.pool.kernel_ids()
+        return snapshot
+
+
+class _ServiceHandler(socketserver.StreamRequestHandler):
+    """One connection: read JSON lines, answer asynchronously."""
+
+    def handle(self) -> None:
+        """Pump requests until EOF; responses write as they resolve."""
+        core: ServiceCore = self.server.core  # type: ignore[attr-defined]
+        write_lock = threading.Lock()
+
+        def send(payload: bytes) -> None:
+            try:
+                with write_lock:
+                    self.wfile.write(payload)
+                    self.wfile.flush()
+            except (OSError, ValueError):
+                pass  # connection gone; the metrics still counted the work
+
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                message = decode_line(line)
+                kind = message.get("type")
+                if kind == "align":
+                    request = AlignRequest.from_dict(message)
+                    slot = core.submit(request)
+                    slot.add_done_callback(
+                        lambda response: send(response.to_line())
+                    )
+                elif kind == "metrics":
+                    send(encode_line({
+                        "type": "metrics",
+                        "id": message.get("id"),
+                        "snapshot": core.metrics_snapshot(),
+                    }))
+                elif kind == "ping":
+                    send(encode_line({"type": "pong", "id": message.get("id")}))
+                else:
+                    raise ProtocolError(f"unknown message type {kind!r}")
+            except ProtocolError as exc:
+                send(encode_line({
+                    "type": "result",
+                    "id": message.get("id") if isinstance(message, dict) else None,
+                    "status": "error",
+                    "error": str(exc),
+                }))
+
+
+class AlignmentServer(socketserver.ThreadingTCPServer):
+    """Threaded JSON-line TCP front end over a :class:`ServiceCore`.
+
+    Binds immediately; call :meth:`serve_in_thread` (tests, loadgen) or
+    ``serve_forever`` (CLI).  ``server_address`` reports the bound
+    (host, port) — pass port 0 to let the OS choose.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: Tuple[str, int], core: ServiceCore
+    ) -> None:
+        self.core = core
+        super().__init__(address, _ServiceHandler)
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread and return it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="alignment-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop accepting, close the socket, and stop the core."""
+        self.shutdown()
+        self.server_close()
+        self.core.stop()

@@ -59,6 +59,7 @@ def linked_design_to_dict(design: LinkedDesign) -> Dict[str, Any]:
     """Flatten a linked multi-kernel design."""
     return {
         "device": design.device.name,
+        "target_mhz": design.reports[0].config.target_mhz,
         "clock_mhz": design.clock_mhz,
         "feasible": design.feasible,
         "total_alignments_per_sec": design.total_throughput(),
@@ -67,11 +68,63 @@ def linked_design_to_dict(design: LinkedDesign) -> Dict[str, Any]:
                 "kernel": channel.kernel.name,
                 "n_pe": channel.n_pe,
                 "n_b": channel.n_b,
+                "max_query_len": channel.max_query_len,
+                "max_ref_len": channel.max_ref_len,
                 "alignments_per_sec": design.channel_throughput(k),
             }
             for k, channel in enumerate(design.channels)
         ],
     }
+
+
+def linked_design_from_dict(payload: Dict[str, Any]) -> LinkedDesign:
+    """Re-link a design from its exported dict.
+
+    The dict pins *inputs* (device, channel kernels and sizing) and the
+    link step is deterministic, so re-linking reproduces the exported
+    *outputs* (clock, throughput, feasibility) — the round-trip the
+    device pool relies on when a deployment is described as JSON.
+    Raises ``KeyError``/``ValueError`` on unknown devices or kernels.
+    """
+    from repro.kernels import get_kernel
+    from repro.synth import device as device_module
+    from repro.synth.linker import ChannelSpec, link
+
+    devices = {
+        dev.name: dev
+        for dev in vars(device_module).values()
+        if isinstance(dev, device_module.FpgaDevice)
+    }
+    device_name = payload["device"]
+    if device_name not in devices:
+        raise KeyError(
+            f"unknown device {device_name!r}; known: {sorted(devices)}"
+        )
+    channels = [
+        ChannelSpec(
+            kernel=get_kernel(entry["kernel"]),
+            n_pe=entry["n_pe"],
+            n_b=entry["n_b"],
+            max_query_len=entry["max_query_len"],
+            max_ref_len=entry["max_ref_len"],
+        )
+        for entry in payload["channels"]
+    ]
+    return link(
+        channels,
+        device=devices[device_name],
+        target_mhz=payload.get("target_mhz", 250.0),
+    )
+
+
+def linked_design_to_json(design: LinkedDesign, indent: int = 2) -> str:
+    """JSON text of a linked multi-kernel design."""
+    return json.dumps(linked_design_to_dict(design), indent=indent)
+
+
+def linked_design_from_json(text: str) -> LinkedDesign:
+    """Re-link a design from its exported JSON text."""
+    return linked_design_from_dict(json.loads(text))
 
 
 def report_to_json(report: SynthesisReport, indent: int = 2) -> str:

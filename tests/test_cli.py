@@ -85,6 +85,37 @@ class TestOccupancyCommand:
         assert "band=32" in capsys.readouterr().out
 
 
+class TestServiceCommands:
+    def test_loadgen_in_proc_smoke(self, capsys):
+        """The CI smoke invocation: in-proc service, zero errors, metrics."""
+        rc = main([
+            "loadgen", "--in-proc", "--kernel", "1", "--kernel", "3",
+            "--rate", "300", "--requests", "20", "--length", "12",
+            "--pairs", "4", "--max-batch", "4", "--max-delay-ms", "10",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "err 0" in out
+        assert '"aligned_total": 20' in out
+        assert '"latency_ms"' in out
+
+    def test_loadgen_rejects_struct_kernel(self):
+        with pytest.raises(SystemExit, match="struct"):
+            main(["loadgen", "--in-proc", "--kernel", "9", "--requests", "1"])
+
+    def test_serve_parser_accepts_service_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--kernel", "1", "--kernel", "3", "--port", "0",
+            "--max-batch", "4", "--queue-bound", "32",
+        ])
+        assert args.command == "serve"
+        assert args.kernel == ["1", "3"]
+        assert args.max_batch == 4
+        assert args.queue_bound == 32
+
+
 class TestExperimentCommands:
     def test_fig4(self, capsys):
         assert main(["fig4"]) == 0

@@ -88,9 +88,13 @@ def _pairs(n, length=24):
 
 class TestBatchEdgeCases:
     @pytest.mark.parametrize("workers", (1, 2))
-    def test_empty_batch_rejected(self, workers):
+    def test_empty_submit_returns_empty_outcome(self, workers):
+        """submit([]) is a no-op batch; align_batch keeps the raise."""
+        outcome = _runtime().submit([], workers=workers)
+        assert outcome.results == [] and outcome.errors == []
+        assert outcome.schedule.makespan_cycles == 0
         with pytest.raises(ValueError, match="at least one pair"):
-            _runtime().submit([], workers=workers)
+            _runtime().align_batch([])
 
     def test_single_pair_batch(self):
         outcome = _runtime().submit(_pairs(1))

@@ -1,0 +1,95 @@
+"""Round-trip tests for linked-design JSON serialization (synth/export).
+
+The device pool can be described by an exported linked design; this
+pins that export → JSON → re-link reproduces the design exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.synth.device import ALVEO_U50
+from repro.synth.export import (
+    linked_design_from_dict,
+    linked_design_from_json,
+    linked_design_to_dict,
+    linked_design_to_json,
+)
+from repro.synth.linker import ChannelSpec, link
+
+
+def heterogeneous_design(device=None, target_mhz=250.0):
+    channels = [
+        ChannelSpec(kernel=get_kernel(1), n_pe=16, n_b=2,
+                    max_query_len=128, max_ref_len=128),
+        ChannelSpec(kernel=get_kernel(4), n_pe=8, n_b=4,
+                    max_query_len=64, max_ref_len=64),
+        ChannelSpec(kernel=get_kernel(14), n_pe=32, n_b=1,
+                    max_query_len=256, max_ref_len=256),
+    ]
+    if device is None:
+        return link(channels, target_mhz=target_mhz)
+    return link(channels, device=device, target_mhz=target_mhz)
+
+
+class TestLinkedDesignRoundTrip:
+    def test_json_text_round_trips_exactly(self):
+        design = heterogeneous_design()
+        text = linked_design_to_json(design)
+        assert json.loads(text) == linked_design_to_dict(design)
+        relinked = linked_design_from_json(text)
+        assert linked_design_to_json(relinked) == text
+
+    def test_relink_reproduces_outputs(self):
+        design = heterogeneous_design()
+        relinked = linked_design_from_dict(linked_design_to_dict(design))
+        assert relinked.clock_mhz == design.clock_mhz
+        assert relinked.feasible == design.feasible
+        assert relinked.total_throughput() == design.total_throughput()
+        assert len(relinked.channels) == len(design.channels)
+        for original, restored in zip(design.channels, relinked.channels):
+            assert restored.kernel is original.kernel
+            assert restored.n_pe == original.n_pe
+            assert restored.n_b == original.n_b
+            assert restored.max_query_len == original.max_query_len
+            assert restored.max_ref_len == original.max_ref_len
+
+    def test_device_and_clock_target_preserved(self):
+        design = heterogeneous_design(device=ALVEO_U50, target_mhz=200.0)
+        payload = linked_design_to_dict(design)
+        assert payload["device"] == ALVEO_U50.name
+        assert payload["target_mhz"] == 200.0
+        relinked = linked_design_from_dict(payload)
+        assert relinked.device is ALVEO_U50
+        assert relinked.clock_mhz == design.clock_mhz
+
+    def test_unknown_device_rejected(self):
+        payload = linked_design_to_dict(heterogeneous_design())
+        payload["device"] = "xc7z020"
+        with pytest.raises(KeyError, match="unknown device"):
+            linked_design_from_dict(payload)
+
+    def test_unknown_kernel_rejected(self):
+        payload = linked_design_to_dict(heterogeneous_design())
+        payload["channels"][0]["kernel"] = "not_a_kernel"
+        with pytest.raises(KeyError):
+            linked_design_from_dict(payload)
+
+    def test_pool_consumes_relinked_design(self):
+        """The serving pool deploys a design that went through JSON."""
+        from repro.service import DevicePool
+        from repro.synth.linker import ChannelSpec as CS
+
+        design = link([
+            CS(kernel=get_kernel(1), n_pe=8, n_b=2,
+               max_query_len=64, max_ref_len=64),
+            CS(kernel=get_kernel(3), n_pe=8, n_b=2,
+               max_query_len=64, max_ref_len=64),
+        ])
+        relinked = linked_design_from_json(linked_design_to_json(design))
+        pool = DevicePool.from_linked_design(relinked)
+        assert pool.kernel_ids() == [1, 3]
+        outcome, _member = pool.execute(1, [((0, 1, 2, 3), (0, 1, 2, 3))])
+        assert not outcome.errors
+        assert outcome.results[0].cigar == "4M"

@@ -130,6 +130,38 @@ class TestTimeout:
         assert result.errors[0].index == 0
         assert result.values(strict=False)[1] == 0.0
 
+    def test_non_main_thread_falls_back_to_no_timeout(self):
+        """SIGALRM cannot be armed off the main thread: the in-process
+        path must run the item unbounded instead of raising from
+        ``signal.signal`` (the service's dispatch threads rely on it)."""
+        import threading
+
+        captured = {}
+
+        def run_on_thread():
+            try:
+                captured["result"] = run_batch(
+                    _sleep_for, [0.05], workers=1, timeout=0.01
+                )
+            except Exception as exc:  # pragma: no cover - the old failure
+                captured["exception"] = exc
+
+        thread = threading.Thread(target=run_on_thread)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert "exception" not in captured, captured.get("exception")
+        result = captured["result"]
+        # The item overran the nominal timeout but completed: the
+        # fallback is documented as no-timeout, not best-effort.
+        assert result.ok
+        assert result.values() == [0.05]
+
+    def test_main_thread_timeout_still_armed(self):
+        """The guard must not disable timeouts on the main thread."""
+        result = run_batch(_sleep_for, [0.3], workers=1, timeout=0.05)
+        assert not result.ok
+        assert result.errors[0].error_type == "TimeoutError"
+
 
 class TestValidation:
     def test_bad_workers(self):

@@ -69,6 +69,18 @@ class TestDeviceRuntime:
         with pytest.raises(ValueError):
             runtime.align_batch([])
 
+    def test_empty_submit_is_a_noop(self):
+        """submit([]) returns an empty outcome (the service batcher may
+        legitimately flush nothing); align_batch keeps its historical
+        raise."""
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        outcome = runtime.submit([])
+        assert outcome.results == []
+        assert outcome.errors == []
+        assert outcome.schedule.makespan_cycles == 0
+        assert outcome.utilization == 0.0
+        assert outcome.alignments_per_sec == 0.0
+
     def test_ii_propagates_from_synthesis(self):
         runtime = DeviceRuntime(
             get_kernel(9), small_config(n_b=1, n_k=1)

@@ -1,0 +1,166 @@
+"""Tests for the dynamic batcher (size/deadline flush, backpressure)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.batcher import (
+    TRIGGER_DEADLINE,
+    TRIGGER_SHUTDOWN,
+    TRIGGER_SIZE,
+    BatcherConfig,
+    DynamicBatcher,
+)
+
+
+class FlushRecorder:
+    """Collects (kernel_id, payloads, trigger) flushes thread-safely."""
+
+    def __init__(self):
+        self.flushes = []
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+
+    def __call__(self, kernel_id, entries, trigger):
+        with self._lock:
+            self.flushes.append(
+                (kernel_id, [e.payload for e in entries], trigger)
+            )
+        self._event.set()
+
+    def wait(self, count=1, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.flushes) >= count:
+                    return True
+            time.sleep(0.005)
+        return False
+
+    @property
+    def triggers(self):
+        with self._lock:
+            return [t for _, _, t in self.flushes]
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            BatcherConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatcherConfig(max_delay_ms=0)
+        with pytest.raises(ValueError):
+            BatcherConfig(max_queue_depth=0)
+
+
+class TestSizeTrigger:
+    def test_full_batch_flushes_immediately(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=3, max_delay_ms=10_000.0), recorder
+        )
+        for k in range(3):
+            assert batcher.offer(1, payload=k)
+        assert recorder.flushes == [(1, [0, 1, 2], TRIGGER_SIZE)]
+        assert batcher.depth(1) == 0
+
+    def test_priority_boards_first_when_oversubscribed(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=4, max_delay_ms=10_000.0), recorder
+        )
+        # Three low-priority, then one urgent: the urgent request must be
+        # in the size-triggered batch ahead of the FIFO tail.
+        for k in range(3):
+            batcher.offer(1, payload=f"low{k}", priority=0)
+        batcher.offer(1, payload="urgent", priority=5)
+        (kernel_id, payloads, trigger), = recorder.flushes
+        assert trigger == TRIGGER_SIZE
+        assert payloads[0] == "urgent"
+        assert set(payloads) == {"urgent", "low0", "low1", "low2"}
+
+    def test_queues_are_per_kernel(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=2, max_delay_ms=10_000.0), recorder
+        )
+        batcher.offer(1, payload="a")
+        batcher.offer(2, payload="b")
+        assert recorder.flushes == []  # neither kernel reached max_batch
+        batcher.offer(1, payload="c")
+        assert recorder.flushes == [(1, ["a", "c"], TRIGGER_SIZE)]
+        assert batcher.depth(2) == 1
+
+
+class TestDeadlineTrigger:
+    def test_partial_batch_flushes_on_linger(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=64, max_delay_ms=30.0), recorder
+        )
+        batcher.start()
+        try:
+            batcher.offer(1, payload="solo")
+            assert recorder.wait(1), "deadline flush never fired"
+            assert recorder.flushes[0] == (1, ["solo"], TRIGGER_DEADLINE)
+        finally:
+            batcher.stop()
+
+    def test_request_deadline_tightens_linger(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=64, max_delay_ms=10_000.0), recorder
+        )
+        batcher.start()
+        try:
+            started = time.monotonic()
+            batcher.offer(1, payload="urgent", deadline_ms=60.0)
+            assert recorder.wait(1), "deadline flush never fired"
+            # Queue budget is half the 60 ms deadline, far below the
+            # 10 s linger bound.
+            assert time.monotonic() - started < 5.0
+        finally:
+            batcher.stop()
+
+
+class TestBackpressure:
+    def test_offers_refused_at_bound(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=100, max_delay_ms=10_000.0,
+                          max_queue_depth=3),
+            recorder,
+        )
+        assert all(batcher.offer(1, payload=k) for k in range(3))
+        assert not batcher.offer(1, payload="overflow")
+        # Other kernels are unaffected: the bound is per kernel.
+        assert batcher.offer(2, payload="fine")
+
+
+class TestShutdown:
+    def test_stop_flushes_every_residual_entry(self):
+        recorder = FlushRecorder()
+        batcher = DynamicBatcher(
+            BatcherConfig(max_batch=4, max_delay_ms=10_000.0), recorder
+        )
+        batcher.start()
+        for k in range(10):  # two size flushes + 2 residual
+            batcher.offer(1, payload=k)
+        batcher.offer(2, payload="other")
+        batcher.stop()
+        flushed = [
+            payload
+            for kernel_id, payloads, _t in recorder.flushes
+            if kernel_id == 1
+            for payload in payloads
+        ]
+        assert sorted(flushed) == list(range(10))
+        assert recorder.triggers.count(TRIGGER_SIZE) == 2
+        assert TRIGGER_SHUTDOWN in recorder.triggers
+
+    def test_stop_is_idempotent(self):
+        batcher = DynamicBatcher(BatcherConfig(), FlushRecorder())
+        batcher.start()
+        batcher.stop()
+        batcher.stop()

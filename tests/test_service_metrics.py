@@ -1,0 +1,111 @@
+"""Tests for the service metrics layer (counters, histograms, registry)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    geometric_bounds,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("x")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGeometricBounds:
+    def test_endpoints_and_monotonic(self):
+        bounds = geometric_bounds(0.5, 512.0, 11)
+        assert bounds[0] == pytest.approx(0.5)
+        assert bounds[-1] == pytest.approx(512.0)
+        assert bounds == sorted(bounds)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_bounds(0, 10, 4)
+        with pytest.raises(ValueError):
+            geometric_bounds(1, 10, 1)
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram("lat")
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) is None
+        assert histogram.snapshot() == {"count": 0}
+
+    def test_exact_stats(self):
+        histogram = Histogram("lat")
+        for value in (1.0, 2.0, 3.0, 10.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["min"] == 1.0
+        assert snapshot["max"] == 10.0
+        assert snapshot["mean"] == pytest.approx(4.0)
+
+    def test_quantiles_ordered_and_clamped(self):
+        histogram = Histogram("lat")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert 1.0 <= p50 <= p95 <= p99 <= 100.0
+        assert p50 == pytest.approx(50.0, rel=0.25)
+        assert p99 >= 80.0
+
+    def test_overflow_bucket_clamps_to_max(self):
+        histogram = Histogram("lat", bounds=[1.0, 2.0])
+        histogram.observe(500.0)
+        assert histogram.quantile(0.99) == 500.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=[2.0, 1.0])
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(3)
+        registry.histogram("latency_ms").observe(12.5)
+        text = registry.to_json()
+        parsed = json.loads(text)
+        assert parsed["counters"]["requests_total"] == 3
+        assert parsed["histograms"]["latency_ms"]["count"] == 1

@@ -1,0 +1,130 @@
+"""Tests for the service wire protocol (JSON lines)."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    AlignRequest,
+    AlignResponse,
+    ProtocolError,
+    Status,
+    decode_line,
+    encode_line,
+    error_response,
+    rejection,
+    response_from_result,
+)
+
+
+def make_request(**overrides):
+    base = dict(
+        request_id="r1",
+        kernel_id=3,
+        query=(0, 1, 2, 3),
+        reference=(0, 1, 2),
+        deadline_ms=25.0,
+        priority=2,
+    )
+    base.update(overrides)
+    return AlignRequest(**base)
+
+
+class TestRequestRoundTrip:
+    def test_dict_round_trip(self):
+        request = make_request()
+        assert AlignRequest.from_dict(request.to_dict()) == request
+
+    def test_line_round_trip(self):
+        request = make_request()
+        assert AlignRequest.from_dict(decode_line(request.to_line())) == request
+
+    def test_deterministic_encoding(self):
+        assert make_request().to_line() == make_request().to_line()
+
+    def test_optional_deadline_omitted(self):
+        request = make_request(deadline_ms=None)
+        assert "deadline_ms" not in request.to_dict()
+        assert AlignRequest.from_dict(request.to_dict()).deadline_ms is None
+
+
+class TestRequestValidation:
+    def test_missing_field(self):
+        payload = make_request().to_dict()
+        del payload["query"]
+        with pytest.raises(ProtocolError, match="missing"):
+            AlignRequest.from_dict(payload)
+
+    def test_empty_sequence(self):
+        payload = make_request().to_dict()
+        payload["reference"] = []
+        with pytest.raises(ProtocolError, match="non-empty"):
+            AlignRequest.from_dict(payload)
+
+    def test_bad_kernel_type(self):
+        payload = make_request().to_dict()
+        payload["kernel"] = "three"
+        with pytest.raises(ProtocolError, match="integer"):
+            AlignRequest.from_dict(payload)
+
+    def test_bad_deadline(self):
+        payload = make_request().to_dict()
+        payload["deadline_ms"] = -1
+        with pytest.raises(ProtocolError, match="deadline"):
+            AlignRequest.from_dict(payload)
+
+    def test_wrong_type_field(self):
+        with pytest.raises(ProtocolError, match="not an align request"):
+            AlignRequest.from_dict({"type": "result"})
+
+    def test_undecodable_line(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_line(b"{not json")
+
+    def test_non_object_line(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_line(b"[1,2,3]")
+
+
+class TestResponseRoundTrip:
+    def test_ok_round_trip(self):
+        response = AlignResponse(
+            request_id="r1", status=Status.OK, score=8.0, cigar="4M",
+            start=(4, 4), end=(0, 0), cycles=21, latency_ms=1.5,
+        )
+        assert AlignResponse.from_dict(response.to_dict()) == response
+
+    def test_rejection_and_error(self):
+        for response in (rejection("r", "full"), error_response("r", "boom")):
+            parsed = AlignResponse.from_dict(response.to_dict())
+            assert parsed == response
+            assert not parsed.ok
+
+    def test_latency_stripped_form_is_deterministic(self):
+        a = AlignResponse(
+            request_id="r", status=Status.OK, score=1.0, cigar="1M",
+            start=(1, 1), end=(0, 0), cycles=5, latency_ms=1.0,
+        )
+        b = AlignResponse(
+            request_id="r", status=Status.OK, score=1.0, cigar="1M",
+            start=(1, 1), end=(0, 0), cycles=5, latency_ms=99.0,
+        )
+        assert a.to_line(with_latency=False) == b.to_line(with_latency=False)
+        assert a.to_line() != b.to_line()
+
+    def test_response_from_engine_result(self):
+        from repro.core.alphabet import encode_dna
+        from repro.kernels import get_kernel
+        from repro.systolic import align
+
+        result = align(get_kernel(1), encode_dna("ACGT"), encode_dna("ACGT"))
+        response = response_from_result("rq", result)
+        assert response.ok
+        assert response.cigar == "4M"
+        assert isinstance(response.score, float)
+        assert response.cycles == result.cycles.total
+
+    def test_encode_line_is_compact_sorted_json(self):
+        line = encode_line({"b": 1, "a": 2})
+        assert line == b'{"a":2,"b":1}\n'
+        assert json.loads(line) == {"a": 2, "b": 1}
