@@ -1,0 +1,98 @@
+"""Overhead of the observability layer on the engine hot path.
+
+The acceptance bar for :mod:`repro.obs` is that the *disabled* mode
+(the default :class:`~repro.obs.NullRecorder`) costs under 5 % on the
+engine hot loop.  Since the instrumented engine is the only engine, the
+honest measurement is the cost of the recorder calls the engine now
+makes, compared against the wall-clock of the alignment that makes
+them: per chunk the engine takes one ``enabled`` check (no per-chunk
+span is even constructed when disabled), and per alignment one null
+span plus the final ``enabled`` check.
+"""
+
+import time
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.obs import NULL_RECORDER, TraceRecorder, use_recorder
+from repro.systolic import align
+from tests.conftest import mutated_copy, random_dna
+
+LENGTH = 96
+
+
+@pytest.fixture(scope="module")
+def dna_pair():
+    reference = random_dna(LENGTH, seed=1)
+    query = mutated_copy(reference, seed=2)[:LENGTH]
+    return query, reference
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_null_recorder_overhead_under_5_percent(dna_pair):
+    """The disabled recorder's calls are <5 % of one alignment's time."""
+    spec = get_kernel(1)
+    query, reference = dna_pair
+
+    align_s = _best_of(3, lambda: align(spec, query, reference, n_pe=16))
+
+    # The per-alignment disabled-mode footprint: the engine wrapper takes
+    # one enabled check and skips straight into the implementation; inside,
+    # each chunk takes one `tracing` check, the traceback takes one null
+    # span, and the counter block takes one final enabled check.  Model it
+    # generously: one null span plus one enabled check per *wavefront*
+    # (hundreds of times more call sites than the engine actually has).
+    n_wavefronts = (len(query) + len(reference)) * 2
+
+    def recorder_calls():
+        recorder = NULL_RECORDER
+        for _ in range(n_wavefronts):
+            if recorder.enabled:
+                raise AssertionError("null recorder must be disabled")
+            with recorder.span("engine.chunk"):
+                pass
+
+    calls_s = _best_of(5, recorder_calls)
+    overhead = calls_s / align_s
+    assert overhead < 0.05, (
+        f"null-recorder overhead {overhead:.2%} of one alignment "
+        f"({calls_s * 1e6:.1f}us vs {align_s * 1e3:.2f}ms)"
+    )
+
+
+def test_tracing_cost_is_bounded(dna_pair):
+    """Full tracing stays within a small constant factor of disabled mode.
+
+    Not a hard product requirement (tracing is opt-in), but a guard
+    against accidentally quadratic capture costs.
+    """
+    spec = get_kernel(1)
+    query, reference = dna_pair
+
+    plain_s = _best_of(3, lambda: align(spec, query, reference, n_pe=16))
+
+    def traced():
+        with use_recorder(TraceRecorder()):
+            align(spec, query, reference, n_pe=16)
+
+    traced_s = _best_of(3, traced)
+    assert traced_s < plain_s * 3.0, (
+        f"tracing cost {traced_s / plain_s:.1f}x the disabled-mode run"
+    )
+
+
+def test_engine_benchmark_unchanged_under_null_recorder(benchmark, dna_pair):
+    """The stock engine benchmark, for regression tracking over time."""
+    spec = get_kernel(1)
+    query, reference = dna_pair
+    result = benchmark(align, spec, query, reference, n_pe=16)
+    assert result.score is not None

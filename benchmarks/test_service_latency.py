@@ -60,7 +60,7 @@ def _calibrate_capacity(pool: DevicePool, workload) -> float:
     pairs = [(q, r) for kid, q, r in workload if kid == kernel_id][:4]
     started = time.perf_counter()
     for query, reference in pairs:
-        member.runtime.align_one(query, reference)
+        member.runtime.run([(query, reference)])
     per_alignment = (time.perf_counter() - started) / len(pairs)
     return 1.0 / per_alignment
 

@@ -38,14 +38,14 @@ from repro.core import (
     StartRule,
     TracebackSpec,
 )
-from repro.kernels import KERNELS, get_kernel, kernel_ids
+from repro.kernels import KERNELS, get_kernel, is_registered, kernel_ids, list_kernels
 from repro.parallel import BatchResult, ParallelExecutor, WorkError, run_batch
 from repro.reference import oracle_align
 from repro.synth import LaunchConfig, SynthesisReport, synthesize
 from repro.systolic import align
 from repro.tiling import tiled_align
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "align",
@@ -57,7 +57,9 @@ __all__ = [
     "BatchResult",
     "WorkError",
     "get_kernel",
+    "is_registered",
     "kernel_ids",
+    "list_kernels",
     "KERNELS",
     "KernelSpec",
     "LaunchConfig",

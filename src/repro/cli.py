@@ -11,6 +11,8 @@ Commands mirror the workflow of Fig. 2A plus the experiment harnesses:
 * ``fuzz``                      — differential fuzzing of the engine
 * ``serve``                     — run the online alignment service (TCP)
 * ``loadgen``                   — open-loop Poisson load against a service
+* ``trace``                     — serve a traced workload in-process and
+  export a Chrome trace (chrome://tracing / Perfetto)
 * ``table2`` / ``fig3`` / ``fig4`` / ``fig5`` / ``fig6`` / ``hls`` /
   ``tiling``                    — regenerate an evaluation table/figure
 
@@ -25,17 +27,18 @@ import sys
 from typing import List, Optional
 
 from repro.core.alphabet import encode_dna, encode_protein
-from repro.kernels import KERNELS, get_kernel
+from repro.kernels import get_kernel, list_kernels
 from repro.synth import LaunchConfig, synthesize
 from repro.synth.rtlgen import generate_rtl_skeleton
 from repro.systolic import align
 
 
 def _kernel_arg(value: str):
+    """Resolve a kernel id or name, exiting cleanly on an unknown one."""
     try:
-        return get_kernel(int(value))
-    except ValueError:
         return get_kernel(value)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
 
 
 def _encode_for(spec, text: str):
@@ -56,13 +59,13 @@ def cmd_list(_args) -> int:
     """List the registered kernels (the Table 1 view)."""
     print(f"{'#':>3} {'name':28s} {'layers':>6} {'objective':>9} "
           f"{'traceback':>9} {'band':>5}  tools")
-    for kid in sorted(KERNELS):
-        spec = KERNELS[kid]
+    for info in list_kernels():
         print(
-            f"{kid:>3} {spec.name:28s} {spec.n_layers:>6} "
-            f"{spec.objective.value:>9} "
-            f"{'yes' if spec.has_traceback else 'no':>9} "
-            f"{spec.banding or '-':>5}  {', '.join(spec.reference_tools)}"
+            f"{info['id']:>3} {info['name']:28s} {info['layers']:>6} "
+            f"{info['objective']:>9} "
+            f"{'yes' if info['traceback'] else 'no':>9} "
+            f"{info['banding'] or '-':>5}  "
+            f"{', '.join(info['reference_tools'])}"
         )
     return 0
 
@@ -228,6 +231,12 @@ def cmd_serve(args) -> int:
     )).start()
     server = AlignmentServer((args.host, args.port), core)
     host, port = server.server_address
+    deployed = {spec.kernel_id for spec in kernels}
+    for info in list_kernels():
+        if info["id"] in deployed:
+            print(f"  kernel #{info['id']} {info['name']} "
+                  f"({info['alphabet']}, {info['layers']} layers, "
+                  f"traceback={'yes' if info['traceback'] else 'no'})")
     print(f"serving kernels {pool.kernel_ids()} on {host}:{port} "
           f"({len(pool.members)} runtimes, max_batch={args.max_batch}, "
           f"max_delay={args.max_delay_ms}ms, queue_bound={args.queue_bound})")
@@ -289,6 +298,59 @@ def cmd_loadgen(args) -> int:
         if core is not None:
             core.stop()
     return 0 if failures == 0 else 1
+
+
+def cmd_trace(args) -> int:
+    """Serve a traced workload in-process and export a Chrome trace.
+
+    Spins up an in-process :class:`~repro.service.ServiceCore` under a
+    :class:`~repro.obs.TraceRecorder`, pushes a small random workload
+    through the full request path (service → pool → host → engine),
+    writes the Chrome trace-event JSON to ``--out``, and prints the
+    plain-text metrics snapshot.  Open the JSON in ``chrome://tracing``
+    or https://ui.perfetto.dev.
+    """
+    from repro.obs import TraceRecorder, use_recorder, write_chrome_trace
+    from repro.obs.export import render_text_snapshot
+    from repro.service import BatcherConfig, InProcClient, ServiceCore, Status
+
+    kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
+    recorder = TraceRecorder()
+    failures = 0
+    with use_recorder(recorder):
+        pool = _service_pool(
+            kernels, args.n_pe, args.n_b, args.replicas, args.max_len
+        )
+        core = ServiceCore(pool, BatcherConfig(
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+        ), recorder=recorder).start()
+        client = InProcClient(core)
+        workload = _service_workload(
+            kernels, args.pairs, args.length, args.seed
+        )
+        try:
+            slots = [
+                client.submit(kernel_id, query, reference)
+                for kernel_id, query, reference in workload
+            ]
+            for slot in slots:
+                if slot.result(timeout=120.0).status is not Status.OK:
+                    failures += 1
+        finally:
+            core.stop()
+    write_chrome_trace(recorder, args.out)
+    categories = sorted({
+        event.category for event in recorder.events() if event.kind == "span"
+    })
+    print(render_text_snapshot(core.metrics_snapshot()))
+    print(f"trace: {len(recorder.events())} events "
+          f"(spans in {', '.join(categories)}; "
+          f"{recorder.dropped_events} dropped) -> {args.out}")
+    if failures:
+        print(f"error: {failures} request(s) did not resolve OK")
+        return 1
+    return 0
 
 
 def cmd_occupancy(args) -> int:
@@ -459,6 +521,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-delay-ms", type=float, default=20.0)
     p.add_argument("--queue-bound", type=int, default=256)
 
+    p = sub.add_parser(
+        "trace",
+        help="serve a traced workload in-process and export a Chrome trace",
+    )
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--kernel", action="append", default=[],
+                   help="kernel number/name to trace (repeatable; default 1)")
+    p.add_argument("--pairs", type=int, default=8,
+                   help="random pairs per kernel pushed through the service")
+    p.add_argument("--length", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=1)
+    p.add_argument("--n-pe", type=int, default=16)
+    p.add_argument("--n-b", type=int, default=4)
+    p.add_argument("--max-len", type=int, default=256)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--max-delay-ms", type=float, default=20.0)
+
     p = sub.add_parser("occupancy", help="render the PE activity Gantt")
     p.add_argument("kernel")
     p.add_argument("--query-len", type=int, default=24)
@@ -494,6 +575,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "matrix": cmd_matrix,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "trace": cmd_trace,
     }
     handler = handlers.get(args.command, cmd_experiment)
     return handler(args)

@@ -14,7 +14,7 @@ from typing import List
 
 from repro.core.spec import EndRule, KernelSpec, Objective
 from repro.experiments.report import format_table
-from repro.kernels import KERNELS
+from repro.kernels import get_kernel, kernel_ids
 
 
 def scoring_family(spec: KernelSpec) -> str:
@@ -61,8 +61,8 @@ class TaxonomyRow:
 def build_table1() -> List[TaxonomyRow]:
     """The taxonomy of all registered kernels."""
     rows = []
-    for kid in sorted(KERNELS):
-        spec = KERNELS[kid]
+    for kid in kernel_ids():
+        spec = get_kernel(kid)
         rows.append(
             TaxonomyRow(
                 kernel_id=kid,

@@ -14,7 +14,7 @@ from typing import List, Tuple
 from repro.experiments.paper_values import TABLE2
 from repro.experiments.report import format_table
 from repro.experiments.workloads import WORKLOADS
-from repro.kernels import KERNELS
+from repro.kernels import get_kernel, kernel_ids
 from repro.synth import LaunchConfig, synthesize
 from repro.synth.calibration import OPTIMAL_CONFIG
 
@@ -40,8 +40,8 @@ class Table2ModelRow:
 def build_table2() -> List[Table2ModelRow]:
     """Synthesize every kernel at its Table 2 configuration."""
     rows: List[Table2ModelRow] = []
-    for kid in sorted(KERNELS):
-        spec = KERNELS[kid]
+    for kid in kernel_ids():
+        spec = get_kernel(kid)
         workload = WORKLOADS[kid]
         block_report = synthesize(
             spec,

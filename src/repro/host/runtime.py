@@ -6,21 +6,31 @@ pairs, runs each pair through the functional engine (results) while the
 scheduler model accounts for block occupancy (performance), and reports
 batch-level throughput and utilization.
 
-``submit`` is the batch entry point: with ``workers > 1`` it fans the
-functional work across CPU cores through :mod:`repro.parallel` — the
+``run`` is the single batch entry point: with ``workers > 1`` it fans
+the functional work across CPU cores through :mod:`repro.parallel` — the
 software mirror of the N_K channel fan-out — while the performance model
 still accounts for the *device's* concurrency, and a failing pair becomes
-a structured error record instead of aborting the batch.
+a structured error record instead of aborting the batch.  The historical
+``align_one`` / ``align_batch`` / ``submit`` trio survives as deprecated
+shims over ``run``.
+
+Execution reports through the current :mod:`repro.obs` recorder: a
+``host.run`` span brackets the batch, with child ``host.execute``
+(functional work) and ``host.schedule`` (performance model) spans — the
+split that separates where wall-clock goes from what the modelled device
+would have done.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.result import AlignmentResult
 from repro.core.spec import KernelSpec
 from repro.host.scheduler import AlignmentBatch, HostScheduler, ScheduleResult
+from repro.obs.recorder import get_recorder
 from repro.parallel import ParallelExecutor, WorkError
 from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
 from repro.systolic.engine import align
@@ -87,8 +97,85 @@ class DeviceRuntime:
             )
         self._scheduler = HostScheduler(self.config.n_k, self.config.n_b)
 
-    def align_one(self, query: Sequence[Any], reference: Sequence[Any]) -> AlignmentResult:
-        """Align a single pair on one block."""
+    # -- the batch entry point ----------------------------------------
+
+    def run(
+        self,
+        pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
+        *,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> BatchOutcome:
+        """Align a batch with host-side parallelism and failure isolation.
+
+        ``workers=None`` (the default) keeps the deterministic serial
+        path: every pair runs in-process, in order, producing
+        bit-identical results.  ``workers > 1`` fans pairs across a
+        process pool; that path requires the runtime's spec to be the
+        registered kernel (worker processes re-resolve it by id).
+        ``timeout`` bounds each pair's wall-clock seconds.  Failed pairs
+        surface in ``errors`` with their batch index; surviving pairs
+        are unaffected.  An empty batch is a no-op: the scheduler
+        already models it as a zero-cycle schedule, so online callers
+        (the service batcher) never special-case it.
+        """
+        n_workers = 1 if workers is None else workers
+        recorder = get_recorder()
+        pairs = list(pairs)
+        with recorder.span(
+            "host.run", kernel=self.spec.name, pairs=len(pairs),
+            workers=n_workers,
+        ):
+            executor = ParallelExecutor(workers=n_workers, timeout=timeout)
+            with recorder.span("host.execute", pairs=len(pairs)):
+                if n_workers == 1:
+                    def task(pair, _seed):
+                        return self._align_pair(*pair)
+
+                    batch_result = executor.map(task, pairs)
+                else:
+                    from repro.kernels import is_registered
+
+                    if not is_registered(self.spec):
+                        raise ValueError(
+                            f"parallel submission needs a registered kernel "
+                            f"so workers can resolve it by id; "
+                            f"{self.spec.name!r} is not kernel "
+                            f"#{self.spec.kernel_id} in the registry — "
+                            f"use workers=1"
+                        )
+                    payloads = [
+                        (
+                            self.spec.kernel_id, self.params, self.config.n_pe,
+                            self.report.ii, self.config.max_query_len,
+                            self.config.max_ref_len, query, reference,
+                        )
+                        for query, reference in pairs
+                    ]
+                    batch_result = executor.map(_align_pair_task, payloads)
+            results = batch_result.values(strict=False)
+            with recorder.span("host.schedule", jobs=len(pairs)):
+                batch = AlignmentBatch()
+                for result in results:
+                    if result is not None:
+                        batch.add(result.cycles.total)
+                schedule = self._scheduler.run(batch)
+        if recorder.enabled:
+            recorder.count("host.pairs", len(pairs))
+            recorder.count("host.pair_errors", len(batch_result.errors))
+            recorder.gauge("host.block_utilization", schedule.utilization)
+            recorder.gauge("host.dispatch_fraction", schedule.dispatch_fraction)
+        return BatchOutcome(
+            results=results,
+            schedule=schedule,
+            clock_mhz=self.report.fmax_mhz,
+            errors=batch_result.errors,
+        )
+
+    def _align_pair(
+        self, query: Sequence[Any], reference: Sequence[Any]
+    ) -> AlignmentResult:
+        """One pair on one block (the serial-path work item)."""
         return align(
             self.spec, query, reference, params=self.params,
             n_pe=self.config.n_pe, ii=self.report.ii,
@@ -96,20 +183,37 @@ class DeviceRuntime:
             max_ref_len=self.config.max_ref_len,
         )
 
+    # -- deprecated shims ---------------------------------------------
+
+    def align_one(
+        self, query: Sequence[Any], reference: Sequence[Any]
+    ) -> AlignmentResult:
+        """Deprecated: use ``run([(query, reference)]).results[0]``."""
+        warnings.warn(
+            "DeviceRuntime.align_one is deprecated; use "
+            "DeviceRuntime.run([(query, reference)]) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._align_pair(query, reference)
+
     def align_batch(
         self,
         pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
         workers: int = 1,
     ) -> BatchOutcome:
-        """Align a batch, modelling its dispatch across channels/blocks.
+        """Deprecated: use :meth:`run` (which isolates failures).
 
-        A pair that fails to align raises (the historical contract), and
-        so does an empty batch; use :meth:`submit` for failure-isolating
-        batch execution.
+        Keeps the historical contract: a failing pair raises, and so
+        does an empty batch.
         """
+        warnings.warn(
+            "DeviceRuntime.align_batch is deprecated; use "
+            "DeviceRuntime.run(pairs, workers=...) instead",
+            DeprecationWarning, stacklevel=2,
+        )
         if not pairs:
             raise ValueError("batch must contain at least one pair")
-        outcome = self.submit(pairs, workers=workers)
+        outcome = self.run(pairs, workers=workers)
         if outcome.errors:
             first = outcome.errors[0]
             raise ValueError(
@@ -123,53 +227,10 @@ class DeviceRuntime:
         workers: int = 1,
         timeout: Optional[float] = None,
     ) -> BatchOutcome:
-        """Align a batch with host-side parallelism and failure isolation.
-
-        ``workers=1`` (default) keeps the historical serial path: every
-        pair runs in-process, in order, producing bit-identical results.
-        ``workers > 1`` fans pairs across a process pool; that path
-        requires the runtime's spec to be the registered kernel (worker
-        processes re-resolve it by id).  ``timeout`` bounds each pair's
-        wall-clock seconds.  Failed pairs surface in ``errors`` with their
-        batch index; surviving pairs are unaffected.  An empty batch is a
-        no-op: the scheduler already models it as a zero-cycle schedule,
-        so online callers (the service batcher) never special-case it.
-        """
-        executor = ParallelExecutor(workers=workers, timeout=timeout)
-        if workers == 1:
-            def task(pair, _seed):
-                return self.align_one(*pair)
-
-            batch_result = executor.map(task, list(pairs))
-        else:
-            from repro.kernels import KERNELS
-
-            if KERNELS.get(self.spec.kernel_id) is not self.spec:
-                raise ValueError(
-                    f"parallel submission needs a registered kernel so "
-                    f"workers can resolve it by id; "
-                    f"{self.spec.name!r} is not kernel "
-                    f"#{self.spec.kernel_id} in the registry — "
-                    f"use workers=1"
-                )
-            payloads = [
-                (
-                    self.spec.kernel_id, self.params, self.config.n_pe,
-                    self.report.ii, self.config.max_query_len,
-                    self.config.max_ref_len, query, reference,
-                )
-                for query, reference in pairs
-            ]
-            batch_result = executor.map(_align_pair_task, payloads)
-        results = batch_result.values(strict=False)
-        batch = AlignmentBatch()
-        for result in results:
-            if result is not None:
-                batch.add(result.cycles.total)
-        schedule = self._scheduler.run(batch)
-        return BatchOutcome(
-            results=results,
-            schedule=schedule,
-            clock_mhz=self.report.fmax_mhz,
-            errors=batch_result.errors,
+        """Deprecated: use :meth:`run` (same semantics, keyword-only)."""
+        warnings.warn(
+            "DeviceRuntime.submit is deprecated; use "
+            "DeviceRuntime.run(pairs, workers=..., timeout=...) instead",
+            DeprecationWarning, stacklevel=2,
         )
+        return self.run(pairs, workers=workers, timeout=timeout)

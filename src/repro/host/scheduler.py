@@ -42,6 +42,10 @@ class ScheduleResult:
     total_job_cycles: int
     n_jobs: int
     n_blocks: int
+    #: Channel cycles spent enqueueing (the modelled host-side queueing
+    #: cost, as opposed to block compute) — what the observability layer
+    #: reports as the dispatch share of the makespan.
+    dispatch_cycles_total: int = 0
 
     @property
     def utilization(self) -> float:
@@ -49,6 +53,14 @@ class ScheduleResult:
         if self.makespan_cycles == 0:
             return 0.0
         return self.total_job_cycles / (self.makespan_cycles * self.n_blocks)
+
+    @property
+    def dispatch_fraction(self) -> float:
+        """Modelled queueing share: dispatch cycles over all job cycles."""
+        denominator = self.total_job_cycles + self.dispatch_cycles_total
+        if denominator == 0:
+            return 0.0
+        return self.dispatch_cycles_total / denominator
 
     def throughput(self, frequency_mhz: float) -> float:
         """Batch throughput in alignments per second."""
@@ -97,4 +109,5 @@ class HostScheduler:
             total_job_cycles=sum(batch.job_cycles),
             n_jobs=len(batch),
             n_blocks=self.n_k * self.n_b,
+            dispatch_cycles_total=len(batch) * self.dispatch_cycles,
         )

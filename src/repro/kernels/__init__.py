@@ -5,6 +5,13 @@ Every kernel module exposes a module-level ``SPEC`` (its
 :mod:`repro.kernels.registry` indexes them by the paper's kernel numbers.
 """
 
-from repro.kernels.registry import KERNELS, get_kernel, kernel_ids
+from repro.kernels.registry import (
+    KERNELS,
+    get_kernel,
+    is_registered,
+    kernel_ids,
+    list_kernels,
+)
 
-__all__ = ["KERNELS", "get_kernel", "kernel_ids"]
+__all__ = ["KERNELS", "get_kernel", "is_registered", "kernel_ids",
+           "list_kernels"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Any, Dict, List, Union
 
 from repro.core.spec import KernelSpec
 from repro.kernels import (
@@ -53,14 +53,26 @@ def kernel_ids() -> List[int]:
     return sorted(KERNELS)
 
 
-def get_kernel(key: Union[int, str]) -> KernelSpec:
-    """Look a kernel up by its Table 1 number or by name.
+def get_kernel(key: Union[int, str, KernelSpec]) -> KernelSpec:
+    """Look a kernel up by Table 1 number, stable name, or spec.
+
+    This is the single kernel-lookup path: every layer (CLI, service
+    validation, campaigns, fuzzing) resolves kernels here, so ids,
+    names and numeric strings are interchangeable everywhere.  Passing
+    a :class:`KernelSpec` returns it unchanged, which lets call sites
+    normalize heterogeneous arguments in one call.
 
     >>> get_kernel(1).name
     'global_linear'
     >>> get_kernel("local_linear").kernel_id
     3
+    >>> get_kernel("3").name
+    'local_linear'
     """
+    if isinstance(key, KernelSpec):
+        return key
+    if isinstance(key, str) and key.lstrip("-").isdigit():
+        key = int(key)
     if isinstance(key, int):
         try:
             return KERNELS[key]
@@ -74,3 +86,37 @@ def get_kernel(key: Union[int, str]) -> KernelSpec:
         raise KeyError(
             f"no kernel named {key!r}; known names: {sorted(_BY_NAME)}"
         ) from None
+
+
+def is_registered(spec: KernelSpec) -> bool:
+    """Whether ``spec`` is *the* registered kernel for its id.
+
+    Pooled execution paths need this: worker processes re-resolve
+    kernels by id, so a locally mutated or unregistered spec must be
+    refused rather than silently swapped for the registry's copy.
+    """
+    return KERNELS.get(spec.kernel_id) is spec
+
+
+def list_kernels() -> List[Dict[str, Any]]:
+    """JSON-safe metadata for every registered kernel, id-ascending.
+
+    One dict per kernel with the fields the CLI listing, the serving
+    admission checks and the fuzz harness all need — keeping those
+    layers free of per-module spec spelunking.
+    """
+    out: List[Dict[str, Any]] = []
+    for kid in kernel_ids():
+        spec = KERNELS[kid]
+        out.append({
+            "id": kid,
+            "name": spec.name,
+            "layers": spec.n_layers,
+            "objective": spec.objective.value,
+            "traceback": spec.has_traceback,
+            "banding": spec.banding,
+            "alphabet": spec.alphabet.name,
+            "struct_alphabet": spec.alphabet.is_struct,
+            "reference_tools": list(spec.reference_tools),
+        })
+    return out

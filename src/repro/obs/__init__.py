@@ -1,0 +1,68 @@
+"""End-to-end observability: tracing, counters, gauges and histograms.
+
+The paper's back-end is judged by its reports — per-kernel cycle counts,
+II, resource and timing breakdowns.  This package is the runtime
+equivalent for the software stack: one zero-dependency, thread-safe
+recorder interface that the systolic engine, the host runtime, the
+process-pool executor and the serving path all report through, so
+end-to-end wall-clock can be attributed across every layer.
+
+* :mod:`repro.obs.recorder` — the :class:`Recorder` interface with its
+  three modes (:class:`NullRecorder`, :class:`MetricsRecorder`,
+  :class:`TraceRecorder`) and the process-global current recorder;
+* :mod:`repro.obs.metrics`  — the counter/histogram registry (moved
+  here from ``repro.service.metrics``);
+* :mod:`repro.obs.export`   — Chrome trace-event JSON and plain-text
+  snapshot rendering.
+
+Quickstart::
+
+    from repro import obs
+
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        runtime.run(pairs)                      # spans record themselves
+    obs.write_chrome_trace(recorder, "trace.json")
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    render_text_snapshot,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    geometric_bounds,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    SpanEvent,
+    TraceRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanEvent",
+    "TraceRecorder",
+    "chrome_trace",
+    "geometric_bounds",
+    "get_recorder",
+    "render_text_snapshot",
+    "set_recorder",
+    "use_recorder",
+    "write_chrome_trace",
+]

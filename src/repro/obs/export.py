@@ -1,0 +1,123 @@
+"""Trace and metrics exporters.
+
+:func:`chrome_trace` turns a recorder's event buffer into the Chrome
+trace-event JSON format (the ``chrome://tracing`` / Perfetto ``.json``
+flavour): spans become complete ``"X"`` events, instants become ``"i"``
+events, counter samples become ``"C"`` events, and thread-name metadata
+events label each row.  Timestamps are microseconds relative to the
+recorder's epoch, so a trace of one served request reads as a single
+left-anchored timeline across the service, host and engine layers.
+
+:func:`render_text_snapshot` is the plain-text form of a metrics
+snapshot — what the server's ``metrics_text`` endpoint answers and what
+``repro trace`` prints after a run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.recorder import Recorder
+
+__all__ = ["chrome_trace", "render_text_snapshot", "write_chrome_trace"]
+
+#: Process id used for every event (one process, many threads).
+_PID = 0
+
+
+def chrome_trace(recorder: Recorder) -> Dict[str, Any]:
+    """Render a recorder's events as a Chrome trace-event JSON object.
+
+    The result is JSON-safe; a recorder with no buffered events (e.g. a
+    ``NullRecorder`` or ``MetricsRecorder``) yields an empty but valid
+    trace.
+    """
+    events: List[Dict[str, Any]] = []
+    thread_names: Dict[int, str] = {}
+    for event in recorder.events():
+        thread_names.setdefault(event.tid, event.thread_name)
+        ts_us = event.ts_s * 1e6
+        if event.kind == "span":
+            args = dict(event.args)
+            if event.span_id is not None:
+                args["span_id"] = event.span_id
+            if event.parent_id is not None:
+                args["parent_id"] = event.parent_id
+            events.append({
+                "ph": "X",
+                "name": event.name,
+                "cat": event.category,
+                "ts": ts_us,
+                "dur": event.dur_s * 1e6,
+                "pid": _PID,
+                "tid": event.tid,
+                "args": args,
+            })
+        elif event.kind == "instant":
+            events.append({
+                "ph": "i",
+                "s": "t",
+                "name": event.name,
+                "cat": event.category,
+                "ts": ts_us,
+                "pid": _PID,
+                "tid": event.tid,
+                "args": dict(event.args),
+            })
+        elif event.kind == "counter":
+            events.append({
+                "ph": "C",
+                "name": event.name,
+                "cat": event.category,
+                "ts": ts_us,
+                "pid": _PID,
+                "args": {event.name: event.args.get("value", 0)},
+            })
+    metadata = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(thread_names.items())
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(recorder: Recorder, path: str) -> Dict[str, Any]:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the object."""
+    trace = chrome_trace(recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return trace
+
+
+def render_text_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Plain-text rendering of a metrics snapshot.
+
+    One instrument per line, in the spirit of a Prometheus exposition:
+    counters as ``name value``, gauges as ``name value``, histograms as
+    ``name{stat} value`` for count/mean/p50/p95/p99.
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(f"counter {name} {value}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(f"gauge {name} {value:.6g}")
+    for name, stats in sorted(snapshot.get("histograms", {}).items()):
+        lines.append(f"histogram {name} count {stats.get('count', 0)}")
+        for stat in ("mean", "min", "max", "p50", "p95", "p99"):
+            value = stats.get(stat)
+            if value is not None:
+                lines.append(f"histogram {name} {stat} {value:.6g}")
+    for extra in ("pool", "kernels"):
+        if extra in snapshot:
+            lines.append(f"{extra} {json.dumps(snapshot[extra], sort_keys=True)}")
+    return "\n".join(lines)

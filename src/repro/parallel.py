@@ -37,6 +37,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.recorder import get_recorder
+
 __all__ = [
     "BatchError",
     "BatchResult",
@@ -261,9 +263,12 @@ class ParallelExecutor:
         """Apply ``fn(item, derived_seed)`` to every item.
 
         Returns a :class:`BatchResult` whose outcomes are in submission
-        order regardless of worker scheduling.
+        order regardless of worker scheduling.  Elapsed time (and the
+        ``parallel.map`` span) are measured with ``time.monotonic`` so
+        they survive wall-clock adjustments mid-batch.
         """
-        started = time.perf_counter()
+        recorder = get_recorder()
+        started = time.monotonic()
         entries = [
             (index, derive_seed(seed, index), item)
             for index, item in enumerate(items)
@@ -271,25 +276,53 @@ class ParallelExecutor:
         if not entries:
             return BatchResult(outcomes=[], workers=self.workers, elapsed_s=0.0)
         if self.workers == 1:
-            outcomes = _run_chunk(fn, entries, self.timeout)
+            with recorder.span("parallel.map", workers=1, items=len(entries),
+                               chunks=1):
+                outcomes = _run_chunk(fn, entries, self.timeout)
+            self._record(recorder, outcomes, chunks=1)
             return BatchResult(
                 outcomes=outcomes, workers=1,
-                elapsed_s=time.perf_counter() - started,
+                elapsed_s=time.monotonic() - started,
             )
         chunks = self._chunks(entries)
         outcomes = []
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
-            futures = [
-                pool.submit(_run_chunk, fn, chunk, self.timeout)
-                for chunk in chunks
-            ]
-            for future in futures:
-                outcomes.extend(future.result())
+        with recorder.span("parallel.map", workers=self.workers,
+                           items=len(entries), chunks=len(chunks)):
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks))
+            ) as pool:
+                with recorder.span("parallel.dispatch", chunks=len(chunks)):
+                    futures = [
+                        pool.submit(_run_chunk, fn, chunk, self.timeout)
+                        for chunk in chunks
+                    ]
+                with recorder.span("parallel.drain", chunks=len(chunks)):
+                    for future in futures:
+                        outcomes.extend(future.result())
         outcomes.sort(key=lambda o: o.index)
+        self._record(recorder, outcomes, chunks=len(chunks))
         return BatchResult(
             outcomes=outcomes, workers=self.workers,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=time.monotonic() - started,
         )
+
+    @staticmethod
+    def _record(recorder, outcomes: List[ItemOutcome], chunks: int) -> None:
+        """Report batch counters to the current recorder (cheap if null)."""
+        if not recorder.enabled:
+            return
+        recorder.count("parallel.items", len(outcomes))
+        recorder.count("parallel.chunks", chunks)
+        timeouts = sum(
+            1 for o in outcomes
+            if not o.ok and o.error is not None
+            and o.error.error_type == "TimeoutError"
+        )
+        failures = sum(1 for o in outcomes if not o.ok)
+        if timeouts:
+            recorder.count("parallel.item_timeouts", timeouts)
+        if failures:
+            recorder.count("parallel.item_failures", failures)
 
 
 def run_batch(

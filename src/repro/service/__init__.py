@@ -1,7 +1,7 @@
 """Online alignment serving: the always-on face of the simulated FPGA.
 
 Everything below the :mod:`repro.host` layer is batch-offline: you hand
-``DeviceRuntime.submit`` a pre-formed batch and wait for it to drain.
+``DeviceRuntime.run`` a pre-formed batch and wait for it to drain.
 This package turns that into a request path, mirroring the paper's host
 design (Section 4, step 6) one level up:
 
@@ -16,9 +16,13 @@ design (Section 4, step 6) one level up:
 * :mod:`repro.service.server`   — the serving core and a threaded TCP
   front end;
 * :mod:`repro.service.client`   — TCP/in-proc clients and an open-loop
-  Poisson load generator;
-* :mod:`repro.service.metrics`  — counters and latency/occupancy
-  histograms with p50/p95/p99 snapshots.
+  Poisson load generator.
+
+Counters, histograms and (optionally) spans are reported through
+:mod:`repro.obs` — the core's default recorder keeps the always-on
+metrics; install a :class:`~repro.obs.TraceRecorder` for Chrome-trace
+timelines (``repro trace``).  :mod:`repro.service.metrics` remains as a
+compatibility re-export of :mod:`repro.obs.metrics`.
 """
 
 from repro.service.batcher import BatcherConfig, DynamicBatcher

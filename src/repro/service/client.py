@@ -95,6 +95,16 @@ class InProcClient:
         """Live metrics snapshot."""
         return self.core.metrics_snapshot()
 
+    def metrics_text(self) -> str:
+        """Plain-text rendering of the metrics snapshot."""
+        from repro.obs.export import render_text_snapshot
+
+        return render_text_snapshot(self.core.metrics_snapshot())
+
+    def trace(self) -> Dict:
+        """Chrome trace JSON captured by the core's recorder."""
+        return self.core.trace_snapshot()
+
     def close(self) -> None:
         """No-op (the core's owner stops it)."""
 
@@ -145,7 +155,10 @@ class AlignmentClient:
                         slot = self._pending.pop(message_id, None)
                     if slot is not None:
                         slot.resolve(AlignResponse.from_dict(message))
-                elif kind in ("metrics", "pong") and message_id is not None:
+                elif (
+                    kind in ("metrics", "metrics_text", "trace", "pong")
+                    and message_id is not None
+                ):
                     with self._pending_lock:
                         box = self._metrics_waiters.pop(message_id, None)
                     if box is not None:
@@ -219,6 +232,24 @@ class AlignmentClient:
         self._send(encode_line({"type": "metrics", "id": message_id}))
         reply = box.get(timeout)
         return reply["snapshot"]
+
+    def metrics_text(self, timeout: float = 10.0) -> str:
+        """Fetch the server's metrics snapshot as plain text."""
+        message_id = self._next_id()
+        box = _Mailbox()
+        with self._pending_lock:
+            self._metrics_waiters[message_id] = box
+        self._send(encode_line({"type": "metrics_text", "id": message_id}))
+        return box.get(timeout)["text"]
+
+    def trace(self, timeout: float = 10.0) -> Dict:
+        """Fetch the server-side Chrome trace JSON (empty if not tracing)."""
+        message_id = self._next_id()
+        box = _Mailbox()
+        with self._pending_lock:
+            self._metrics_waiters[message_id] = box
+        self._send(encode_line({"type": "trace", "id": message_id}))
+        return box.get(timeout)["trace"]
 
     def ping(self, timeout: float = 10.0) -> bool:
         """Round-trip liveness probe."""

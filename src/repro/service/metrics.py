@@ -1,191 +1,17 @@
-"""Live service metrics: counters and bucketed histograms.
+"""Compatibility re-export: the metrics primitives live in :mod:`repro.obs`.
 
-The serving path records everything through a :class:`MetricsRegistry`:
-monotonic counters (admissions, rejections, flush triggers) and
-fixed-bucket histograms (request latency, batch occupancy).  Histograms
-use geometric bucket bounds, so recording is O(log buckets) with bounded
-memory regardless of traffic — the always-on analogue of the offline
-harnesses' exact sample lists — and quantiles (p50/p95/p99) are
-estimated by linear interpolation inside the covering bucket.
-
-``snapshot()`` returns a plain JSON-safe dict; ``to_json()`` is the wire
-form the server answers ``metrics`` messages with.
+PR 4 unified the service-local metrics with the end-to-end observability
+layer; :class:`Counter`, :class:`Histogram` and :class:`MetricsRegistry`
+moved to :mod:`repro.obs.metrics` so the engine, host and parallel layers
+can record through the same registry without importing the service
+package.  This module keeps the historical import path working.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    geometric_bounds,
+)
 
-import bisect
-import json
-import math
-import threading
-from typing import Dict, List, Optional, Sequence
-
-
-def geometric_bounds(lo: float, hi: float, count: int) -> List[float]:
-    """``count`` geometrically spaced bucket upper bounds over [lo, hi].
-
-    >>> bounds = geometric_bounds(1.0, 100.0, 3)
-    >>> [round(b, 3) for b in bounds]
-    [1.0, 10.0, 100.0]
-    """
-    if lo <= 0 or hi <= lo:
-        raise ValueError("need 0 < lo < hi")
-    if count < 2:
-        raise ValueError("need at least two buckets")
-    ratio = (hi / lo) ** (1.0 / (count - 1))
-    return [lo * ratio**k for k in range(count)]
-
-
-class Counter:
-    """A monotonically increasing, thread-safe counter."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be non-negative)."""
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        """Current count."""
-        with self._lock:
-            return self._value
-
-
-class Histogram:
-    """Fixed-bucket histogram with exact count/sum/min/max.
-
-    Values above the last bound land in an overflow bucket whose
-    quantiles clamp to the observed maximum; values below the first
-    bound interpolate from zero.
-    """
-
-    def __init__(
-        self,
-        name: str,
-        bounds: Optional[Sequence[float]] = None,
-    ) -> None:
-        self.name = name
-        self.bounds = list(bounds) if bounds is not None else geometric_bounds(
-            0.01, 120_000.0, 96
-        )
-        if sorted(self.bounds) != self.bounds:
-            raise ValueError("bucket bounds must be ascending")
-        self._counts = [0] * (len(self.bounds) + 1)  # +1 overflow
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = -math.inf
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        index = bisect.bisect_left(self.bounds, value)
-        with self._lock:
-            self._counts[index] += 1
-            self._count += 1
-            self._sum += value
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-
-    @property
-    def count(self) -> int:
-        """Number of observations."""
-        with self._lock:
-            return self._count
-
-    def quantile(self, q: float) -> Optional[float]:
-        """Estimated ``q``-quantile (``None`` when empty).
-
-        Interpolates linearly within the covering bucket and clamps the
-        estimate to the exact observed [min, max] envelope, so small
-        sample counts never report a latency nobody experienced.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        with self._lock:
-            if self._count == 0:
-                return None
-            rank = q * self._count
-            cumulative = 0.0
-            for index, bucket_count in enumerate(self._counts):
-                if bucket_count == 0:
-                    continue
-                if cumulative + bucket_count >= rank:
-                    lower = self.bounds[index - 1] if index > 0 else 0.0
-                    upper = (
-                        self.bounds[index]
-                        if index < len(self.bounds)
-                        else self._max
-                    )
-                    fraction = (
-                        (rank - cumulative) / bucket_count if bucket_count else 0.0
-                    )
-                    estimate = lower + (upper - lower) * fraction
-                    return min(max(estimate, self._min), self._max)
-                cumulative += bucket_count
-            return self._max
-
-    def snapshot(self) -> Dict[str, Optional[float]]:
-        """JSON-safe summary with p50/p95/p99."""
-        with self._lock:
-            if self._count == 0:
-                return {"count": 0}
-            summary = {
-                "count": self._count,
-                "sum": self._sum,
-                "mean": self._sum / self._count,
-                "min": self._min,
-                "max": self._max,
-            }
-        summary["p50"] = self.quantile(0.50)
-        summary["p95"] = self.quantile(0.95)
-        summary["p99"] = self.quantile(0.99)
-        return summary
-
-
-class MetricsRegistry:
-    """Named counters and histograms behind one snapshot call."""
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def histogram(
-        self, name: str, bounds: Optional[Sequence[float]] = None
-    ) -> Histogram:
-        """Get or create the histogram ``name``."""
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(name, bounds=bounds)
-            return self._histograms[name]
-
-    def snapshot(self) -> Dict[str, Dict]:
-        """JSON-safe view of every instrument."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {name: c.value for name, c in sorted(counters.items())},
-            "histograms": {
-                name: h.snapshot() for name, h in sorted(histograms.items())
-            },
-        }
-
-    def to_json(self, indent: Optional[int] = None) -> str:
-        """The snapshot as JSON text."""
-        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "geometric_bounds"]

@@ -10,7 +10,7 @@ kernels (a heterogeneous deployment, buildable directly from a
 
 Routing is least-loaded: a flushed batch goes to the member currently
 holding the fewest in-flight pairs for that kernel.  Execution goes
-through ``DeviceRuntime.submit``, so functional work can fan across the
+through ``DeviceRuntime.run``, so functional work can fan across the
 :mod:`repro.parallel` process pool (``workers > 1``) while per-pair
 failures stay isolated as structured errors.
 """
@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.host.runtime import BatchOutcome, DeviceRuntime
+from repro.obs.recorder import get_recorder
 from repro.synth.compiler import LaunchConfig
 from repro.synth.linker import LinkedDesign
 
@@ -163,7 +164,13 @@ class DevicePool:
         """
         member = self._acquire(kernel_id, len(pairs))
         try:
-            outcome = member.runtime.submit(list(pairs), workers=self.workers)
+            with get_recorder().span(
+                "pool.execute", member=member.name, kernel=kernel_id,
+                pairs=len(pairs),
+            ):
+                outcome = member.runtime.run(
+                    list(pairs), workers=self.workers
+                )
         finally:
             self._release(member, len(pairs))
         return outcome, member

@@ -4,15 +4,17 @@ Requests and responses are frozen dataclasses with a *deterministic*
 JSON-line encoding (sorted keys, compact separators, no NaN), so the same
 logical message always serializes to the same bytes.  The end-to-end
 tests rely on that: a response produced by the service must be
-byte-identical to one built locally from ``DeviceRuntime.align_one`` on
-the same pair.
+byte-identical to one built locally from ``DeviceRuntime.run`` on the
+same pair.
 
 Message types on the wire (the ``type`` field):
 
-* ``"align"``    — an :class:`AlignRequest`;
-* ``"result"``   — an :class:`AlignResponse`;
-* ``"metrics"``  — metrics snapshot request (id echoed in the reply);
-* ``"ping"``     — liveness probe, answered with ``"pong"``.
+* ``"align"``        — an :class:`AlignRequest`;
+* ``"result"``       — an :class:`AlignResponse`;
+* ``"metrics"``      — metrics snapshot request (id echoed in the reply);
+* ``"metrics_text"`` — plain-text rendering of the metrics snapshot;
+* ``"trace"``        — Chrome trace-event JSON of the server's recorder;
+* ``"ping"``         — liveness probe, answered with ``"pong"``.
 
 Sequences travel as lists of integer symbol codes (the engine's native
 representation for DNA/protein/quantised-signal alphabets); kernels with

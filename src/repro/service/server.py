@@ -8,7 +8,8 @@ Internally a request flows
     submit → validate → batcher.offer → (size/deadline flush)
            → dispatch executor → DevicePool.execute → resolve slots
 
-with every hop recorded in the metrics registry.  Admission failures
+with every hop reported to the core's :mod:`repro.obs` recorder (counters
+and histograms always; spans too when tracing).  Admission failures
 (backpressure, unknown kernel, overlong pair, struct alphabet) resolve
 immediately — every submitted request is *answered*, never dropped.
 
@@ -27,9 +28,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.kernels import KERNELS
+from repro.kernels import get_kernel
+from repro.obs.export import chrome_trace, render_text_snapshot
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import MetricsRecorder, Recorder
 from repro.service.batcher import BatcherConfig, DynamicBatcher, PendingEntry
-from repro.service.metrics import MetricsRegistry
 from repro.service.pool import DevicePool, PoolRejection
 from repro.service.protocol import (
     AlignRequest,
@@ -102,7 +105,16 @@ class ReplySlot:
 
 
 class ServiceCore:
-    """Transport-agnostic serving engine: batcher + pool + metrics."""
+    """Transport-agnostic serving engine: batcher + pool + observability.
+
+    Every hop records through ``self.recorder`` — by default a
+    :class:`~repro.obs.recorder.MetricsRecorder` over the service's
+    :class:`~repro.obs.metrics.MetricsRegistry` (always-on counters and
+    histograms, no trace buffer).  Pass a
+    :class:`~repro.obs.recorder.TraceRecorder` to additionally capture
+    request/batch spans exportable as Chrome trace JSON (the ``repro
+    trace`` command and the server's ``trace`` endpoint do this).
+    """
 
     def __init__(
         self,
@@ -111,10 +123,15 @@ class ServiceCore:
         metrics: Optional[MetricsRegistry] = None,
         dispatchers: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.pool = pool
         self.config = config or BatcherConfig()
-        self.metrics = metrics or MetricsRegistry()
+        if recorder is None:
+            recorder = MetricsRecorder(metrics or MetricsRegistry())
+        self.recorder = recorder
+        self.metrics = getattr(recorder, "metrics", None) or metrics \
+            or MetricsRegistry()
         self._clock = clock
         self.batcher = DynamicBatcher(self.config, self._on_flush, clock=clock)
         workers = dispatchers if dispatchers is not None else len(pool.members)
@@ -152,33 +169,39 @@ class ServiceCore:
     def submit(self, request: AlignRequest) -> ReplySlot:
         """Admit one request; the returned slot always resolves."""
         slot = ReplySlot(request)
-        self.metrics.counter("requests_total").inc()
-        problem = self._validate(request)
-        if problem is not None:
-            self.metrics.counter("errors_total").inc()
-            slot.resolve(error_response(request.request_id, problem))
-            return slot
-        if not self._running:
-            self.metrics.counter("rejected_total").inc()
-            slot.resolve(rejection(request.request_id, "service is stopped"))
-            return slot
-        admitted = self.batcher.offer(
-            request.kernel_id,
-            payload=slot,
-            priority=request.priority,
-            deadline_ms=request.deadline_ms,
-        )
-        if not admitted:
-            self.metrics.counter("rejected_total").inc()
-            slot.resolve(
-                rejection(
-                    request.request_id,
-                    f"kernel #{request.kernel_id} queue is full "
-                    f"(depth {self.config.max_queue_depth}); retry later",
+        with self.recorder.span(
+            "service.submit", kernel=request.kernel_id,
+            request_id=request.request_id,
+        ):
+            self.recorder.count("requests_total")
+            problem = self._validate(request)
+            if problem is not None:
+                self.recorder.count("errors_total")
+                slot.resolve(error_response(request.request_id, problem))
+                return slot
+            if not self._running:
+                self.recorder.count("rejected_total")
+                slot.resolve(
+                    rejection(request.request_id, "service is stopped")
                 )
+                return slot
+            admitted = self.batcher.offer(
+                request.kernel_id,
+                payload=slot,
+                priority=request.priority,
+                deadline_ms=request.deadline_ms,
             )
-            return slot
-        self.metrics.counter("admitted_total").inc()
+            if not admitted:
+                self.recorder.count("rejected_total")
+                slot.resolve(
+                    rejection(
+                        request.request_id,
+                        f"kernel #{request.kernel_id} queue is full "
+                        f"(depth {self.config.max_queue_depth}); retry later",
+                    )
+                )
+                return slot
+            self.recorder.count("admitted_total")
         return slot
 
     def _validate(self, request: AlignRequest) -> Optional[str]:
@@ -189,7 +212,10 @@ class ServiceCore:
                 f"kernel #{request.kernel_id} is not deployed on this "
                 f"service (deployed: {known})"
             )
-        spec = KERNELS.get(request.kernel_id)
+        try:
+            spec = get_kernel(request.kernel_id)
+        except KeyError:
+            spec = None
         if spec is not None and spec.alphabet.is_struct:
             return (
                 f"kernel #{request.kernel_id} consumes struct symbols, "
@@ -209,16 +235,18 @@ class ServiceCore:
         self, kernel_id: int, entries: List[PendingEntry], trigger: str
     ) -> None:
         """Batcher callback: account the flush and hand off to dispatch."""
-        self.metrics.counter("flushes_total").inc()
-        self.metrics.counter(f"flush_{trigger}_total").inc()
-        self.metrics.histogram(
-            "batch_size", bounds=[float(b) for b in range(1, 129)]
-        ).observe(len(entries))
-        self.metrics.histogram(
-            "batch_occupancy", bounds=[k / 64.0 for k in range(1, 65)]
-        ).observe(len(entries) / self.config.max_batch)
+        self.recorder.count("flushes_total")
+        self.recorder.count(f"flush_{trigger}_total")
+        self.recorder.observe(
+            "batch_size", len(entries),
+            bounds=[float(b) for b in range(1, 129)],
+        )
+        self.recorder.observe(
+            "batch_occupancy", len(entries) / self.config.max_batch,
+            bounds=[k / 64.0 for k in range(1, 65)],
+        )
         try:
-            self._dispatch.submit(self._run_batch, kernel_id, entries)
+            self._dispatch.submit(self._run_batch, kernel_id, entries, trigger)
         except RuntimeError:
             # Executor already shut down: answer rather than drop.
             for entry in entries:
@@ -230,16 +258,30 @@ class ServiceCore:
                     ),
                 )
 
-    def _run_batch(self, kernel_id: int, entries: List[PendingEntry]) -> None:
+    def _run_batch(
+        self,
+        kernel_id: int,
+        entries: List[PendingEntry],
+        trigger: str = "size",
+    ) -> None:
         """Execute one flushed batch on the pool and resolve its slots."""
         pairs = [
             (entry.payload.request.query, entry.payload.request.reference)
             for entry in entries
         ]
+        dispatched_at = self._clock()
+        for entry in entries:
+            self.recorder.observe(
+                "queue_ms", (dispatched_at - entry.enqueued_at) * 1000.0
+            )
         try:
-            outcome, _member = self.pool.execute(kernel_id, pairs)
+            with self.recorder.span(
+                "service.batch", kernel=kernel_id, size=len(entries),
+                trigger=trigger,
+            ):
+                outcome, _member = self.pool.execute(kernel_id, pairs)
         except (PoolRejection, ValueError) as exc:
-            self.metrics.counter("errors_total").inc(len(entries))
+            self.recorder.count("errors_total", len(entries))
             for entry in entries:
                 self._resolve_entry(
                     entry,
@@ -252,18 +294,25 @@ class ServiceCore:
             request = entry.payload.request
             latency_ms = (now - entry.enqueued_at) * 1000.0
             if index in errors:
-                self.metrics.counter("errors_total").inc()
+                self.recorder.count("errors_total")
                 response = error_response(
                     request.request_id, errors[index].message
                 )
             else:
-                self.metrics.counter("aligned_total").inc()
+                self.recorder.count("aligned_total")
                 response = response_from_result(
                     request.request_id,
                     outcome.results[index],
                     latency_ms=latency_ms,
                 )
-            self.metrics.histogram("latency_ms").observe(latency_ms)
+            self.recorder.observe("latency_ms", latency_ms)
+            # The queueing + compute interval of this request, anchored at
+            # its enqueue time — visible as an async lane in trace exports.
+            self.recorder.record_span(
+                "service.request", entry.enqueued_at, now,
+                kernel=kernel_id, request_id=request.request_id,
+                ok=index not in errors,
+            )
             self._resolve_entry(entry, response)
 
     @staticmethod
@@ -276,10 +325,19 @@ class ServiceCore:
 
     def metrics_snapshot(self) -> Dict:
         """Service metrics plus live pool stats (JSON-safe)."""
-        snapshot = self.metrics.snapshot()
+        snapshot = self.recorder.snapshot()
         snapshot["pool"] = self.pool.stats()
         snapshot["kernels"] = self.pool.kernel_ids()
         return snapshot
+
+    def trace_snapshot(self) -> Dict:
+        """Chrome trace JSON of whatever the recorder has captured.
+
+        With the default :class:`MetricsRecorder` the event list is empty
+        (only counters are kept); a :class:`TraceRecorder` yields the full
+        span/counter timeline.
+        """
+        return chrome_trace(self.recorder)
 
 
 class _ServiceHandler(socketserver.StreamRequestHandler):
@@ -316,6 +374,18 @@ class _ServiceHandler(socketserver.StreamRequestHandler):
                         "type": "metrics",
                         "id": message.get("id"),
                         "snapshot": core.metrics_snapshot(),
+                    }))
+                elif kind == "metrics_text":
+                    send(encode_line({
+                        "type": "metrics_text",
+                        "id": message.get("id"),
+                        "text": render_text_snapshot(core.metrics_snapshot()),
+                    }))
+                elif kind == "trace":
+                    send(encode_line({
+                        "type": "trace",
+                        "id": message.get("id"),
+                        "trace": core.trace_snapshot(),
                     }))
                 elif kind == "ping":
                     send(encode_line({"type": "pong", "id": message.get("id")}))

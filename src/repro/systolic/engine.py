@@ -18,12 +18,14 @@ reads the preserved-row buffer filled by the last PE of the previous chunk.
 
 from __future__ import annotations
 
+import time
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.result import AlignmentResult, CycleReport
 from repro.core.spec import KernelSpec, PEInput, StartRule, band_contains
+from repro.obs.recorder import Recorder, get_recorder
 from repro.systolic.schedule import chunk_schedules
 from repro.systolic.tb_memory import TracebackMemory
 from repro.systolic.traceback import BestCellTracker, walk_traceback
@@ -62,7 +64,42 @@ def align(
     wavefront initiation interval the synthesis model derived;
     ``collect_matrix`` additionally returns the full score matrix for
     debugging and oracle comparison.
+
+    Execution reports through the current :mod:`repro.obs` recorder:
+    an ``engine.align`` span wrapping per-chunk ``engine.chunk`` spans,
+    plus cell/wavefront/traceback-write counters.  With the default
+    :class:`~repro.obs.recorder.NullRecorder` every recording call is a
+    no-op whose overhead is bounded by ``benchmarks/test_obs_overhead``.
     """
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return _align_impl(
+            spec, query, reference, params, n_pe, ii, max_query_len,
+            max_ref_len, collect_matrix, model_interface, recorder,
+        )
+    with recorder.span(
+        "engine.align", kernel=spec.name, query_len=len(query),
+        ref_len=len(reference), n_pe=n_pe, ii=ii,
+    ):
+        return _align_impl(
+            spec, query, reference, params, n_pe, ii, max_query_len,
+            max_ref_len, collect_matrix, model_interface, recorder,
+        )
+
+
+def _align_impl(
+    spec: KernelSpec,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    params: Any,
+    n_pe: int,
+    ii: int,
+    max_query_len: Optional[int],
+    max_ref_len: Optional[int],
+    collect_matrix: bool,
+    model_interface: bool,
+    recorder: Recorder,
+) -> AlignmentResult:
     n_rows, n_cols = len(query), len(reference)
     if n_rows < 1 or n_cols < 1:
         raise SystolicAlignmentError("query and reference must be non-empty")
@@ -130,8 +167,11 @@ def align(
     stride = n_cols + n_pe - 1
     chunks = chunk_schedules(n_rows, n_cols, n_pe, banding)
     total_wavefronts = 0
+    cells_evaluated = 0
+    tracing = recorder.enabled
 
     for chunk_idx, chunk in enumerate(chunks):
+        chunk_started = time.monotonic() if tracing else 0.0
         base, rows = chunk.base, chunk.rows
         total_wavefronts += len(chunk.wavefronts)
         # Register state at chunk start (see module docstring).
@@ -179,6 +219,7 @@ def align(
                     cell.qry = query[i - 1]
                     cell.ref = reference[j - 1]
                     scores, ptr = pe_func(cell)
+                    cells_evaluated += 1
                     out = tuple(quantize(s) for s in scores)
                     tracker.observe(p, i, j, out[score_layer])
                     if tb_mem is not None:
@@ -195,6 +236,11 @@ def align(
                 if i == n_rows and j == n_cols:
                     bottom_right = out
         preserved = new_preserved
+        if tracing:
+            recorder.record_span(
+                "engine.chunk", chunk_started, time.monotonic(),
+                index=chunk_idx, rows=rows, wavefronts=len(chunk.wavefronts),
+            )
 
     # ------------------------------------------------------------------
     # locate the reported score / traceback start cell
@@ -213,8 +259,23 @@ def align(
     alignment = None
     traceback_cycles = 0
     if tb_mem is not None:
-        alignment = walk_traceback(spec, tb_mem, start)
+        with recorder.span("engine.traceback", start_row=start[0],
+                           start_col=start[1]):
+            alignment = walk_traceback(spec, tb_mem, start)
         traceback_cycles = alignment.aligned_length + TRACEBACK_SETUP_CYCLES
+
+    if tracing:
+        recorder.count("engine.alignments")
+        recorder.count("engine.wavefronts", total_wavefronts)
+        recorder.count("engine.cells", cells_evaluated)
+        if total_wavefronts:
+            recorder.gauge(
+                "engine.pe_utilization",
+                cells_evaluated / (total_wavefronts * n_pe),
+            )
+        if tb_mem is not None:
+            recorder.count("engine.tb_writes", tb_mem.writes)
+            recorder.count("engine.tb_bank_conflicts", tb_mem.bank_conflicts)
 
     cycles = CycleReport(
         init_cycles=(n_cols + 1) + (n_rows + 1),

@@ -18,7 +18,7 @@ so that during wavefront ``w`` of chunk ``c`` every PE writes address
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -48,6 +48,15 @@ class TracebackMemory:
         self._banks = np.zeros((n_pe, self.depth), dtype=np.int64)
         self._ref_len = max_ref_len  # stride of the current alignment
         self.writes = 0
+        #: Per-bank write tallies for the current alignment.
+        self.bank_writes: List[int] = [0] * n_pe
+        #: Writes that revisited an already-written slot of their bank.
+        #: Coalesced addressing gives every bank a strictly increasing
+        #: address sequence, so any non-increasing write means two cells
+        #: collided on one BRAM slot — a correctness hazard the real
+        #: design cannot have, surfaced here as an observable counter.
+        self.bank_conflicts = 0
+        self._last_addr: List[int] = [-1] * n_pe
 
     # ------------------------------------------------------------------
     def begin_alignment(self, ref_len: int) -> None:
@@ -59,6 +68,9 @@ class TracebackMemory:
             )
         self._ref_len = ref_len
         self.writes = 0
+        self.bank_writes = [0] * self.n_pe
+        self.bank_conflicts = 0
+        self._last_addr = [-1] * self.n_pe
 
     @property
     def stride(self) -> int:
@@ -82,6 +94,11 @@ class TracebackMemory:
             )
         self._banks[bank][addr] = ptr
         self.writes += 1
+        self.bank_writes[bank] += 1
+        if addr <= self._last_addr[bank]:
+            self.bank_conflicts += 1
+        else:
+            self._last_addr[bank] = addr
 
     def read(self, i: int, j: int) -> int:
         """Fetch the pointer stored for matrix cell (i, j)."""

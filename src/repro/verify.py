@@ -151,9 +151,9 @@ def verify_kernel(
             for index, (query, reference) in enumerate(pairs)
         ]
     else:
-        from repro.kernels import KERNELS
+        from repro.kernels import is_registered
 
-        if KERNELS.get(spec.kernel_id) is not spec:
+        if not is_registered(spec):
             raise ValueError(
                 f"parallel verification needs a registered kernel so "
                 f"workers can resolve it by id; {spec.name!r} is not "

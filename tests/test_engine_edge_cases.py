@@ -88,16 +88,14 @@ def _pairs(n, length=24):
 
 class TestBatchEdgeCases:
     @pytest.mark.parametrize("workers", (1, 2))
-    def test_empty_submit_returns_empty_outcome(self, workers):
-        """submit([]) is a no-op batch; align_batch keeps the raise."""
-        outcome = _runtime().submit([], workers=workers)
+    def test_empty_run_returns_empty_outcome(self, workers):
+        """run([]) is a no-op batch."""
+        outcome = _runtime().run([], workers=workers)
         assert outcome.results == [] and outcome.errors == []
         assert outcome.schedule.makespan_cycles == 0
-        with pytest.raises(ValueError, match="at least one pair"):
-            _runtime().align_batch([])
 
     def test_single_pair_batch(self):
-        outcome = _runtime().submit(_pairs(1))
+        outcome = _runtime().run(_pairs(1))
         assert len(outcome.results) == 1 and outcome.errors == []
         assert outcome.alignments_per_sec > 0
 
@@ -106,7 +104,7 @@ class TestBatchEdgeCases:
         """One invalid pair yields an error record; the rest align."""
         pairs = _pairs(5)
         pairs.insert(2, ((99,), (0, 1, 2)))  # symbol outside the alphabet
-        outcome = _runtime().submit(pairs, workers=workers)
+        outcome = _runtime().run(pairs, workers=workers)
         assert len(outcome.errors) == 1
         error = outcome.errors[0]
         assert error.index == 2
@@ -116,10 +114,10 @@ class TestBatchEdgeCases:
         # The schedule only accounts for the pairs that actually ran.
         assert outcome.schedule.n_jobs == 5
 
-    def test_serial_and_parallel_submit_identical(self):
+    def test_serial_and_parallel_run_identical(self):
         pairs = _pairs(6)
-        serial = _runtime().submit(pairs, workers=1)
-        pooled = _runtime().submit(pairs, workers=2)
+        serial = _runtime().run(pairs, workers=1)
+        pooled = _runtime().run(pairs, workers=2)
         assert [r.score for r in serial.results] == [
             r.score for r in pooled.results
         ]
@@ -128,14 +126,15 @@ class TestBatchEdgeCases:
         ]
         assert serial.schedule == pooled.schedule
 
-    def test_align_batch_still_raises_on_failure(self):
-        with pytest.raises(ValueError, match="pair 0 failed"):
-            _runtime().align_batch([((99,), (0, 1))])
+    def test_deprecated_align_batch_still_raises_on_failure(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="pair 0 failed"):
+                _runtime().align_batch([((99,), (0, 1))])
 
-    def test_parallel_submit_requires_registered_kernel(self):
+    def test_parallel_run_requires_registered_kernel(self):
         import dataclasses
 
         runtime = _runtime()
         runtime.spec = dataclasses.replace(runtime.spec, name="custom_copy")
         with pytest.raises(ValueError, match="registered kernel"):
-            runtime.submit(_pairs(2), workers=2)
+            runtime.run(_pairs(2), workers=2)

@@ -24,15 +24,16 @@ def pairs(n, length=40):
 
 
 class TestDeviceRuntime:
-    def test_align_one(self):
+    def test_run_single_pair(self):
         runtime = DeviceRuntime(get_kernel(1), small_config())
         q, r = pairs(1)[0]
-        result = runtime.align_one(q, r)
-        assert result.alignment is not None
+        outcome = runtime.run([(q, r)])
+        assert outcome.results[0].alignment is not None
+        assert outcome.errors == []
 
-    def test_align_batch_results_and_performance(self):
+    def test_run_results_and_performance(self):
         runtime = DeviceRuntime(get_kernel(1), small_config())
-        outcome = runtime.align_batch(pairs(8))
+        outcome = runtime.run(pairs(8))
         assert len(outcome.results) == 8
         assert outcome.alignments_per_sec > 0
         assert 0 < outcome.utilization <= 1.0
@@ -41,16 +42,23 @@ class TestDeviceRuntime:
         narrow = DeviceRuntime(get_kernel(1), small_config(n_b=1, n_k=1))
         wide = DeviceRuntime(get_kernel(1), small_config(n_b=2, n_k=2))
         batch = pairs(16)
-        slow = narrow.align_batch(batch)
-        fast = wide.align_batch(batch)
+        slow = narrow.run(batch)
+        fast = wide.run(batch)
         assert fast.alignments_per_sec > 2 * slow.alignments_per_sec
+
+    def test_workers_is_keyword_only(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        with pytest.raises(TypeError):
+            runtime.run(pairs(1), 2)  # noqa: B026 - the point of the test
 
     def test_custom_params(self):
         harsh = ScoringParams(match=1, mismatch=-9, linear_gap=-9)
         default_rt = DeviceRuntime(get_kernel(1), small_config())
         harsh_rt = DeviceRuntime(get_kernel(1), small_config(), params=harsh)
         q, r = pairs(1)[0]
-        assert harsh_rt.align_one(q, r).score <= default_rt.align_one(q, r).score
+        harsh_score = harsh_rt.run([(q, r)]).results[0].score
+        default_score = default_rt.run([(q, r)]).results[0].score
+        assert harsh_score <= default_score
 
     def test_infeasible_config_rejected(self):
         with pytest.raises(ValueError, match="does not fit"):
@@ -58,23 +66,20 @@ class TestDeviceRuntime:
                 get_kernel(8), LaunchConfig(n_pe=32, n_b=16, n_k=8)
             )
 
-    def test_over_length_pair_rejected(self):
+    def test_over_length_pair_isolated(self):
+        """A too-long pair becomes a structured error, not an abort."""
         runtime = DeviceRuntime(get_kernel(1), small_config())
         long_pair = pairs(1, length=100)[0]
-        with pytest.raises(ValueError, match="tiling"):
-            runtime.align_one(*long_pair)
+        outcome = runtime.run([long_pair])
+        assert outcome.results == [None]
+        assert len(outcome.errors) == 1
+        assert "tiling" in outcome.errors[0].message
 
-    def test_empty_batch_rejected(self):
+    def test_empty_run_is_a_noop(self):
+        """run([]) returns an empty outcome (the service batcher may
+        legitimately flush nothing)."""
         runtime = DeviceRuntime(get_kernel(1), small_config())
-        with pytest.raises(ValueError):
-            runtime.align_batch([])
-
-    def test_empty_submit_is_a_noop(self):
-        """submit([]) returns an empty outcome (the service batcher may
-        legitimately flush nothing); align_batch keeps its historical
-        raise."""
-        runtime = DeviceRuntime(get_kernel(1), small_config())
-        outcome = runtime.submit([])
+        outcome = runtime.run([])
         assert outcome.results == []
         assert outcome.errors == []
         assert outcome.schedule.makespan_cycles == 0
@@ -89,5 +94,43 @@ class TestDeviceRuntime:
 
         ref = random_complex_signal(32, seed=1)
         qry = warp_signal(ref, seed=2)[:32]
-        result = runtime.align_one(qry, ref)
+        result = runtime.run([(qry, ref)]).results[0]
         assert result.cycles.ii == 4  # DTW's multiplier-bound II
+
+
+class TestDeprecatedShims:
+    """The historical trio warns but keeps its exact semantics."""
+
+    def test_align_one_warns_and_matches_run(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        q, r = pairs(1)[0]
+        with pytest.warns(DeprecationWarning, match="align_one"):
+            legacy = runtime.align_one(q, r)
+        assert legacy == runtime.run([(q, r)]).results[0]
+
+    def test_align_one_still_raises_on_over_length(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        long_pair = pairs(1, length=100)[0]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="tiling"):
+                runtime.align_one(*long_pair)
+
+    def test_align_batch_warns_and_matches_run(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        batch = pairs(4)
+        with pytest.warns(DeprecationWarning, match="align_batch"):
+            legacy = runtime.align_batch(batch)
+        assert legacy.results == runtime.run(batch).results
+
+    def test_align_batch_still_rejects_empty(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                runtime.align_batch([])
+
+    def test_submit_warns_and_matches_run(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        batch = pairs(2)
+        with pytest.warns(DeprecationWarning, match="submit"):
+            legacy = runtime.submit(batch)
+        assert legacy.results == runtime.run(batch).results

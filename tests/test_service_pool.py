@@ -56,14 +56,14 @@ class TestConstruction:
 
 
 class TestExecution:
-    def test_results_match_align_one(self):
+    def test_results_match_direct_run(self):
         runtime = DeviceRuntime(get_kernel(1), small_config())
         pool = DevicePool([runtime])
         pairs = make_pairs(5)
         outcome, member = pool.execute(1, pairs)
         assert not outcome.errors
-        for (query, reference), result in zip(pairs, outcome.results):
-            expected = runtime.align_one(query, reference)
+        expected_results = runtime.run(pairs).results
+        for expected, result in zip(expected_results, outcome.results):
             assert result.score == expected.score
             assert result.cigar == expected.cigar
         assert member.pairs_served == 5

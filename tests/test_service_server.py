@@ -2,7 +2,7 @@
 
 Pins the serving subsystem's acceptance contract: a 2-runtime
 mixed-kernel pool answers hundreds of concurrent requests with payloads
-byte-identical to ``DeviceRuntime.align_one`` on the same pairs,
+byte-identical to ``DeviceRuntime.run`` on the same pairs,
 deadline-triggered flushes are observable in the metrics, and past the
 admission bound requests are *rejected* (answered), never dropped.
 """
@@ -85,13 +85,15 @@ class TestEndToEndTCP:
             assert all(r.status is Status.OK for r in responses)
 
             # Byte-identity: the wire payload (minus wall-clock latency)
-            # must equal one built locally from align_one.
+            # must equal one built locally from DeviceRuntime.run.
             for (kernel_id, query, reference), slot, response in zip(
                 workload, slots, responses
             ):
+                local = reference_runtimes[kernel_id].run(
+                    [(query, reference)]
+                ).results[0]
                 expected = response_from_result(
-                    slot.request.request_id,
-                    reference_runtimes[kernel_id].align_one(query, reference),
+                    slot.request.request_id, local
                 )
                 assert response.to_line(with_latency=False) == \
                     expected.to_line(with_latency=False)
