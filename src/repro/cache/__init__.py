@@ -1,0 +1,76 @@
+"""Content-addressed alignment caching: the reuse layer above the engine.
+
+DP-HLS's back-end is fixed, so an alignment result is a *pure function*
+of the kernel spec surface, the scoring parameters, the launch sizing and
+the raw sequence bytes.  Real alignment traffic (read mapping against a
+fixed reference, repeated fuzz corpora, campaign re-runs) is highly
+redundant over exactly those inputs, which makes the whole stack
+perfectly cacheable — the separation of computation from data movement
+and reuse that the data-centric HLS literature argues for, applied one
+level above the simulated device.
+
+* :mod:`repro.cache.fingerprint`  — canonical content-addressed keys
+  over kernel id, scoring params, fixed-point/banding config and raw
+  sequence bytes; stable across processes and platforms;
+* :mod:`repro.cache.memory`       — a bytes-bounded, thread-safe LRU
+  tier with eviction accounting;
+* :mod:`repro.cache.disk`         — an append-only shard-file store
+  with an in-memory index, crash-safe journal replay and atomic
+  compaction, so a restarted server warm-starts from disk;
+* :mod:`repro.cache.singleflight` — concurrent identical requests
+  coalesce onto one in-flight computation;
+* :mod:`repro.cache.facade`       — the :class:`CacheStack` tier stack
+  plus :class:`CachedRuntime`, the opt-in decorator around
+  :class:`~repro.host.runtime.DeviceRuntime` that the serving pool and
+  the ``repro cache`` CLI commands build on.
+
+Quickstart::
+
+    from repro.cache import CacheConfig, CacheStack, CachedRuntime
+    from repro.host import DeviceRuntime
+
+    stack = CacheStack(CacheConfig(directory="cache.d"))
+    runtime = CachedRuntime(DeviceRuntime(spec), stack)
+    runtime.run(pairs)          # cold: engine path, results persisted
+    runtime.run(pairs)          # warm: served from memory/disk tiers
+"""
+
+from repro.cache.disk import DiskStore
+from repro.cache.facade import (
+    CacheConfig,
+    CacheStack,
+    CachedBatchOutcome,
+    CachedRuntime,
+    decode_result,
+    encode_result,
+)
+from repro.cache.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical,
+    canonical_json,
+    fingerprint,
+    pair_fingerprint,
+    runtime_fingerprint,
+    sequence_blob,
+)
+from repro.cache.memory import MemoryCache
+from repro.cache.singleflight import SingleFlight
+
+__all__ = [
+    "CacheConfig",
+    "CacheStack",
+    "CachedBatchOutcome",
+    "CachedRuntime",
+    "DiskStore",
+    "FINGERPRINT_VERSION",
+    "MemoryCache",
+    "SingleFlight",
+    "canonical",
+    "canonical_json",
+    "decode_result",
+    "encode_result",
+    "fingerprint",
+    "pair_fingerprint",
+    "runtime_fingerprint",
+    "sequence_blob",
+]

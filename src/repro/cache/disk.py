@@ -1,0 +1,367 @@
+"""The persistent cache tier: append-only shard files + in-memory index.
+
+Layout: a cache directory holds numbered shard files
+(``shard-000000.log``, ``shard-000001.log``, …).  Every
+:meth:`DiskStore.put` appends one framed record to the active shard —
+
+    ``magic (4B) | key_len (u16) | payload_len (u32) | crc32 (u32)
+    | key | payload``
+
+— and updates the in-memory index (``key → shard, offset, length``).
+The files are the journal: opening a store replays every shard in
+numeric order, so a restarted server warm-starts with exactly the
+entries that were durably framed.  Replay is crash-safe — a torn tail
+(process killed mid-append) fails the magic/length/CRC checks, the
+replay stops at the last well-formed record of that shard, and the next
+append overwrites the torn bytes.
+
+Writes are last-write-wins: a re-put appends a fresh record and repoints
+the index, leaving the stale record as garbage.  :meth:`DiskStore.compact`
+rewrites the live records into a single new *higher-numbered* shard
+(atomic ``os.replace`` of a finished temp file) and then deletes the old
+shards — a crash between those two steps leaves a state that replays to
+the same index, because replay order is shard order and the compacted
+shard is scanned last.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Frame magic; a mismatch during replay marks the end of valid data.
+_MAGIC = b"RPRC"
+_HEADER = struct.Struct("<4sHII")
+#: Largest key the u16 length field can frame.
+MAX_KEY_BYTES = 0xFFFF
+
+
+@dataclass
+class DiskStats:
+    """Counter snapshot of one :class:`DiskStore`."""
+
+    entries: int = 0
+    live_bytes: int = 0
+    file_bytes: int = 0
+    shards: int = 0
+    puts: int = 0
+    hits: int = 0
+    misses: int = 0
+    replayed_records: int = 0
+    torn_records: int = 0
+    compactions: int = 0
+    directory: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (the ``cache stats`` wire form)."""
+        return {
+            "entries": self.entries,
+            "live_bytes": self.live_bytes,
+            "file_bytes": self.file_bytes,
+            "shards": self.shards,
+            "puts": self.puts,
+            "hits": self.hits,
+            "misses": self.misses,
+            "replayed_records": self.replayed_records,
+            "torn_records": self.torn_records,
+            "compactions": self.compactions,
+            "directory": self.directory,
+        }
+
+
+@dataclass
+class _IndexEntry:
+    """Where one live payload sits on disk."""
+
+    shard: int
+    payload_offset: int
+    payload_len: int
+    record_len: int = field(default=0)
+
+
+def _shard_name(number: int) -> str:
+    """Filename of shard ``number`` (zero-padded so sort order is scan order)."""
+    return f"shard-{number:06d}.log"
+
+
+class DiskStore:
+    """Append-only, crash-safe, compactable key→bytes store."""
+
+    def __init__(
+        self,
+        directory: str,
+        shard_bytes: int = 16 * 1024 * 1024,
+        fsync: bool = False,
+    ) -> None:
+        if shard_bytes < _HEADER.size + 1:
+            raise ValueError(f"shard_bytes too small: {shard_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_bytes = shard_bytes
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._index: Dict[str, _IndexEntry] = {}
+        self._live_bytes = 0
+        self._puts = 0
+        self._hits = 0
+        self._misses = 0
+        self._replayed = 0
+        self._torn = 0
+        self._compactions = 0
+        self._append_handle = None
+        self._active_shard = 0
+        self._active_size = 0
+        self._replay()
+
+    # -- journal replay ------------------------------------------------
+
+    def _shard_numbers(self) -> List[int]:
+        """Existing shard numbers, ascending (replay/scan order)."""
+        numbers = []
+        for path in self.directory.glob("shard-*.log"):
+            stem = path.name[len("shard-"):-len(".log")]
+            if stem.isdigit():
+                numbers.append(int(stem))
+        return sorted(numbers)
+
+    def _shard_path(self, number: int) -> Path:
+        return self.directory / _shard_name(number)
+
+    def _replay(self) -> None:
+        """Rebuild the index by scanning every shard, oldest first.
+
+        Within a shard, scanning stops at the first record that fails
+        the magic/length/CRC checks — that is the torn tail of a
+        crashed append.  The shard is truncated back to its last
+        well-formed record so the next append starts clean.
+        """
+        numbers = self._shard_numbers()
+        for number in numbers:
+            path = self._shard_path(number)
+            data = path.read_bytes()
+            offset = 0
+            while offset + _HEADER.size <= len(data):
+                magic, key_len, payload_len, crc = _HEADER.unpack_from(
+                    data, offset
+                )
+                body_start = offset + _HEADER.size
+                body_end = body_start + key_len + payload_len
+                if magic != _MAGIC or body_end > len(data):
+                    break
+                key_bytes = data[body_start:body_start + key_len]
+                payload = data[body_start + key_len:body_end]
+                if zlib.crc32(payload, zlib.crc32(key_bytes)) != crc:
+                    break
+                key = key_bytes.decode("utf-8")
+                previous = self._index.get(key)
+                if previous is not None:
+                    self._live_bytes -= previous.payload_len
+                self._index[key] = _IndexEntry(
+                    shard=number,
+                    payload_offset=body_start + key_len,
+                    payload_len=payload_len,
+                    record_len=body_end - offset,
+                )
+                self._live_bytes += payload_len
+                self._replayed += 1
+                offset = body_end
+            if offset < len(data):
+                self._torn += 1
+                with path.open("r+b") as handle:
+                    handle.truncate(offset)
+        self._active_shard = numbers[-1] if numbers else 0
+        self._active_size = (
+            self._shard_path(self._active_shard).stat().st_size
+            if numbers else 0
+        )
+
+    # -- write path ----------------------------------------------------
+
+    def _writer(self):
+        """The open append handle of the active shard (rotating as needed)."""
+        if (
+            self._append_handle is not None
+            and self._active_size >= self.shard_bytes
+        ):
+            self._append_handle.close()
+            self._append_handle = None
+            self._active_shard += 1
+            self._active_size = 0
+        if self._append_handle is None:
+            path = self._shard_path(self._active_shard)
+            self._append_handle = path.open("ab")
+            self._active_size = path.stat().st_size
+        return self._append_handle
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Durably append one record and repoint the index at it."""
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) > MAX_KEY_BYTES:
+            raise ValueError(f"key too long to frame: {len(key_bytes)} bytes")
+        crc = zlib.crc32(payload, zlib.crc32(key_bytes))
+        header = _HEADER.pack(_MAGIC, len(key_bytes), len(payload), crc)
+        with self._lock:
+            handle = self._writer()
+            offset = self._active_size
+            handle.write(header)
+            handle.write(key_bytes)
+            handle.write(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            record_len = _HEADER.size + len(key_bytes) + len(payload)
+            self._active_size += record_len
+            previous = self._index.get(key)
+            if previous is not None:
+                self._live_bytes -= previous.payload_len
+            self._index[key] = _IndexEntry(
+                shard=self._active_shard,
+                payload_offset=offset + _HEADER.size + len(key_bytes),
+                payload_len=len(payload),
+                record_len=record_len,
+            )
+            self._live_bytes += len(payload)
+            self._puts += 1
+
+    # -- read path -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Fetch the live payload of ``key`` (``None`` when absent)."""
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            shard, offset, length = (
+                entry.shard, entry.payload_offset, entry.payload_len
+            )
+            if self._append_handle is not None:
+                self._append_handle.flush()
+        with self._shard_path(shard).open("rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership check without touching hit/miss counters."""
+        with self._lock:
+            return key in self._index
+
+    def __len__(self) -> int:
+        """Number of live keys."""
+        with self._lock:
+            return len(self._index)
+
+    def keys(self) -> List[str]:
+        """Live keys, sorted (stable across replay orders)."""
+        with self._lock:
+            return sorted(self._index)
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite live records into one fresh shard; returns bytes freed.
+
+        The new shard is assembled under a temp name and atomically
+        renamed into place *above* the current shard numbers before the
+        stale shards are deleted, so a crash at any point replays to the
+        same live index.
+        """
+        with self._lock:
+            old_numbers = self._shard_numbers()
+            file_bytes_before = sum(
+                self._shard_path(n).stat().st_size for n in old_numbers
+            )
+            if self._append_handle is not None:
+                self._append_handle.close()
+                self._append_handle = None
+            target = (old_numbers[-1] + 1) if old_numbers else 0
+            tmp_path = self.directory / f"{_shard_name(target)}.tmp"
+            new_index: Dict[str, _IndexEntry] = {}
+            offset = 0
+            with tmp_path.open("wb") as out:
+                for key in sorted(self._index):
+                    entry = self._index[key]
+                    with self._shard_path(entry.shard).open("rb") as src:
+                        src.seek(entry.payload_offset)
+                        payload = src.read(entry.payload_len)
+                    key_bytes = key.encode("utf-8")
+                    crc = zlib.crc32(payload, zlib.crc32(key_bytes))
+                    out.write(_HEADER.pack(
+                        _MAGIC, len(key_bytes), len(payload), crc
+                    ))
+                    out.write(key_bytes)
+                    out.write(payload)
+                    record_len = _HEADER.size + len(key_bytes) + len(payload)
+                    new_index[key] = _IndexEntry(
+                        shard=target,
+                        payload_offset=offset + _HEADER.size + len(key_bytes),
+                        payload_len=len(payload),
+                        record_len=record_len,
+                    )
+                    offset += record_len
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(tmp_path, self._shard_path(target))
+            for number in old_numbers:
+                self._shard_path(number).unlink()
+            self._index = new_index
+            self._active_shard = target
+            self._active_size = offset
+            self._compactions += 1
+            return file_bytes_before - offset
+
+    def clear(self) -> int:
+        """Delete every shard and reset the index; returns entries dropped."""
+        with self._lock:
+            dropped = len(self._index)
+            if self._append_handle is not None:
+                self._append_handle.close()
+                self._append_handle = None
+            for number in self._shard_numbers():
+                self._shard_path(number).unlink()
+            self._index.clear()
+            self._live_bytes = 0
+            self._active_shard = 0
+            self._active_size = 0
+            return dropped
+
+    def close(self) -> None:
+        """Flush and close the append handle (reads keep working)."""
+        with self._lock:
+            if self._append_handle is not None:
+                self._append_handle.close()
+                self._append_handle = None
+
+    def __enter__(self) -> "DiskStore":
+        """Context-manager entry (the store is open on construction)."""
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        """Context-manager exit closes the append handle."""
+        self.close()
+
+    def stats(self) -> DiskStats:
+        """Counter snapshot (consistent under the store lock)."""
+        with self._lock:
+            numbers = self._shard_numbers()
+            return DiskStats(
+                entries=len(self._index),
+                live_bytes=self._live_bytes,
+                file_bytes=sum(
+                    self._shard_path(n).stat().st_size for n in numbers
+                ),
+                shards=len(numbers),
+                puts=self._puts,
+                hits=self._hits,
+                misses=self._misses,
+                replayed_records=self._replayed,
+                torn_records=self._torn,
+                compactions=self._compactions,
+                directory=str(self.directory),
+            )

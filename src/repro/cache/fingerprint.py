@@ -1,0 +1,163 @@
+"""Canonical content-addressed fingerprints for alignment work.
+
+A fingerprint is a SHA-256 hex digest over a *canonical encoding* of
+everything the engine's output depends on: the kernel's spec surface
+(id, name, score type and overflow mode, layer count, objective,
+banding, traceback rules), the scoring parameters, the launch sizing
+that shows up in results (``n_pe``/``ii`` move cycle counts,
+``max_query_len``/``max_ref_len`` bound admission) and the raw sequence
+symbols.  Two processes — today or after a restart — computing the
+fingerprint of the same logical request always produce the same hex
+string; the determinism test pins that across a subprocess boundary.
+
+Stability contract
+------------------
+The fingerprint covers the declared *spec surface*, not the Python code
+behind it: editing a ``pe_func`` body without changing any declared
+field produces the same key.  :data:`FINGERPRINT_VERSION` exists for
+exactly that case — bump it whenever engine semantics change so every
+previously persisted entry is invalidated at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Sequence
+
+import numpy as np
+
+#: Bumped whenever engine semantics change in a way the spec surface
+#: cannot see; invalidates every previously persisted cache entry.
+FINGERPRINT_VERSION = 1
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-safe canonical form.
+
+    Handles the types that appear in kernel specs and scoring params:
+    dataclasses (type name + field map), enums (``Type.NAME``), numpy
+    arrays and scalars, tuples/lists, dicts and plain scalars.  The
+    mapping is injective over those types, so distinct params never
+    collide onto one canonical form.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; float(int) stays distinct
+        # from the int because of the "f:" tag.  The float() call strips
+        # np.float64 (a float subclass) down to the plain-float repr.
+        return f"f:{float(value)!r}"
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": str(value.dtype), "data": value.tolist()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return canonical(float(value))
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical(val) for key, val in sorted(value.items())}
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for fingerprinting"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic compact JSON of :func:`canonical` (sorted keys)."""
+    return json.dumps(
+        canonical(value), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def sequence_blob(sequence: Sequence[Any]) -> str:
+    """Canonical text of one symbol sequence.
+
+    Integer symbol codes (the engine's native alphabet representation)
+    encode as a comma-joined decimal run; anything else falls back to
+    the canonical JSON of the symbol list, so struct-symbol kernels
+    still key deterministically.
+    """
+    symbols = list(sequence)
+    if all(isinstance(s, (int, np.integer)) and not isinstance(s, bool)
+           for s in symbols):
+        return ",".join(str(int(s)) for s in symbols)
+    return canonical_json(symbols)
+
+
+def runtime_fingerprint(
+    spec: Any,
+    params: Any,
+    n_pe: int,
+    ii: int,
+    max_query_len: int,
+    max_ref_len: int,
+) -> str:
+    """Fingerprint of a deployed runtime configuration.
+
+    Covers every declared input the engine's output depends on — the
+    spec surface, the scoring parameters and the launch sizing — but
+    not the sequences; :func:`pair_fingerprint` folds those in per
+    request.
+    """
+    traceback = None
+    if spec.traceback is not None:
+        traceback = {
+            "end": canonical(spec.traceback.end),
+            "initial_state": spec.traceback.initial_state,
+        }
+    surface = {
+        "version": FINGERPRINT_VERSION,
+        "kernel_id": spec.kernel_id,
+        "name": spec.name,
+        "score_type": canonical(spec.score_type),
+        "n_layers": spec.n_layers,
+        "objective": canonical(spec.objective),
+        "start_rule": canonical(spec.start_rule),
+        "traceback": traceback,
+        "tb_ptr_bits": spec.tb_ptr_bits,
+        "score_layer": spec.score_layer,
+        "banding": spec.banding,
+        "params": canonical(params),
+        "n_pe": n_pe,
+        "ii": ii,
+        "max_query_len": max_query_len,
+        "max_ref_len": max_ref_len,
+    }
+    return fingerprint(surface)
+
+
+def pair_fingerprint(
+    runtime_key: str,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+) -> str:
+    """Content-addressed key of one (runtime, query, reference) request.
+
+    ``runtime_key`` is a :func:`runtime_fingerprint`; the sequences are
+    folded in through :func:`sequence_blob`, with an explicit separator
+    so (query="AB", ref="C") never collides with (query="A", ref="BC").
+    """
+    blob = hashlib.sha256()
+    blob.update(runtime_key.encode("ascii"))
+    blob.update(b"|q|")
+    blob.update(sequence_blob(query).encode("utf-8"))
+    blob.update(b"|r|")
+    blob.update(sequence_blob(reference).encode("utf-8"))
+    return blob.hexdigest()

@@ -1,0 +1,144 @@
+"""Single-flight deduplication: concurrent identical work runs once.
+
+When several serving threads miss the cache on the same fingerprint at
+the same time, racing the engine N times wastes exactly the work the
+cache exists to save.  :class:`SingleFlight` coalesces them: the first
+caller to open a flight for a key becomes the *leader* and runs the
+computation; every concurrent caller with the same key becomes a
+*follower* that blocks until the leader finishes and then shares the
+leader's result (or re-raises the leader's exception).
+
+Two API levels:
+
+* :meth:`SingleFlight.do` — the closure form: lead-or-follow around one
+  ``fn()`` call;
+* :meth:`SingleFlight.begin` / :meth:`SingleFlight.finish` /
+  :meth:`SingleFlight.fail` / :meth:`SingleFlight.wait` — the split form
+  the batch runtime uses, where one thread leads *many* flights, runs
+  them through the engine as a single batch, and settles each flight
+  individually.
+
+The flight table only holds keys with a computation in progress —
+results are never retained here (that is the cache tiers' job), so a
+later call with the same key starts a fresh flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class Flight:
+    """One in-progress computation and its rendezvous point."""
+
+    __slots__ = ("key", "done", "value", "error", "followers")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+@dataclass
+class SingleFlightStats:
+    """Counter snapshot of one :class:`SingleFlight`."""
+
+    flights: int = 0
+    coalesced: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe snapshot."""
+        return {"flights": self.flights, "coalesced": self.coalesced}
+
+
+class SingleFlight:
+    """Per-key coalescing of concurrent identical computations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, Flight] = {}
+        self._started = 0
+        self._coalesced = 0
+
+    # -- split API (the batch runtime's form) --------------------------
+
+    def begin(self, key: str) -> Tuple[Flight, bool]:
+        """Open or join the flight for ``key``.
+
+        Returns ``(flight, leader)``.  A leader *must* eventually call
+        :meth:`finish` or :meth:`fail` on the flight; a follower calls
+        :meth:`wait`.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                self._coalesced += 1
+                return flight, False
+            flight = Flight(key)
+            self._flights[key] = flight
+            self._started += 1
+            return flight, True
+
+    def finish(self, flight: Flight, value: Any) -> None:
+        """Settle a led flight with its value and release the followers."""
+        with self._lock:
+            self._flights.pop(flight.key, None)
+        flight.value = value
+        flight.done.set()
+
+    def fail(self, flight: Flight, error: BaseException) -> None:
+        """Settle a led flight with an exception every waiter re-raises."""
+        with self._lock:
+            self._flights.pop(flight.key, None)
+        flight.error = error
+        flight.done.set()
+
+    def wait(self, flight: Flight, timeout: Optional[float] = None) -> Any:
+        """Block until a flight settles; return or re-raise its outcome."""
+        if not flight.done.wait(timeout):
+            raise TimeoutError(
+                f"flight {flight.key!r} unsettled after {timeout}s"
+            )
+        if flight.error is not None:
+            raise flight.error
+        return flight.value
+
+    # -- closure API ---------------------------------------------------
+
+    def do(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent ``key``; followers share the result.
+
+        Returns ``(value, coalesced)`` where ``coalesced`` tells whether
+        this caller waited on another thread's computation instead of
+        running ``fn`` itself.  If the leader's ``fn`` raises, every
+        caller of that flight sees the same exception.
+        """
+        flight, leader = self.begin(key)
+        if not leader:
+            return self.wait(flight), True
+        try:
+            value = fn()
+        except BaseException as exc:
+            self.fail(flight, exc)
+            raise
+        self.finish(flight, value)
+        return value, False
+
+    # -- introspection -------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> SingleFlightStats:
+        """Counter snapshot."""
+        with self._lock:
+            return SingleFlightStats(
+                flights=self._started, coalesced=self._coalesced
+            )

@@ -11,6 +11,8 @@ Commands mirror the workflow of Fig. 2A plus the experiment harnesses:
 * ``fuzz``                      — differential fuzzing of the engine
 * ``serve``                     — run the online alignment service (TCP)
 * ``loadgen``                   — open-loop Poisson load against a service
+* ``cache stats|warm|clear``    — inspect, warm or clear the persistent
+  content-addressed alignment cache (:mod:`repro.cache`)
 * ``trace``                     — serve a traced workload in-process and
   export a Chrome trace (chrome://tracing / Perfetto)
 * ``table2`` / ``fig3`` / ``fig4`` / ``fig5`` / ``fig6`` / ``hls`` /
@@ -174,7 +176,8 @@ def cmd_fuzz(args) -> int:
     return 0 if report.passed else 1
 
 
-def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int):
+def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int,
+                  cache=None):
     """Build a :class:`DevicePool` serving the requested kernels."""
     from repro.host import DeviceRuntime
     from repro.service import DevicePool
@@ -195,7 +198,20 @@ def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int):
                     max_query_len=max_len, max_ref_len=max_len,
                 ),
             ))
-    return DevicePool(runtimes)
+    return DevicePool(runtimes, cache=cache)
+
+
+def _cache_stack(args):
+    """Build the optional :class:`CacheStack` from ``--cache-*`` flags."""
+    directory = getattr(args, "cache_dir", None)
+    if directory is None:
+        return None
+    from repro.cache import CacheConfig, CacheStack
+
+    return CacheStack(CacheConfig(
+        directory=directory,
+        memory_bytes=int(getattr(args, "cache_mem_mb", 64) * 1024 * 1024),
+    ))
 
 
 def _service_workload(kernels, pairs_per_kernel: int, length: int, seed: int):
@@ -222,7 +238,8 @@ def cmd_serve(args) -> int:
 
     kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
     pool = _service_pool(
-        kernels, args.n_pe, args.n_b, args.replicas, args.max_len
+        kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
+        cache=_cache_stack(args),
     )
     core = ServiceCore(pool, BatcherConfig(
         max_batch=args.max_batch,
@@ -269,7 +286,8 @@ def cmd_loadgen(args) -> int:
     core = None
     if args.in_proc:
         pool = _service_pool(
-            kernels, args.n_pe, args.n_b, args.replicas, args.max_len
+            kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
+            cache=_cache_stack(args),
         )
         core = ServiceCore(pool, BatcherConfig(
             max_batch=args.max_batch,
@@ -347,6 +365,85 @@ def cmd_trace(args) -> int:
     print(f"trace: {len(recorder.events())} events "
           f"(spans in {', '.join(categories)}; "
           f"{recorder.dropped_events} dropped) -> {args.out}")
+    if failures:
+        print(f"error: {failures} request(s) did not resolve OK")
+        return 1
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect, warm or clear a persistent alignment cache directory."""
+    import hashlib
+    import json as json_module
+
+    from repro.cache import CacheConfig, CacheStack
+
+    if args.cache_command == "stats":
+        from repro.cache import DiskStore
+
+        store = DiskStore(args.dir)
+        try:
+            print(json_module.dumps(
+                store.stats().to_dict(), indent=2, sort_keys=True
+            ))
+        finally:
+            store.close()
+        return 0
+
+    if args.cache_command == "clear":
+        from repro.cache import DiskStore
+
+        store = DiskStore(args.dir)
+        try:
+            dropped = store.clear()
+        finally:
+            store.close()
+        print(f"cleared {dropped} entries from {args.dir}")
+        return 0
+
+    # warm: push a deterministic workload through an in-proc ServiceCore
+    # backed by the cache directory, then report attribution.  Running
+    # the same command twice (even across process restarts) must produce
+    # a byte-identical response digest with a nonzero hit count on the
+    # second pass — the smoke-cache CI job pins exactly that.
+    from repro.service import BatcherConfig, InProcClient, ServiceCore, Status
+
+    kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
+    stack = CacheStack(CacheConfig(
+        directory=args.dir,
+        memory_bytes=int(args.cache_mem_mb * 1024 * 1024),
+    ))
+    pool = _service_pool(
+        kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
+        cache=stack,
+    )
+    core = ServiceCore(pool, BatcherConfig(max_batch=args.max_batch)).start()
+    client = InProcClient(core)
+    workload = _service_workload(kernels, args.pairs, args.length, args.seed)
+    failures = 0
+    lines = []
+    try:
+        slots = [
+            client.submit(kernel_id, query, reference)
+            for kernel_id, query, reference in workload
+        ]
+        for slot in slots:
+            response = slot.result(timeout=120.0)
+            if response.status is not Status.OK:
+                failures += 1
+            lines.append(response.to_line(with_latency=False))
+    finally:
+        core.stop()
+        stack.close()
+    digest = hashlib.sha256(b"".join(sorted(lines))).hexdigest()
+    snapshot = core.metrics_snapshot()
+    counters = snapshot.get("counters", {})
+    hits = counters.get("cache_hits_total", 0)
+    misses = counters.get("cache_misses_total", 0)
+    print(f"warmed {len(lines)} responses from {len(workload)} requests "
+          f"({hits} cache hits, {misses} misses)")
+    print(f"response digest: {digest}")
+    print(json_module.dumps(snapshot.get("cache"), indent=2, sort_keys=True))
     if failures:
         print(f"error: {failures} request(s) did not resolve OK")
         return 1
@@ -494,6 +591,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="deadline-triggered flush linger bound")
     p.add_argument("--queue-bound", type=int, default=256,
                    help="per-kernel admission bound (backpressure)")
+    p.add_argument("--cache-dir", default=None,
+                   help="enable the content-addressed cache, persisted here")
+    p.add_argument("--cache-mem-mb", type=float, default=64.0,
+                   help="in-memory cache tier budget (MiB)")
 
     p = sub.add_parser(
         "loadgen", help="drive open-loop Poisson load against a service"
@@ -520,6 +621,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=8)
     p.add_argument("--max-delay-ms", type=float, default=20.0)
     p.add_argument("--queue-bound", type=int, default=256)
+    p.add_argument("--cache-dir", default=None,
+                   help="enable the content-addressed cache (in-proc only)")
+    p.add_argument("--cache-mem-mb", type=float, default=64.0)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect, warm or clear a persistent alignment cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cp = cache_sub.add_parser("stats", help="print cache directory statistics")
+    cp.add_argument("--dir", required=True, help="cache directory")
+    cp = cache_sub.add_parser("clear", help="delete every cached entry")
+    cp.add_argument("--dir", required=True, help="cache directory")
+    cp = cache_sub.add_parser(
+        "warm",
+        help="serve a deterministic workload through the cache "
+             "(run twice to measure the warm pass)",
+    )
+    cp.add_argument("--dir", required=True, help="cache directory")
+    cp.add_argument("--kernel", action="append", default=[],
+                    help="kernel number/name (repeatable; default 1)")
+    cp.add_argument("--pairs", type=int, default=16,
+                    help="distinct random pairs per kernel")
+    cp.add_argument("--length", type=int, default=24)
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--replicas", type=int, default=1)
+    cp.add_argument("--n-pe", type=int, default=16)
+    cp.add_argument("--n-b", type=int, default=4)
+    cp.add_argument("--max-len", type=int, default=256)
+    cp.add_argument("--max-batch", type=int, default=8)
+    cp.add_argument("--cache-mem-mb", type=float, default=64.0)
 
     p = sub.add_parser(
         "trace",
@@ -576,6 +708,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "trace": cmd_trace,
+        "cache": cmd_cache,
     }
     handler = handlers.get(args.command, cmd_experiment)
     return handler(args)

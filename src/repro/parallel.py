@@ -93,13 +93,26 @@ class ItemOutcome:
 
 
 class BatchError(RuntimeError):
-    """Raised by :meth:`BatchResult.values` when any item failed."""
+    """Raised by :meth:`BatchResult.values` when any item failed.
+
+    The message carries the first failure's *worker-side* traceback (when
+    one was captured) so the original raise site survives the process
+    boundary — without it, only the exception repr reaches the caller
+    and the actual failing line in the work function is lost.
+    """
 
     def __init__(self, errors: Sequence[WorkError]):
         self.errors = list(errors)
         preview = "; ".join(str(e) for e in self.errors[:3])
         more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
-        super().__init__(f"{len(self.errors)} work item(s) failed: {preview}{more}")
+        message = f"{len(self.errors)} work item(s) failed: {preview}{more}"
+        traced = next((e for e in self.errors if e.traceback), None)
+        if traced is not None:
+            message += (
+                f"\nworker traceback of item "
+                f"{traced.index}:\n{traced.traceback.rstrip()}"
+            )
+        super().__init__(message)
 
 
 @dataclass

@@ -13,6 +13,12 @@ holding the fewest in-flight pairs for that kernel.  Execution goes
 through ``DeviceRuntime.run``, so functional work can fan across the
 :mod:`repro.parallel` process pool (``workers > 1``) while per-pair
 failures stay isolated as structured errors.
+
+Passing a :class:`~repro.cache.CacheStack` wraps every member in a
+:class:`~repro.cache.CachedRuntime`: the whole pool shares one
+content-addressed cache, so a pair served by any replica is a hit on
+every other, and batch outcomes carry per-pair ``fingerprints``/
+``cached`` attribution the serving core forwards to clients.
 """
 
 from __future__ import annotations
@@ -70,13 +76,25 @@ class DevicePool:
     """Kernel-indexed runtime pool with least-loaded batch routing."""
 
     def __init__(
-        self, runtimes: Sequence[DeviceRuntime], workers: int = 1
+        self,
+        runtimes: Sequence[DeviceRuntime],
+        workers: int = 1,
+        cache: Optional[Any] = None,
     ) -> None:
         if not runtimes:
             raise ValueError("a device pool needs at least one runtime")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.cache = cache
+        if cache is not None:
+            from repro.cache import CachedRuntime
+
+            runtimes = [
+                rt if isinstance(rt, CachedRuntime)
+                else CachedRuntime(rt, cache)
+                for rt in runtimes
+            ]
         self.members: List[PoolMember] = [
             PoolMember(runtime=rt, name=f"rt{k}:{rt.spec.name}")
             for k, rt in enumerate(runtimes)
@@ -92,12 +110,15 @@ class DevicePool:
         design: LinkedDesign,
         workers: int = 1,
         params_by_kernel: Optional[Dict[int, Any]] = None,
+        cache: Optional[Any] = None,
     ) -> "DevicePool":
         """Deploy every channel of a linked design as one pool member.
 
         Each channel becomes a :class:`DeviceRuntime` with the channel's
         ``N_PE``/``N_B`` sizing (``N_K = 1``: the channel *is* one of the
         design's K channels) at the design's linked clock target.
+        ``cache`` (a :class:`~repro.cache.CacheStack`) is shared across
+        every channel, exactly as in the main constructor.
         """
         params_by_kernel = params_by_kernel or {}
         runtimes = [
@@ -114,7 +135,7 @@ class DevicePool:
             )
             for channel in design.channels
         ]
-        return cls(runtimes, workers=workers)
+        return cls(runtimes, workers=workers, cache=cache)
 
     def kernel_ids(self) -> List[int]:
         """Kernels this pool can serve, ascending."""

@@ -146,7 +146,16 @@ class AlignRequest:
 
 @dataclass(frozen=True)
 class AlignResponse:
-    """The service's terminal answer to one request."""
+    """The service's terminal answer to one request.
+
+    ``fingerprint`` is the content-addressed cache key of the request
+    (present when the service runs with caching enabled) — a pure
+    function of kernel config and sequence bytes, so it lands in the
+    deterministic payload.  ``cached`` tells whether *this* execution
+    was served without engine work; like ``latency_ms`` it varies
+    between identical requests, so it travels only in the full wire
+    form and is dropped from the deterministic encoding.
+    """
 
     request_id: str
     status: Status
@@ -157,6 +166,8 @@ class AlignResponse:
     cycles: Optional[int] = None
     latency_ms: Optional[float] = None
     error: str = ""
+    fingerprint: Optional[str] = None
+    cached: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -166,9 +177,11 @@ class AlignResponse:
     def to_dict(self, with_latency: bool = True) -> Dict[str, Any]:
         """Flatten to a JSON-safe wire dict.
 
-        ``with_latency=False`` drops the (wall-clock dependent) latency
-        field, leaving only the deterministic alignment payload — the
-        form the byte-identity tests compare.
+        ``with_latency=False`` drops the execution-dependent fields —
+        wall-clock latency and the ``cached`` attribution flag — leaving
+        only the deterministic alignment payload, the form the
+        byte-identity tests compare.  The ``fingerprint`` is itself
+        deterministic, so it stays in both forms.
         """
         payload: Dict[str, Any] = {
             "type": "result",
@@ -184,8 +197,12 @@ class AlignResponse:
             payload["cycles"] = self.cycles
         else:
             payload["error"] = self.error
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
         if with_latency and self.latency_ms is not None:
             payload["latency_ms"] = self.latency_ms
+        if with_latency and self.cached is not None:
+            payload["cached"] = self.cached
         return payload
 
     @classmethod
@@ -210,6 +227,8 @@ class AlignResponse:
             cycles=payload.get("cycles"),
             latency_ms=payload.get("latency_ms"),
             error=payload.get("error", ""),
+            fingerprint=payload.get("fingerprint"),
+            cached=payload.get("cached"),
         )
 
     def to_line(self, with_latency: bool = True) -> bytes:
@@ -218,12 +237,18 @@ class AlignResponse:
 
 
 def response_from_result(
-    request_id: str, result: Any, latency_ms: Optional[float] = None
+    request_id: str,
+    result: Any,
+    latency_ms: Optional[float] = None,
+    fingerprint: Optional[str] = None,
+    cached: Optional[bool] = None,
 ) -> AlignResponse:
     """Build an OK response from an engine :class:`AlignmentResult`.
 
     Normalizes the score to ``float`` so serial/pooled/local executions
-    encode identically regardless of numpy scalar types.
+    encode identically regardless of numpy scalar types.  ``fingerprint``
+    and ``cached`` carry the cache attribution when the serving pool
+    runs with a cache stack.
     """
     return AlignResponse(
         request_id=request_id,
@@ -234,6 +259,8 @@ def response_from_result(
         end=(int(result.end[0]), int(result.end[1])),
         cycles=int(result.cycles.total) if result.cycles else None,
         latency_ms=latency_ms,
+        fingerprint=fingerprint,
+        cached=cached,
     )
 
 

@@ -289,6 +289,16 @@ class ServiceCore:
                 )
             return
         errors = {err.index: err for err in outcome.errors}
+        fingerprints = getattr(outcome, "fingerprints", None)
+        cached_flags = getattr(outcome, "cached", None)
+        if cached_flags:
+            hits = sum(1 for flag in cached_flags if flag)
+            if hits:
+                self.recorder.count("cache_hits_total", hits)
+            if hits < len(cached_flags):
+                self.recorder.count(
+                    "cache_misses_total", len(cached_flags) - hits
+                )
         now = self._clock()
         for index, entry in enumerate(entries):
             request = entry.payload.request
@@ -304,6 +314,13 @@ class ServiceCore:
                     request.request_id,
                     outcome.results[index],
                     latency_ms=latency_ms,
+                    fingerprint=(
+                        fingerprints[index] if fingerprints else None
+                    ),
+                    cached=(
+                        cached_flags[index] if cached_flags is not None
+                        else None
+                    ),
                 )
             self.recorder.observe("latency_ms", latency_ms)
             # The queueing + compute interval of this request, anchored at
@@ -328,6 +345,9 @@ class ServiceCore:
         snapshot = self.recorder.snapshot()
         snapshot["pool"] = self.pool.stats()
         snapshot["kernels"] = self.pool.kernel_ids()
+        cache = getattr(self.pool, "cache", None)
+        if cache is not None:
+            snapshot["cache"] = cache.stats()
         return snapshot
 
     def trace_snapshot(self) -> Dict:

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.fingerprint import fingerprint, sequence_blob
 from repro.core.spec import StartRule
 from repro.experiments.workloads import WORKLOADS
 from repro.kernels import get_kernel, kernel_ids
@@ -200,14 +201,28 @@ def make_corpus(
     return corpus
 
 
+def case_fingerprint(case: FuzzCase) -> str:
+    """Content-addressed key of one fuzz case.
+
+    Built from the same canonical machinery as the alignment cache
+    (:mod:`repro.cache.fingerprint`), so a recorded reproducer and a
+    served request over the same inputs share one keying discipline.
+    """
+    return fingerprint({
+        "kernel_id": case.kernel_id,
+        "case_seed": case.case_seed,
+        "n_pe": case.n_pe,
+        "query": sequence_blob(case.query),
+        "reference": sequence_blob(case.reference),
+    })
+
+
 def corpus_digest(corpus: Sequence[FuzzCase]) -> str:
-    """SHA-256 over the canonical corpus encoding (regression anchor)."""
+    """SHA-256 over the per-case fingerprints (regression anchor)."""
     blob = hashlib.sha256()
     for case in corpus:
-        blob.update(
-            f"{case.kernel_id}|{case.case_seed}|{case.n_pe}|"
-            f"{case.query!r}|{case.reference!r}\n".encode("utf-8")
-        )
+        blob.update(case_fingerprint(case).encode("ascii"))
+        blob.update(b"\n")
     return blob.hexdigest()
 
 

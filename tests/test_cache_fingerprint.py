@@ -1,0 +1,152 @@
+"""Fingerprint determinism and sensitivity (repro.cache.fingerprint).
+
+The cache is only sound if fingerprints are a pure, stable function of
+everything a result depends on — stable across processes and restarts
+(the persistent tier outlives the process that wrote it) and sensitive
+to every input that changes the engine's output.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cache.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical,
+    canonical_json,
+    fingerprint,
+    pair_fingerprint,
+    runtime_fingerprint,
+    sequence_blob,
+)
+from repro.host import DeviceRuntime
+from repro.kernels import get_kernel
+from repro.kernels.global_linear import ScoringParams
+from repro.synth import LaunchConfig
+
+
+def _runtime_key(kernel_id=1, params=None, n_pe=8, max_len=64):
+    runtime = DeviceRuntime(
+        get_kernel(kernel_id),
+        LaunchConfig(n_pe=n_pe, n_b=2, n_k=1,
+                     max_query_len=max_len, max_ref_len=max_len),
+        params=params,
+    )
+    return runtime_fingerprint(
+        runtime.spec, runtime.params, runtime.config.n_pe,
+        runtime.report.ii, runtime.config.max_query_len,
+        runtime.config.max_ref_len,
+    )
+
+
+class TestCanonical:
+    def test_scalars_pass_through(self):
+        assert canonical(None) is None
+        assert canonical(True) is True
+        assert canonical(7) == 7
+        assert canonical("x") == "x"
+
+    def test_float_tagged_distinct_from_int(self):
+        """2 and 2.0 compare equal in Python; their keys must differ."""
+        assert canonical(2) != canonical(2.0)
+        assert canonical_json({"a": 2}) != canonical_json({"a": 2.0})
+
+    def test_float_repr_roundtrips(self):
+        assert canonical(0.1) == f"f:{0.1!r}"
+
+    def test_numpy_scalars_and_arrays(self):
+        assert canonical(np.int64(5)) == 5
+        assert canonical(np.float64(1.5)) == canonical(1.5)
+        enc = canonical(np.array([[1, 2], [3, 4]], dtype=np.int32))
+        assert enc == {"__ndarray__": "int32", "data": [[1, 2], [3, 4]]}
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_tuple_and_list_equivalent(self):
+        assert canonical((1, 2)) == canonical([1, 2])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical(object())
+
+    def test_sequence_blob_int_fastpath(self):
+        assert sequence_blob((0, 1, 2, 3)) == "0,1,2,3"
+        assert sequence_blob(np.array([0, 1], dtype=np.uint8)) == "0,1"
+
+    def test_sequence_blob_fallback(self):
+        assert sequence_blob(["A", "C"]) == canonical_json(["A", "C"])
+
+
+class TestDeterminism:
+    def test_same_inputs_same_key(self):
+        assert _runtime_key() == _runtime_key()
+
+    def test_pair_key_stable(self):
+        key = _runtime_key()
+        q, r = (0, 1, 2, 3), (3, 2, 1, 0)
+        assert pair_fingerprint(key, q, r) == pair_fingerprint(key, q, r)
+
+    def test_cross_process_determinism(self):
+        """The fingerprint survives a process boundary byte-for-byte.
+
+        A fresh interpreter (fresh hash randomization, fresh module
+        state) must produce the same hex digest — that is what lets a
+        restarted server trust a cache directory written by its
+        predecessor.
+        """
+        program = (
+            "from tests.test_cache_fingerprint import _runtime_key\n"
+            "from repro.cache.fingerprint import pair_fingerprint\n"
+            "key = _runtime_key()\n"
+            "print(pair_fingerprint(key, (0, 1, 2), (2, 1, 0)))\n"
+        )
+        root = pathlib.Path(__file__).resolve().parents[1]
+        out = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True, cwd=str(root),
+            env={**os.environ, "PYTHONPATH": str(root / "src")},
+        )
+        here = pair_fingerprint(_runtime_key(), (0, 1, 2), (2, 1, 0))
+        assert out.stdout.strip() == here
+
+
+class TestSensitivity:
+    def test_kernel_changes_key(self):
+        assert _runtime_key(kernel_id=1) != _runtime_key(kernel_id=3)
+
+    def test_params_change_key(self):
+        harsh = ScoringParams(match=1, mismatch=-9, linear_gap=-9)
+        assert _runtime_key(params=harsh) != _runtime_key()
+
+    def test_launch_sizing_changes_key(self):
+        """n_pe moves cycle counts, so it must move the key."""
+        assert _runtime_key(n_pe=8) != _runtime_key(n_pe=16)
+        assert _runtime_key(max_len=64) != _runtime_key(max_len=128)
+
+    def test_sequences_change_key(self):
+        key = _runtime_key()
+        base = pair_fingerprint(key, (0, 1), (2, 3))
+        assert pair_fingerprint(key, (0, 2), (2, 3)) != base
+        assert pair_fingerprint(key, (0, 1), (2, 2)) != base
+
+    def test_query_reference_boundary_unambiguous(self):
+        """Moving a symbol across the query/ref boundary changes the key."""
+        key = _runtime_key()
+        assert pair_fingerprint(key, (0, 1), (2,)) != pair_fingerprint(
+            key, (0,), (1, 2)
+        )
+
+    def test_version_constant_feeds_key(self):
+        """FINGERPRINT_VERSION is part of the surface (the invalidation
+        lever for semantics changes the spec surface cannot see)."""
+        assert FINGERPRINT_VERSION >= 1
+        assert fingerprint({"version": FINGERPRINT_VERSION}) != fingerprint(
+            {"version": FINGERPRINT_VERSION + 1}
+        )

@@ -1,0 +1,179 @@
+"""The cache wired through the serving stack (acceptance criteria).
+
+Pins ISSUE 5's service-level contract: with a cache stack on the pool,
+a repeated workload through :class:`ServiceCore` sees a ≥90% hit rate
+on the second pass with responses byte-identical to the cold pass, the
+``fingerprint``/``cached`` attribution reaches clients, the service
+counters and ``metrics_snapshot`` expose the cache, and a restart over
+the same directory warm-starts.  With no cache (the default), nothing
+changes.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig, CacheStack, CachedRuntime
+from repro.host import DeviceRuntime
+from repro.kernels import get_kernel
+from repro.service import (
+    BatcherConfig,
+    DevicePool,
+    InProcClient,
+    ServiceCore,
+    Status,
+)
+from repro.synth import LaunchConfig
+from tests.conftest import mutated_copy, random_dna
+
+KERNEL_IDS = (1, 3)
+
+
+def small_config(**overrides):
+    base = dict(n_pe=8, n_b=4, n_k=1, max_query_len=64, max_ref_len=64)
+    base.update(overrides)
+    return LaunchConfig(**base)
+
+
+def make_workload(n, length=16):
+    out = []
+    for k in range(n):
+        ref = random_dna(length, seed=500 + k)
+        qry = mutated_copy(ref, 900 + k)[:length]
+        out.append((KERNEL_IDS[k % len(KERNEL_IDS)], qry, ref))
+    return out
+
+
+def cached_pool(stack):
+    return DevicePool(
+        [
+            DeviceRuntime(get_kernel(kernel_id), small_config())
+            for kernel_id in KERNEL_IDS
+        ],
+        cache=stack,
+    )
+
+
+def push(core, workload, with_latency=True):
+    """Submit a workload in-proc; returns the responses in order."""
+    client = InProcClient(core)
+    slots = [
+        client.submit(kernel_id, query, reference)
+        for kernel_id, query, reference in workload
+    ]
+    responses = [slot.result(timeout=60.0) for slot in slots]
+    assert all(r.status is Status.OK for r in responses)
+    return responses
+
+
+class TestServiceHitPath:
+    def test_second_pass_hits_and_byte_identity(self):
+        """The headline acceptance run: ≥90% hit rate on the repeat
+        pass, responses byte-identical to the cold pass."""
+        stack = CacheStack(CacheConfig())
+        core = ServiceCore(
+            cached_pool(stack), BatcherConfig(max_batch=8)
+        ).start()
+        try:
+            workload = make_workload(24)
+            cold = push(core, workload)
+            warm = push(core, workload)
+        finally:
+            core.stop()
+        warm_hits = sum(1 for r in warm if r.cached)
+        assert warm_hits / len(warm) >= 0.90
+        for before, after in zip(cold, warm):
+            assert before.to_dict(with_latency=False) == after.to_dict(
+                with_latency=False
+            )
+        counters = core.metrics_snapshot()["counters"]
+        assert counters["cache_hits_total"] >= warm_hits
+        assert counters["cache_misses_total"] >= 1
+
+    def test_fingerprint_and_cached_reach_the_client(self):
+        stack = CacheStack(CacheConfig())
+        core = ServiceCore(
+            cached_pool(stack), BatcherConfig(max_batch=4)
+        ).start()
+        try:
+            workload = make_workload(4)
+            cold = push(core, workload)
+            warm = push(core, workload)
+        finally:
+            core.stop()
+        for response in cold + warm:
+            assert response.fingerprint is not None
+            assert len(response.fingerprint) == 64
+        assert [r.fingerprint for r in cold] == [
+            r.fingerprint for r in warm
+        ]
+        assert not any(r.cached for r in cold)
+        assert all(r.cached for r in warm)
+
+    def test_metrics_snapshot_exposes_cache_stats(self):
+        stack = CacheStack(CacheConfig())
+        core = ServiceCore(
+            cached_pool(stack), BatcherConfig(max_batch=4)
+        ).start()
+        try:
+            push(core, make_workload(4))
+            snapshot = core.metrics_snapshot()
+        finally:
+            core.stop()
+        assert snapshot["cache"]["memory"]["puts"] >= 1
+        assert snapshot["cache"]["disk"] is None
+        assert "singleflight" in snapshot["cache"]
+
+    def test_restart_warm_starts_from_directory(self, tmp_path):
+        workload = make_workload(8)
+        stack = CacheStack(CacheConfig(directory=str(tmp_path)))
+        core = ServiceCore(
+            cached_pool(stack), BatcherConfig(max_batch=8)
+        ).start()
+        try:
+            cold = push(core, workload)
+        finally:
+            core.stop()
+            stack.close()
+        # Fresh stack + fresh pool over the same directory = a restart.
+        stack2 = CacheStack(CacheConfig(directory=str(tmp_path)))
+        core2 = ServiceCore(
+            cached_pool(stack2), BatcherConfig(max_batch=8)
+        ).start()
+        try:
+            warm = push(core2, workload)
+        finally:
+            core2.stop()
+            stack2.close()
+        assert all(r.cached for r in warm)
+        for before, after in zip(cold, warm):
+            assert before.to_dict(with_latency=False) == after.to_dict(
+                with_latency=False
+            )
+        assert stack2.stats()["disk"]["replayed_records"] == 8
+
+
+class TestCacheDisabledDefault:
+    def test_pool_without_cache_is_unwrapped(self):
+        pool = DevicePool([
+            DeviceRuntime(get_kernel(1), small_config())
+        ])
+        assert pool.cache is None
+        assert not isinstance(pool.members[0].runtime, CachedRuntime)
+
+    def test_responses_carry_no_attribution_without_cache(self):
+        pool = DevicePool([
+            DeviceRuntime(get_kernel(1), small_config())
+        ])
+        core = ServiceCore(pool, BatcherConfig(max_batch=4)).start()
+        workload = [
+            (1, qry, ref) for _kernel, qry, ref in make_workload(2)
+        ]
+        try:
+            responses = push(core, workload)
+            snapshot = core.metrics_snapshot()
+        finally:
+            core.stop()
+        for response in responses:
+            assert response.fingerprint is None
+            assert response.cached is None
+        assert "cache" not in snapshot
+        assert "cache_hits_total" not in snapshot["counters"]

@@ -1,0 +1,149 @@
+"""Single-flight dedup: concurrent identical work runs exactly once.
+
+Exercises both API levels of :mod:`repro.cache.singleflight`: the
+closure form (``do``) under an 8-thread stampede, and the split form
+(``begin``/``finish``/``fail``/``wait``) the batch runtime uses.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cache.singleflight import SingleFlight
+
+
+def _spin_until(predicate, deadline_s: float = 30.0):
+    """Busy-wait for ``predicate()`` with a hard deadline (test safety)."""
+    deadline = time.monotonic() + deadline_s
+    while not predicate():
+        if time.monotonic() > deadline:  # pragma: no cover
+            raise AssertionError("condition not reached before deadline")
+        time.sleep(0.001)
+
+
+class TestClosureAPI:
+    def test_eight_thread_stampede_computes_once(self):
+        """8 threads hitting one key: one leader, 7 coalesced followers,
+        all seeing the same value."""
+        flights = SingleFlight()
+        gate = threading.Barrier(8)
+        release = threading.Event()
+        calls = []
+        results = []
+        lock = threading.Lock()
+
+        def compute():
+            calls.append(1)
+            # Hold the flight open until every thread has joined it, so
+            # the test is deterministic rather than racy.
+            release.wait(timeout=30.0)
+            return "value"
+
+        def worker():
+            gate.wait(timeout=30.0)
+            value, coalesced = flights.do("key", compute)
+            with lock:
+                results.append((value, coalesced))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Wait until the 7 followers are parked on the flight.
+        _spin_until(lambda: flights.stats().coalesced >= 7)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["value"] * 8
+        assert sum(1 for _, coalesced in results if coalesced) == 7
+        stats = flights.stats()
+        assert stats.flights == 1
+        assert stats.coalesced == 7
+        assert flights.in_flight() == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flights = SingleFlight()
+        assert flights.do("a", lambda: 1) == (1, False)
+        assert flights.do("b", lambda: 2) == (2, False)
+        assert flights.stats().coalesced == 0
+
+    def test_sequential_calls_rerun(self):
+        """Results are not retained: a settled key starts a new flight."""
+        flights = SingleFlight()
+        counter = []
+        for _ in range(3):
+            flights.do("k", lambda: counter.append(1))
+        assert len(counter) == 3
+        assert flights.stats().flights == 3
+
+    def test_leader_exception_reaches_all_followers(self):
+        flights = SingleFlight()
+        gate = threading.Barrier(4)
+        release = threading.Event()
+        failures = []
+        lock = threading.Lock()
+
+        def explode():
+            release.wait(timeout=30.0)
+            raise ValueError("engine fault")
+
+        def worker():
+            gate.wait(timeout=30.0)
+            try:
+                flights.do("key", explode)
+            except ValueError as exc:
+                with lock:
+                    failures.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        _spin_until(lambda: flights.stats().coalesced >= 3)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert failures == ["engine fault"] * 4
+        assert flights.in_flight() == 0
+
+
+class TestSplitAPI:
+    def test_one_thread_leads_many_flights(self):
+        """The batch runtime's shape: lead N keys, settle them in bulk."""
+        flights = SingleFlight()
+        led = {}
+        for key in ("a", "b", "c"):
+            flight, leader = flights.begin(key)
+            assert leader
+            led[key] = flight
+        assert flights.in_flight() == 3
+        for key, flight in led.items():
+            flights.finish(flight, key.upper())
+        assert flights.in_flight() == 0
+        for key, flight in led.items():
+            assert flights.wait(flight) == key.upper()
+
+    def test_follower_joins_open_flight(self):
+        flights = SingleFlight()
+        flight, leader = flights.begin("k")
+        assert leader
+        joined, second_leader = flights.begin("k")
+        assert joined is flight
+        assert not second_leader
+        assert flight.followers == 1
+        flights.finish(flight, 42)
+        assert flights.wait(joined) == 42
+
+    def test_fail_re_raises_in_wait(self):
+        flights = SingleFlight()
+        flight, _ = flights.begin("k")
+        flights.fail(flight, RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            flights.wait(flight)
+
+    def test_wait_timeout_on_unsettled_flight(self):
+        flights = SingleFlight()
+        flight, _ = flights.begin("k")
+        with pytest.raises(TimeoutError, match="unsettled"):
+            flights.wait(flight, timeout=0.01)
+        flights.finish(flight, None)  # settle so nothing leaks

@@ -178,3 +178,31 @@ class TestValidation:
 
     def test_default_workers_positive(self):
         assert ParallelExecutor().workers >= 1
+
+
+class TestBatchErrorTraceback:
+    def test_worker_traceback_text_survives_reraise(self):
+        """The BatchError message must carry the worker-side traceback —
+        the original raise site, not just the exception repr — so a
+        failure inside a pooled work function stays debuggable."""
+        result = run_batch(_poison_13, [1, 13, 2], workers=2, chunk_size=1)
+        with pytest.raises(BatchError) as excinfo:
+            result.values()
+        message = str(excinfo.value)
+        assert "poisoned item" in message
+        assert "worker traceback of item 1" in message
+        assert "Traceback (most recent call last)" in message
+        assert "_poison_13" in message  # the actual raising frame
+
+    def test_serial_path_traceback_preserved_too(self):
+        result = run_batch(_poison_13, [13], workers=1)
+        with pytest.raises(BatchError, match="in _poison_13"):
+            result.values()
+
+    def test_no_traceback_degrades_gracefully(self):
+        from repro.parallel import WorkError
+
+        error = WorkError(0, "ValueError", "no tb captured")
+        message = str(BatchError([error]))
+        assert "worker traceback" not in message
+        assert "1 work item(s) failed" in message

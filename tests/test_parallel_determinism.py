@@ -23,10 +23,13 @@ class TestCorpusDeterminism:
 
         If this digest moves, recorded fuzz reproducers from earlier runs
         no longer regenerate — bump it only with a changelog entry.
+        (Bumped when the corpus became keyed by repro.cache fingerprints;
+        see CHANGES.md PR 4.  Case *generation* was untouched — the same
+        seed still yields the same sequences.)
         """
         corpus = make_corpus(kernels=(1,), cases_per_kernel=3, seed=0, max_len=8)
         assert corpus_digest(corpus) == (
-            "2041dfdc83d5b4c0b53f4985d8eccdee44b4245b4251a2bd8417db026856be58"
+            "5fdb0a3dff874797fc0cfca42209ac53bfe0651c7949bebad81b4f6103751e9d"
         )
 
 

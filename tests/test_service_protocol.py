@@ -128,3 +128,63 @@ class TestResponseRoundTrip:
         line = encode_line({"b": 1, "a": 2})
         assert line == b'{"a":2,"b":1}\n'
         assert json.loads(line) == {"a": 2, "b": 1}
+
+
+class TestCacheAttribution:
+    """The optional fingerprint/cached response fields (ISSUE 5)."""
+
+    def _response(self, **overrides):
+        base = dict(
+            request_id="r", status=Status.OK, score=1.0, cigar="1M",
+            start=(1, 1), end=(0, 0), cycles=5, latency_ms=2.0,
+            fingerprint="ab" * 32, cached=True,
+        )
+        base.update(overrides)
+        return AlignResponse(**base)
+
+    def test_round_trip_with_attribution(self):
+        response = self._response()
+        parsed = AlignResponse.from_dict(response.to_dict())
+        assert parsed == response
+        assert parsed.fingerprint == "ab" * 32
+        assert parsed.cached is True
+
+    def test_absent_fields_stay_off_the_wire(self):
+        payload = AlignResponse(
+            request_id="r", status=Status.OK, score=1.0, cigar="1M",
+            start=(1, 1), end=(0, 0), cycles=5,
+        ).to_dict()
+        assert "fingerprint" not in payload
+        assert "cached" not in payload
+
+    def test_fingerprint_survives_deterministic_form(self):
+        """The fingerprint is a pure function of the request, so it
+        belongs in the byte-identity payload."""
+        payload = self._response().to_dict(with_latency=False)
+        assert payload["fingerprint"] == "ab" * 32
+
+    def test_cached_flag_is_execution_dependent(self):
+        """``cached`` varies between identical requests (cold vs warm),
+        so — like latency — it must not break byte-identity."""
+        cold = self._response(cached=False, latency_ms=9.0)
+        warm = self._response(cached=True, latency_ms=0.1)
+        assert cold.to_line(with_latency=False) == warm.to_line(
+            with_latency=False
+        )
+        assert cold.to_line() != warm.to_line()
+
+    def test_cached_false_still_travels_in_full_form(self):
+        payload = self._response(cached=False).to_dict()
+        assert payload["cached"] is False
+
+    def test_response_from_result_threads_attribution(self):
+        from repro.core.alphabet import encode_dna
+        from repro.kernels import get_kernel
+        from repro.systolic import align
+
+        result = align(get_kernel(1), encode_dna("ACGT"), encode_dna("ACGT"))
+        response = response_from_result(
+            "rq", result, fingerprint="f" * 64, cached=True
+        )
+        assert response.fingerprint == "f" * 64
+        assert response.cached is True
