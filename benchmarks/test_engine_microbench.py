@@ -1,18 +1,31 @@
 """Micro-benchmarks of the simulator itself (not a paper figure).
 
-Measures the functional systolic engine's cell-update rate and the
-row-major oracle for comparison — useful when sizing functional
-verification campaigns (the paper's C-simulation step).
+Measures the functional systolic engine's and the compiled wavefront
+backend's cell-update rates — useful when sizing functional verification
+campaigns (the paper's C-simulation step) and the evidence behind
+serving on the compiled backend.  Besides the rendered table this writes
+``BENCH_engine.json`` at the repo root: machine-readable cells/sec per
+backend, the speedup ratio and p50/p95 per-pair latency, validated by
+the ``smoke-compiled`` CI job.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.backend import compiled_align
 from repro.kernels import get_kernel
 from repro.reference import oracle_align
 from repro.systolic import align
 from tests.conftest import mutated_copy, random_dna
 
+from .conftest import emit
+
 LENGTH = 96
+BENCH_LENGTH = 256
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="module")
@@ -27,6 +40,14 @@ def test_systolic_engine_speed(benchmark, dna_pair, kid):
     spec = get_kernel(kid)
     query, reference = dna_pair
     result = benchmark(align, spec, query, reference, n_pe=16)
+    assert result.score is not None
+
+
+@pytest.mark.parametrize("kid", (1, 2, 5))
+def test_compiled_backend_speed(benchmark, dna_pair, kid):
+    spec = get_kernel(kid)
+    query, reference = dna_pair
+    result = benchmark(compiled_align, spec, query, reference, n_pe=16)
     assert result.score is not None
 
 
@@ -45,3 +66,74 @@ def test_synthesis_flow_speed(benchmark):
         synthesize, get_kernel(2), LaunchConfig(n_pe=32, n_b=16, n_k=4)
     )
     assert report.feasible
+
+
+def _time_backend(fn, spec, query, reference, reps):
+    """Per-pair wall-clock samples (seconds) for one backend."""
+    fn(spec, query, reference, n_pe=16)  # warm-up (compile, allocations)
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn(spec, query, reference, n_pe=16)
+        samples.append(time.perf_counter() - t0)
+        assert result.score is not None
+    return sorted(samples)
+
+
+def _percentile(sorted_samples, q):
+    index = min(len(sorted_samples) - 1,
+                round(q / 100 * (len(sorted_samples) - 1)))
+    return sorted_samples[index]
+
+
+def test_backend_speedup_writes_bench_json():
+    """Head-to-head cells/sec and the committed BENCH_engine.json."""
+    spec = get_kernel(1)
+    reference = random_dna(BENCH_LENGTH, seed=11)
+    query = mutated_copy(reference, seed=12)[:BENCH_LENGTH]
+    cells = len(query) * len(reference)
+
+    systolic = _time_backend(align, spec, query, reference, reps=3)
+    compiled = _time_backend(compiled_align, spec, query, reference, reps=20)
+
+    def stats(samples):
+        p50 = _percentile(samples, 50)
+        return {
+            "reps": len(samples),
+            "cells_per_sec": cells / p50,
+            "p50_ms": p50 * 1e3,
+            "p95_ms": _percentile(samples, 95) * 1e3,
+        }
+
+    doc = {
+        "schema": "bench-engine/v1",
+        "kernel": spec.name,
+        "query_len": len(query),
+        "ref_len": len(reference),
+        "cells_per_pair": cells,
+        "n_pe": 16,
+        "backends": {
+            "systolic": stats(systolic),
+            "compiled": stats(compiled),
+        },
+    }
+    doc["speedup"] = (
+        doc["backends"]["compiled"]["cells_per_sec"]
+        / doc["backends"]["systolic"]["cells_per_sec"]
+    )
+    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    lines = [f"engine microbench — {spec.name}, "
+             f"{len(query)}x{len(reference)} cells, n_pe=16"]
+    for name in ("systolic", "compiled"):
+        s = doc["backends"][name]
+        lines.append(
+            f"  {name:>8}: {s['cells_per_sec']:,.0f} cells/s  "
+            f"p50 {s['p50_ms']:.2f} ms  p95 {s['p95_ms']:.2f} ms"
+        )
+    lines.append(f"  speedup: {doc['speedup']:.1f}x")
+    emit("engine_microbench", "\n".join(lines))
+
+    # the acceptance bar is 10x; assert conservatively so a loaded CI
+    # machine does not flake the build
+    assert doc["speedup"] >= 5.0

@@ -1,0 +1,303 @@
+"""Anti-diagonal sweep driving a compiled PE function.
+
+``compiled_align`` is a drop-in replacement for
+:func:`repro.systolic.engine.align`: same signature, same validation
+errors, same :class:`~repro.core.result.AlignmentResult` — including a
+bit-identical :class:`~repro.core.result.CycleReport`, reconstructed
+from the closed-form chunk schedule instead of simulated cycle by
+cycle.  The only difference is speed: every anti-diagonal of the DP
+matrix is evaluated as one NumPy expression over the whole wavefront
+(the idiom of :mod:`repro.reference.vectorized`, generated from the
+spec by :mod:`repro.backend.compiler`).
+
+Bit-identity notes (enforced by ``repro.verify_fuzz``'s three-way
+differential and ``tests/test_backend_equivalence.py``):
+
+* cell (i, j) on diagonal ``d = i + j`` depends only on diagonals
+  ``d-1`` (up/left) and ``d-2`` (diag), so a single working matrix
+  written in ``d`` order always reads finished values;
+* banding is applied by *storage* masking: out-of-band cells — and
+  init row/column cells beyond the band — hold the sentinel, which is
+  exactly what the engine's boundary muxes and the oracle's
+  ``neighbour()`` return for out-of-band coordinate reads;
+* the start-cell search restricts ``argmax``/``argmin`` to a computed
+  mask; NumPy's first-occurrence tie rule on the row-major flattened
+  matrix equals the engine's smallest-(i, j) tie break;
+* quantization uses the score type's ``quantize_array``, bit-identical
+  to the scalar ``quantize`` applied per cell.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.compiler import lower, runtime_params
+from repro.core.result import AlignmentResult, CycleReport
+from repro.core.spec import KernelSpec, Objective, StartRule
+from repro.obs.recorder import Recorder, get_recorder
+from repro.systolic.engine import (
+    INTERFACE_CYCLES_PER_BASE,
+    TRACEBACK_SETUP_CYCLES,
+    SystolicAlignmentError,
+    check_corner,
+    validate_pair,
+)
+from repro.systolic.schedule import chunk_schedules
+from repro.systolic.traceback import TracebackError, walk_traceback
+
+
+class _DensePointerStore:
+    """Dense pointer matrix behind the traceback walker's read API.
+
+    Unwritten cells read as 0, matching both the oracle's zero-filled
+    pointer matrix and the engine's zero-initialised banked memory.
+    """
+
+    def __init__(self, ptrs: np.ndarray):
+        self._ptrs = ptrs
+
+    def read(self, i: int, j: int) -> int:
+        return int(self._ptrs[i, j])
+
+
+def _symbol_operands(spec: KernelSpec, sequence: Sequence[Any]) -> Any:
+    alphabet = spec.alphabet
+    if alphabet.is_struct:
+        return tuple(
+            np.asarray([symbol[k] for symbol in sequence], dtype=np.float64)
+            for k in range(len(alphabet.fields))
+        )
+    if alphabet.size:
+        return np.asarray(sequence, dtype=np.intp)
+    return np.asarray(sequence, dtype=np.float64)
+
+
+def _take(symbols: Any, idx: np.ndarray) -> Any:
+    if isinstance(symbols, tuple):
+        return tuple(field[idx] for field in symbols)
+    return symbols[idx]
+
+
+def compiled_align(
+    spec: KernelSpec,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    params: Any = None,
+    n_pe: int = 32,
+    ii: int = 1,
+    max_query_len: Optional[int] = None,
+    max_ref_len: Optional[int] = None,
+    collect_matrix: bool = False,
+    model_interface: bool = True,
+) -> AlignmentResult:
+    """Align one pair with the compiled wavefront backend.
+
+    Accepts exactly the arguments of :func:`repro.systolic.engine.align`
+    (``n_pe``/``ii`` only shape the reported cycle model here — the
+    NumPy sweep has no PEs) and returns a bit-identical result.
+    """
+    recorder = get_recorder()
+    if not recorder.enabled:
+        return _align_impl(
+            spec, query, reference, params, n_pe, ii, max_query_len,
+            max_ref_len, collect_matrix, model_interface, recorder,
+        )
+    with recorder.span(
+        "engine.align", kernel=spec.name, query_len=len(query),
+        ref_len=len(reference), n_pe=n_pe, ii=ii, backend="compiled",
+    ):
+        return _align_impl(
+            spec, query, reference, params, n_pe, ii, max_query_len,
+            max_ref_len, collect_matrix, model_interface, recorder,
+        )
+
+
+def _align_impl(
+    spec: KernelSpec,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    params: Any,
+    n_pe: int,
+    ii: int,
+    max_query_len: Optional[int],
+    max_ref_len: Optional[int],
+    collect_matrix: bool,
+    model_interface: bool,
+    recorder: Recorder,
+) -> AlignmentResult:
+    n_rows, n_cols = len(query), len(reference)
+    max_q = max_query_len if max_query_len is not None else n_rows
+    max_r = max_ref_len if max_ref_len is not None else n_cols
+    validate_pair(spec, query, reference, max_q, max_r)
+    if params is None:
+        params = spec.default_params
+
+    n_layers = spec.n_layers
+    sentinel = spec.sentinel()
+    banding = spec.banding
+    score_layer = spec.score_layer
+
+    row0 = spec.init_row_scores(params, n_cols + 1)
+    col0 = spec.init_col_scores(params, n_rows + 1)
+    check_corner(spec, row0, col0)
+
+    compiled = lower(spec, params)
+    scalars, tables = runtime_params(params)
+    q_syms = _symbol_operands(spec, query)
+    r_syms = _symbol_operands(spec, reference)
+    quantize_array = spec.score_type.quantize_array
+
+    # Working matrices: float64 everywhere (exact for the <= 32-bit score
+    # types), out-of-band cells pinned at the sentinel so neighbour reads
+    # need no masking of their own.
+    work = np.full(
+        (n_layers, n_rows + 1, n_cols + 1), float(sentinel), dtype=np.float64
+    )
+    work[:, 0, :] = row0.T
+    work[:, :, 0] = col0.T
+    if banding is not None:
+        cols = np.arange(n_cols + 1)
+        rows = np.arange(n_rows + 1)
+        work[:, 0, cols > banding] = float(sentinel)
+        work[:, rows > banding, 0] = float(sentinel)
+
+    ptrs: Optional[np.ndarray] = None
+    if spec.has_traceback:
+        ptrs = np.zeros((n_rows + 1, n_cols + 1), dtype=np.int64)
+    computed = np.zeros((n_rows + 1, n_cols + 1), dtype=bool)
+
+    pe = compiled.fn
+    cells_evaluated = 0
+    for d in range(2, n_rows + n_cols + 1):
+        ilo = max(1, d - n_cols)
+        ihi = min(n_rows, d - 1)
+        if banding is not None:
+            # |i - (d - i)| <= W  <=>  (d - W) / 2 <= i <= (d + W) / 2
+            ilo = max(ilo, (d - banding + 1) // 2)
+            ihi = min(ihi, (d + banding) // 2)
+        if ilo > ihi:
+            continue
+        i = np.arange(ilo, ihi + 1)
+        j = d - i
+        up = tuple(work[k, i - 1, j] for k in range(n_layers))
+        diag = tuple(work[k, i - 1, j - 1] for k in range(n_layers))
+        left = tuple(work[k, i, j - 1] for k in range(n_layers))
+        scores, ptr = pe(
+            up, diag, left, _take(q_syms, i - 1), _take(r_syms, j - 1),
+            scalars, tables,
+        )
+        for k in range(n_layers):
+            out_k = np.broadcast_to(
+                np.asarray(scores[k], dtype=np.float64), i.shape
+            )
+            work[k, i, j] = quantize_array(out_k)
+        if ptrs is not None:
+            ptrs[i, j] = np.broadcast_to(np.asarray(ptr), i.shape)
+        computed[i, j] = True
+        cells_evaluated += len(i)
+
+    # ------------------------------------------------------------------
+    # locate the reported score / traceback start cell
+    # ------------------------------------------------------------------
+    if spec.start_rule is StartRule.BOTTOM_RIGHT:
+        if not computed[n_rows, n_cols]:
+            raise SystolicAlignmentError(
+                f"{spec.name}: bottom-right cell was never computed"
+            )
+        raw_score = work[score_layer, n_rows, n_cols]
+        start = (n_rows, n_cols)
+    else:
+        eligible = computed.copy()
+        if spec.start_rule is StartRule.LAST_ROW_MAX:
+            eligible[:n_rows, :] = False
+        elif spec.start_rule is StartRule.LAST_ROW_OR_COL_MAX:
+            edge = np.zeros_like(eligible)
+            edge[n_rows, :] = True
+            edge[:, n_cols] = True
+            eligible &= edge
+        if not eligible.any():
+            raise TracebackError(
+                f"{spec.name}: no cell satisfied start rule "
+                f"{spec.start_rule.value}"
+            )
+        layer = work[score_layer]
+        if spec.objective is Objective.MAXIMIZE:
+            flat = int(np.argmax(np.where(eligible, layer, -np.inf)))
+        else:
+            flat = int(np.argmin(np.where(eligible, layer, np.inf)))
+        si, sj = divmod(flat, n_cols + 1)
+        raw_score = layer[si, sj]
+        start = (si, sj)
+    # Restore the scalar engine's score type (Python int for ap_int
+    # kernels, float for ap_fixed) — quantize is idempotent on already
+    # quantized values.
+    score = spec.quantize(float(raw_score))
+
+    alignment = None
+    traceback_cycles = 0
+    if ptrs is not None:
+        if recorder.enabled:
+            with recorder.span(
+                "engine.traceback", start_row=start[0], start_col=start[1]
+            ):
+                alignment = walk_traceback(spec, _DensePointerStore(ptrs), start)
+        else:
+            alignment = walk_traceback(spec, _DensePointerStore(ptrs), start)
+        traceback_cycles = alignment.aligned_length + TRACEBACK_SETUP_CYCLES
+
+    # ------------------------------------------------------------------
+    # cycle model: reconstructed from the chunk schedule in closed form —
+    # the same arithmetic the systolic engine accumulates while running.
+    # ------------------------------------------------------------------
+    chunks = chunk_schedules(n_rows, n_cols, n_pe, banding)
+    total_wavefronts = sum(len(chunk.wavefronts) for chunk in chunks)
+    if spec.start_rule is StartRule.BOTTOM_RIGHT:
+        reduction_cycles = 0
+    else:
+        reduction_cycles = max(1, math.ceil(math.log2(max(2, n_pe)))) + 2
+    cycles = CycleReport(
+        init_cycles=(n_cols + 1) + (n_rows + 1),
+        load_cycles=n_rows,
+        compute_cycles=total_wavefronts * ii,
+        reduction_cycles=reduction_cycles,
+        traceback_cycles=traceback_cycles,
+        interface_cycles=(
+            INTERFACE_CYCLES_PER_BASE * (n_rows + n_cols)
+            if model_interface else 0
+        ),
+        wavefronts=total_wavefronts,
+        ii=ii,
+    )
+
+    if recorder.enabled:
+        recorder.count("engine.alignments")
+        recorder.count("engine.wavefronts", total_wavefronts)
+        recorder.count("engine.cells", cells_evaluated)
+        recorder.count("engine.cells_total{backend=compiled}", cells_evaluated)
+
+    matrix: Optional[np.ndarray] = None
+    if collect_matrix:
+        # Same construction as the engine/oracle: dtype inferred from the
+        # sentinel (int64 for ap_int kernels), init row/col *unmasked*.
+        matrix = np.full((n_layers, n_rows + 1, n_cols + 1), sentinel)
+        matrix[:, 0, :] = row0.T
+        matrix[:, :, 0] = col0.T
+        for k in range(n_layers):
+            matrix[k][computed] = work[k][computed].astype(matrix.dtype)
+
+    if alignment is not None:
+        end = (alignment.query_start, alignment.ref_start)
+    else:
+        end = (0, 0)
+    return AlignmentResult(
+        score=score,
+        start=start,
+        end=end,
+        alignment=alignment,
+        cycles=cycles,
+        matrix=matrix,
+    )

@@ -305,6 +305,16 @@ class CachedRuntime:
         """The wrapped runtime's synthesis report."""
         return self.runtime.report
 
+    @property
+    def backend(self):
+        """The wrapped runtime's alignment backend.
+
+        Deliberately absent from :attr:`runtime_key`: backends are
+        bit-identical, so a cache warmed by one backend must hit from
+        the other.
+        """
+        return self.runtime.backend
+
     def pair_key(self, query: Sequence[Any], reference: Sequence[Any]) -> str:
         """Content-addressed key of one pair on this runtime."""
         return pair_fingerprint(self.runtime_key, query, reference)

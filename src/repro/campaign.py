@@ -119,11 +119,14 @@ def run_campaign(
     seed: int = 0,
     atol: float = 1e-2,
     workers: int = 1,
+    backend: str = "systolic",
 ) -> CampaignReport:
     """Run a two-tier verification campaign for one kernel.
 
     ``workers`` parallelizes the broad tier across pairs; the report is
-    identical whatever the worker count.
+    identical whatever the worker count.  ``backend`` selects which
+    engine the deep tier runs the sample through (the broad tier is
+    oracle-vs-textbook and backend-independent).
     """
     if n_pairs < 1:
         raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
@@ -143,7 +146,7 @@ def run_campaign(
     )
     _fill_broad_tier(report, pairs, scored.outcomes, atol)
     sample = pairs[: report.engine_sample]
-    verification = verify_kernel(spec, sample, n_pe_values=(4,))
+    verification = verify_kernel(spec, sample, n_pe_values=(4,), backend=backend)
     report.engine_passed = verification.passed
     return report
 
@@ -179,6 +182,7 @@ def run_full_campaign(
     seed: int = 0,
     atol: float = 1e-2,
     workers: int = 1,
+    backend: str = "systolic",
 ) -> FullCampaignReport:
     """Campaign every kernel, fanning kernel×pair items over one pool.
 
@@ -210,6 +214,8 @@ def run_full_campaign(
             report, all_pairs[kid], scored.outcomes[start:stop], atol
         )
         sample = all_pairs[kid][: report.engine_sample]
-        verification = verify_kernel(get_kernel(kid), sample, n_pe_values=(4,))
+        verification = verify_kernel(
+            get_kernel(kid), sample, n_pe_values=(4,), backend=backend
+        )
         report.engine_passed = verification.passed
     return full

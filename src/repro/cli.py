@@ -143,6 +143,7 @@ def cmd_campaign(args) -> int:
         full = run_full_campaign(
             n_pairs=args.pairs, engine_sample=args.engine_sample,
             max_length=args.length, seed=args.seed, workers=args.workers,
+            backend=args.backend,
         )
         print(full.summary())
         return 0 if full.passed else 1
@@ -150,6 +151,7 @@ def cmd_campaign(args) -> int:
     report = run_campaign(
         spec.kernel_id, n_pairs=args.pairs, engine_sample=args.engine_sample,
         max_length=args.length, seed=args.seed, workers=args.workers,
+        backend=args.backend,
     )
     print(report.summary())
     return 0 if report.passed else 1
@@ -177,7 +179,7 @@ def cmd_fuzz(args) -> int:
 
 
 def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int,
-                  cache=None):
+                  cache=None, backend: str = "systolic"):
     """Build a :class:`DevicePool` serving the requested kernels."""
     from repro.host import DeviceRuntime
     from repro.service import DevicePool
@@ -197,6 +199,7 @@ def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int,
                     n_pe=n_pe, n_b=n_b, n_k=1,
                     max_query_len=max_len, max_ref_len=max_len,
                 ),
+                backend=backend,
             ))
     return DevicePool(runtimes, cache=cache)
 
@@ -239,7 +242,7 @@ def cmd_serve(args) -> int:
     kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
     pool = _service_pool(
         kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
-        cache=_cache_stack(args),
+        cache=_cache_stack(args), backend=args.backend,
     )
     core = ServiceCore(pool, BatcherConfig(
         max_batch=args.max_batch,
@@ -287,7 +290,7 @@ def cmd_loadgen(args) -> int:
     if args.in_proc:
         pool = _service_pool(
             kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
-            cache=_cache_stack(args),
+            cache=_cache_stack(args), backend=args.backend,
         )
         core = ServiceCore(pool, BatcherConfig(
             max_batch=args.max_batch,
@@ -559,6 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help="process-pool width for the broad tier")
+    p.add_argument("--backend", choices=("systolic", "compiled"),
+                   default="systolic",
+                   help="engine the deep-tier sample runs through")
 
     p = sub.add_parser(
         "fuzz",
@@ -595,6 +601,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable the content-addressed cache, persisted here")
     p.add_argument("--cache-mem-mb", type=float, default=64.0,
                    help="in-memory cache tier budget (MiB)")
+    p.add_argument("--backend", choices=("systolic", "compiled"),
+                   default="systolic",
+                   help="alignment engine backing every runtime")
 
     p = sub.add_parser(
         "loadgen", help="drive open-loop Poisson load against a service"
@@ -624,6 +633,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="enable the content-addressed cache (in-proc only)")
     p.add_argument("--cache-mem-mb", type=float, default=64.0)
+    p.add_argument("--backend", choices=("systolic", "compiled"),
+                   default="systolic",
+                   help="alignment engine backing the in-proc service")
 
     p = sub.add_parser(
         "cache",

@@ -1,0 +1,226 @@
+"""Expression tracing — the third execution mode of ``PE_func``.
+
+:mod:`repro.core.ops` runs kernel recurrences in two modes: functional
+simulation (plain numbers) and datapath tracing
+(:class:`~repro.core.trace.TracedValue`, which records operator *statistics*
+for the synthesis models but deliberately forgets dataflow).  The compiled
+wavefront backend (:mod:`repro.backend`) needs the dataflow itself: which
+operator feeds which, all the way from the PE inputs to the per-layer
+scores and the packed traceback pointer.
+
+:class:`ExprValue` is that third operand kind.  Every arithmetic operator,
+comparison and :mod:`~repro.core.ops` helper applied to one builds a
+:class:`Node` in a shared expression DAG instead of computing a number.
+Running ``pe_func`` once over ``ExprValue`` inputs therefore yields a
+complete, closed-form description of the recurrence, which
+:mod:`repro.backend.compiler` lowers to a vectorized NumPy function
+operating on whole anti-diagonals.
+
+The same rules as datapath tracing apply: kernels must not branch on data
+(``__bool__`` raises), must use :func:`~repro.core.ops.select` instead of
+``if``, and :func:`~repro.core.ops.eq` instead of ``==``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+#: Node operators understood by the backend emitter.  ``in`` nodes carry a
+#: source string (``up[0]``, ``qry``, ``p['match']``, ...); ``gather`` nodes
+#: index a parameter table with const/int or symbol operands.
+_BINOPS = ("add", "sub", "mul", "lt", "le", "gt", "ge", "eq",
+           "maximum", "minimum")
+_UNOPS = ("abs", "neg")
+
+
+class ExprError(TypeError):
+    """An operation the compiled backend cannot lower."""
+
+
+class Node:
+    """One operator (or leaf) of a traced PE expression DAG.
+
+    Nodes are identity-hashed: the emitter assigns one NumPy statement per
+    distinct node, so values reused by the recurrence (the running ``best``
+    of a compare-select cascade, say) are computed exactly once — the DAG
+    *is* the common-subexpression structure.
+    """
+
+    __slots__ = ("op", "args", "source")
+
+    def __init__(self, op: str, args: Tuple[Any, ...] = (),
+                 source: Optional[str] = None):
+        self.op = op
+        self.args = args
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.op == "in":
+            return f"Node(in:{self.source})"
+        if self.op == "const":
+            return f"Node(const:{self.args[0]!r})"
+        return f"Node({self.op}, {len(self.args)} args)"
+
+
+def const(value: Any) -> Node:
+    """A literal operand (gap penalties folded into the recurrence, tags)."""
+    if not isinstance(value, (int, float, bool)):
+        raise ExprError(
+            f"cannot lower constant of type {type(value).__name__!r}; "
+            f"PE functions may only mix expressions with plain numbers"
+        )
+    return Node("const", (value,))
+
+
+def as_node(value: Any) -> Node:
+    """Coerce an operand (ExprValue or plain number) to a DAG node."""
+    if isinstance(value, ExprValue):
+        return value.node
+    return const(value)
+
+
+class ExprValue:
+    """A symbolic scalar flowing through ``PE_func`` during expr tracing."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # -- construction helpers -----------------------------------------
+
+    @classmethod
+    def input(cls, source: str) -> "ExprValue":
+        """A PE input leaf (``up[0]``, ``qry``, ``p['match']``, ...)."""
+        return cls(Node("in", (), source=source))
+
+    def _bin(self, op: str, other: Any, reflected: bool = False) -> "ExprValue":
+        a, b = as_node(other if reflected else self), None
+        if reflected:
+            b = self.node
+        else:
+            b = as_node(other)
+        return ExprValue(Node(op, (a, b)))
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: Any) -> "ExprValue":
+        return self._bin("add", other)
+
+    def __radd__(self, other: Any) -> "ExprValue":
+        return self._bin("add", other, reflected=True)
+
+    def __sub__(self, other: Any) -> "ExprValue":
+        return self._bin("sub", other)
+
+    def __rsub__(self, other: Any) -> "ExprValue":
+        return self._bin("sub", other, reflected=True)
+
+    def __mul__(self, other: Any) -> "ExprValue":
+        return self._bin("mul", other)
+
+    def __rmul__(self, other: Any) -> "ExprValue":
+        return self._bin("mul", other, reflected=True)
+
+    def __neg__(self) -> "ExprValue":
+        return ExprValue(Node("neg", (self.node,)))
+
+    def __abs__(self) -> "ExprValue":
+        return ExprValue(Node("abs", (self.node,)))
+
+    # -- comparisons (strict semantics match the scalar engine) --------
+
+    def __lt__(self, other: Any) -> "ExprValue":
+        return self._bin("lt", other)
+
+    def __le__(self, other: Any) -> "ExprValue":
+        return self._bin("le", other)
+
+    def __gt__(self, other: Any) -> "ExprValue":
+        return self._bin("gt", other)
+
+    def __ge__(self, other: Any) -> "ExprValue":
+        return self._bin("ge", other)
+
+    # NOTE: __eq__ is deliberately *not* overloaded.  Kernels must use
+    # ops.eq() for symbol equality; leaving the default identity semantics
+    # keeps ExprValue hashable and catches accidental `==` on data.
+
+    def __bool__(self) -> bool:
+        raise ExprError(
+            "PE functions must not branch on data values; use "
+            "repro.core.ops.select instead of if/and/or"
+        )
+
+
+def select_expr(cond: Any, if_true: Any, if_false: Any) -> ExprValue:
+    """Multiplexer node (``np.where`` after lowering)."""
+    return ExprValue(Node("where", (as_node(cond), as_node(if_true),
+                                    as_node(if_false))))
+
+
+def fold_expr(values: Tuple[Any, ...], op: str) -> ExprValue:
+    """Chained binary max/min — value-equivalent to Python max()/min()."""
+    result = as_node(values[0])
+    for value in values[1:]:
+        result = Node(op, (result, as_node(value)))
+    return ExprValue(result)
+
+
+def abs_expr(value: Any) -> ExprValue:
+    """Absolute-value node (``np.abs`` after lowering)."""
+    return ExprValue(Node("abs", (as_node(value),)))
+
+
+def eq_expr(a: Any, b: Any) -> ExprValue:
+    """Symbol-equality node (elementwise ``==`` after lowering)."""
+    return ExprValue(Node("eq", (as_node(a), as_node(b))))
+
+
+class ExprTable:
+    """A parameter table (ROM) being indexed during expr tracing.
+
+    Supports the partial-indexing protocol :func:`repro.core.ops.lookup`
+    uses (``table[i0][i1]...``): each ``__getitem__`` consumes one
+    dimension; once every dimension is indexed the result collapses to an
+    :class:`ExprValue` gather node.  Runtime indices must be input symbols
+    or constants — arbitrary computed indices are outside the supported
+    spec surface (see docs/backends.md).
+    """
+
+    __slots__ = ("name", "shape", "indices")
+
+    def __init__(self, name: str, shape: Tuple[int, ...],
+                 indices: Tuple[Any, ...] = ()):
+        self.name = name
+        self.shape = shape
+        self.indices = indices
+
+    def __len__(self) -> int:
+        return self.shape[len(self.indices)]
+
+    def __getitem__(self, index: Any) -> Any:
+        if isinstance(index, ExprValue):
+            node = index.node
+            if node.op not in ("in", "const"):
+                raise ExprError(
+                    f"table {self.name!r} indexed by a computed expression; "
+                    f"the compiled backend only supports symbol or constant "
+                    f"table indices"
+                )
+            idx = node
+        elif isinstance(index, (int, bool)):
+            idx = const(int(index))
+        else:
+            raise ExprError(
+                f"table {self.name!r} indexed by {type(index).__name__!r}"
+            )
+        consumed = self.indices + (idx,)
+        if len(consumed) == len(self.shape):
+            return ExprValue(Node("gather", consumed, source=self.name))
+        return ExprTable(self.name, self.shape, consumed)
+
+
+def is_expr(*values: Any) -> bool:
+    """Whether any operand is part of an expression trace."""
+    return any(isinstance(v, (ExprValue, ExprTable)) for v in values)

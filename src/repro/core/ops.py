@@ -1,6 +1,6 @@
-"""Dual-mode operator helpers available inside ``PE_func``.
+"""Multi-mode operator helpers available inside ``PE_func``.
 
-Kernel recurrences are written once and executed in two modes:
+Kernel recurrences are written once and executed in three modes:
 
 * **functional simulation** — operands are plain Python numbers; the helpers
   behave like ordinary ``max``/``min``/ternary/abs/table-indexing.
@@ -8,6 +8,9 @@ Kernel recurrences are written once and executed in two modes:
   the helpers record the corresponding hardware operators (comparators,
   multiplexers, ROM ports) into the active
   :class:`~repro.core.trace.DatapathGraph`.
+* **expression tracing** — operands are :class:`repro.core.expr.ExprValue`;
+  the helpers build the dataflow DAG the compiled wavefront backend
+  (:mod:`repro.backend`) lowers to vectorized NumPy.
 
 Kernels must use :func:`select` instead of ``if``/ternary expressions on data
 values and :func:`eq` instead of ``==`` on symbols, mirroring how HLS code
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.core import expr as _expr
 from repro.core.trace import OpKind, TracedTable, TracedValue
 
 
@@ -35,6 +39,8 @@ def _is_traced(*values: Any) -> bool:
 
 def select(cond: Any, if_true: Any, if_false: Any) -> Any:
     """Hardware multiplexer: ``if_true`` when ``cond`` else ``if_false``."""
+    if _expr.is_expr(cond, if_true, if_false):
+        return _expr.select_expr(cond, if_true, if_false)
     if _is_traced(cond, if_true, if_false):
         probe = _traced(cond, if_true, if_false)
         graph = probe.graph
@@ -73,16 +79,22 @@ def _compare_traced(a: Any, b: Any) -> TracedValue:
 
 def vmax(*values: Any) -> Any:
     """Maximum of the operands (comparator + multiplexer tree)."""
+    if _expr.is_expr(*values):
+        return _expr.fold_expr(values, "maximum")
     return _fold(values, max)
 
 
 def vmin(*values: Any) -> Any:
     """Minimum of the operands (comparator + multiplexer tree)."""
+    if _expr.is_expr(*values):
+        return _expr.fold_expr(values, "minimum")
     return _fold(values, min)
 
 
 def vabs(value: Any) -> Any:
     """Absolute value (negate + multiplexer in hardware)."""
+    if isinstance(value, _expr.ExprValue):
+        return _expr.abs_expr(value)
     if isinstance(value, TracedValue):
         depth = value.graph.record(OpKind.ABS, value.width, value.depth)
         return TracedValue(value.graph, value.width, depth)
@@ -91,6 +103,8 @@ def vabs(value: Any) -> Any:
 
 def eq(a: Any, b: Any) -> Any:
     """Symbol equality comparator (kernels must not use ``==`` on data)."""
+    if _expr.is_expr(a, b):
+        return _expr.eq_expr(a, b)
     if _is_traced(a, b):
         probe = _traced(a, b)
         width = max(
@@ -109,7 +123,9 @@ def lookup(table: Any, *indices: Any) -> Any:
     """Index a parameter table (a ROM port per runtime index in hardware)."""
     result = table
     for index in indices:
-        if isinstance(result, TracedTable) or isinstance(index, TracedValue):
+        if isinstance(result, (TracedTable, _expr.ExprTable)) or isinstance(
+            index, (TracedValue, _expr.ExprValue)
+        ):
             result = result[index]
         else:
             result = result[int(index)]

@@ -86,6 +86,22 @@ class ApFixedType:
         """Snap an arbitrary real value onto the representable grid."""
         return self.from_raw(self.to_raw(value))
 
+    def quantize_array(self, values):
+        """Vectorized :meth:`quantize` over a float64 NumPy array.
+
+        Bit-identical to the scalar path: ``resolution`` is an exact power
+        of two (so the pre-scale is exact), ``math.floor`` == ``np.floor``,
+        and Python's ``round`` and ``np.round`` both round half to even.
+        """
+        import numpy as np
+
+        scaled = np.asarray(values, dtype=np.float64) / self.resolution
+        if self.rounding is Rounding.TRUNCATE:
+            raw = np.floor(scaled)
+        else:
+            raw = np.round(scaled)
+        return self._raw_type.quantize_array(raw) * self.resolution
+
     def in_range(self, value: float) -> bool:
         """Whether ``value`` lies within the representable range."""
         return self.min_value <= value <= self.max_value

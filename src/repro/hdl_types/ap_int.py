@@ -81,6 +81,34 @@ class ApIntType:
             wrapped -= span
         return wrapped
 
+    def quantize_array(self, values):
+        """Vectorized :meth:`quantize` over a float64 NumPy array.
+
+        Bit-identical to mapping :meth:`quantize` over the elements, for
+        any value whose magnitude is exactly representable in float64
+        (always true for the <= 32-bit types kernels use: every
+        intermediate is far inside the 2**53 integer window).  Returns
+        float64 so the compiled wavefront backend can keep one working
+        dtype; the scalar path's ``int()`` truncation-toward-zero becomes
+        ``np.trunc``.
+        """
+        import numpy as np
+
+        values = np.trunc(np.asarray(values, dtype=np.float64))
+        in_range = (values >= self.min_value) & (values <= self.max_value)
+        if bool(np.all(in_range)):
+            return values
+        if self.overflow is Overflow.SATURATE:
+            out = np.clip(values, self.min_value, self.max_value)
+        else:
+            span = 1 << self.width
+            wrapped = values.astype(np.int64) & (span - 1)
+            if self.signed:
+                high = wrapped >= (1 << (self.width - 1))
+                wrapped = np.where(high, wrapped - span, wrapped)
+            out = wrapped.astype(np.float64)
+        return np.where(in_range, values, out)
+
     def sentinel_low(self) -> int:
         """A safe "-infinity" for max-objective recurrences.
 

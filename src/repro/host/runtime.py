@@ -33,19 +33,20 @@ from repro.host.scheduler import AlignmentBatch, HostScheduler, ScheduleResult
 from repro.obs.recorder import get_recorder
 from repro.parallel import ParallelExecutor, WorkError
 from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
-from repro.systolic.engine import align
 
 
 def _align_pair_task(payload: Tuple, _seed: int) -> AlignmentResult:
     """Picklable per-pair work item for pooled execution.
 
     Kernels are resolved by id inside the worker because
-    :class:`~repro.core.spec.KernelSpec` closures do not pickle.
+    :class:`~repro.core.spec.KernelSpec` closures do not pickle; the
+    backend travels by name for the same reason.
     """
+    from repro.backend import get_backend
     from repro.kernels import get_kernel
 
-    kernel_id, params, n_pe, ii, max_q, max_r, query, reference = payload
-    return align(
+    kernel_id, backend, params, n_pe, ii, max_q, max_r, query, reference = payload
+    return get_backend(backend)(
         get_kernel(kernel_id), query, reference, params=params,
         n_pe=n_pe, ii=ii, max_query_len=max_q, max_ref_len=max_r,
     )
@@ -84,10 +85,15 @@ class DeviceRuntime:
         spec: KernelSpec,
         config: Optional[LaunchConfig] = None,
         params: Any = None,
+        backend: str = "systolic",
     ) -> None:
+        from repro.backend import get_backend
+
         self.spec = spec
         self.config = config or LaunchConfig()
         self.params = params if params is not None else spec.default_params
+        self.backend = backend
+        self._align_fn = get_backend(backend)
         self.report: SynthesisReport = synthesize(spec, self.config)
         if not self.report.feasible:
             raise ValueError(
@@ -146,8 +152,9 @@ class DeviceRuntime:
                         )
                     payloads = [
                         (
-                            self.spec.kernel_id, self.params, self.config.n_pe,
-                            self.report.ii, self.config.max_query_len,
+                            self.spec.kernel_id, self.backend, self.params,
+                            self.config.n_pe, self.report.ii,
+                            self.config.max_query_len,
                             self.config.max_ref_len, query, reference,
                         )
                         for query, reference in pairs
@@ -176,7 +183,7 @@ class DeviceRuntime:
         self, query: Sequence[Any], reference: Sequence[Any]
     ) -> AlignmentResult:
         """One pair on one block (the serial-path work item)."""
-        return align(
+        return self._align_fn(
             self.spec, query, reference, params=self.params,
             n_pe=self.config.n_pe, ii=self.report.ii,
             max_query_len=self.config.max_query_len,

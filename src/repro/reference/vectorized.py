@@ -16,6 +16,21 @@ import numpy as np
 NEG = -1e15
 
 
+def _repin_floor(values: np.ndarray) -> np.ndarray:
+    """Re-pin near-floor scores to exactly ``NEG``.
+
+    Unreachable cells gather ``NEG`` from their neighbours, and arithmetic
+    drags the sentinel off its floor (``NEG + gap``, ``NEG + subs``, ...).
+    Those drifted values compare *greater* than ``NEG`` itself, so on short
+    bands — where a cell may see nothing but sentinels — they survive the
+    max-reduction and masquerade as reachable scores.  Any value at or
+    below ``NEG / 2`` is unreachable by construction (real scores are
+    bounded by sequence length times the largest |parameter|), so clamp it
+    back to the exact sentinel before it propagates.
+    """
+    return np.where(values <= NEG / 2, NEG, values)
+
+
 def _substitution_matrixless(query, reference, match, mismatch):
     q = np.asarray(query)
     r = np.asarray(reference)
@@ -63,7 +78,9 @@ def nw_linear_score(query, reference, match=2, mismatch=-2, gap=-3) -> float:
 
         interior = (i_vals >= 1) & (j_vals >= 1)
         subs = sub[np.maximum(i_vals - 1, 0), np.maximum(j_vals - 1, 0)]
-        curr = np.maximum(np.maximum(up, left) + gap, diag + subs)
+        curr = _repin_floor(
+            np.maximum(np.maximum(up, left) + gap, diag + subs)
+        )
         curr = np.where(interior, curr, 0.0)
         # boundary cells: (0, d) and (d, 0)
         if lo == 0:
@@ -123,10 +140,10 @@ def gotoh_global_score(query, reference, match=2, mismatch=-4,
         i_left = gather(i_prev, p_lo, p_hi, i_vals)
         h_diag = gather(h_prev2, pp_lo, pp_hi, i_vals - 1)
 
-        ins = np.maximum(h_left + oc, i_left + gap_extend)
-        dele = np.maximum(h_up + oc, d_up + gap_extend)
+        ins = _repin_floor(np.maximum(h_left + oc, i_left + gap_extend))
+        dele = _repin_floor(np.maximum(h_up + oc, d_up + gap_extend))
         subs = sub[np.maximum(i_vals - 1, 0), np.maximum(j_vals - 1, 0)]
-        h = np.maximum(np.maximum(ins, dele), h_diag + subs)
+        h = _repin_floor(np.maximum(np.maximum(ins, dele), h_diag + subs))
 
         boundary_cost = gap_open + gap_extend * d
         interior = (i_vals >= 1) & (j_vals >= 1)
@@ -137,6 +154,69 @@ def gotoh_global_score(query, reference, match=2, mismatch=-4,
         h_prev2, i_prev2, d_prev2 = h_prev, i_prev, d_prev
         h_prev, i_prev, d_prev = h, ins, dele
     return float(h_prev[0])
+
+
+def banded_nw_linear_score(query, reference, band: int,
+                           match=2, mismatch=-2, gap=-3) -> float:
+    """Banded Needleman-Wunsch (|i - j| <= band) via anti-diagonal sweeps.
+
+    Vector twin of :func:`repro.reference.classic.banded_nw_linear`.  The
+    band makes sentinel hygiene load-bearing: a cell at the band edge
+    gathers ``NEG`` from its clipped neighbours, and without re-pinning
+    (:func:`_repin_floor`) and coordinate masking the drifted near-floor
+    values win max-reductions on short bands and leak into real scores.
+    """
+    n, m = len(query), len(reference)
+    if abs(n - m) > band:
+        raise ValueError("banded global alignment needs |Q - R| <= band")
+    if n + m == 0:
+        return 0.0
+    sub = _substitution_matrixless(query, reference, match, mismatch)
+
+    def bounds(d):
+        return max(0, d - m), min(n, d)
+
+    prev2 = np.array([0.0])                      # d = 0: cell (0, 0)
+    lo, hi = bounds(1)
+    i_vals = np.arange(lo, hi + 1)
+    prev = np.where(np.abs(i_vals - (1 - i_vals)) <= band, float(gap), NEG)
+    if n + m == 1:
+        return float(prev[0])
+
+    for d in range(2, n + m + 1):
+        lo, hi = bounds(d)
+        i_vals = np.arange(lo, hi + 1)
+        j_vals = d - i_vals
+        size = hi - lo + 1
+        up = np.full(size, NEG)
+        left = np.full(size, NEG)
+        diag = np.full(size, NEG)
+        p_lo, p_hi = bounds(d - 1)
+        pp_lo, pp_hi = bounds(d - 2)
+        sel = (i_vals - 1 >= p_lo) & (i_vals - 1 <= p_hi)
+        up[sel] = prev[i_vals[sel] - 1 - p_lo]
+        sel = (i_vals >= p_lo) & (i_vals <= p_hi)
+        left[sel] = prev[i_vals[sel] - p_lo]
+        sel = (i_vals - 1 >= pp_lo) & (i_vals - 1 <= pp_hi)
+        diag[sel] = prev2[i_vals[sel] - 1 - pp_lo]
+
+        interior = (i_vals >= 1) & (j_vals >= 1)
+        subs = sub[np.maximum(i_vals - 1, 0), np.maximum(j_vals - 1, 0)]
+        curr = _repin_floor(
+            np.maximum(np.maximum(up, left) + gap, diag + subs)
+        )
+        curr = np.where(interior, curr, 0.0)
+        if lo == 0:                    # cell (0, d): in band only if d <= band
+            curr[0] = gap * d if d <= band else NEG
+        if hi == d:                    # cell (d, 0)
+            curr[-1] = gap * d if d <= band else NEG
+        # out-of-band cells must hold the *exact* sentinel, or the next
+        # diagonal's gathers treat them as (terrible but real) scores
+        curr = np.where(np.abs(i_vals - j_vals) <= band, curr, NEG)
+        prev2, prev = prev, curr
+    # diagonal n + m holds exactly one cell: (n, m), in band by the
+    # |Q - R| <= band precondition
+    return float(prev[0])
 
 
 def sw_linear_score(query, reference, match=2, mismatch=-2, gap=-3) -> float:

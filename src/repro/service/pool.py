@@ -111,6 +111,7 @@ class DevicePool:
         workers: int = 1,
         params_by_kernel: Optional[Dict[int, Any]] = None,
         cache: Optional[Any] = None,
+        backend: str = "systolic",
     ) -> "DevicePool":
         """Deploy every channel of a linked design as one pool member.
 
@@ -118,7 +119,10 @@ class DevicePool:
         ``N_PE``/``N_B`` sizing (``N_K = 1``: the channel *is* one of the
         design's K channels) at the design's linked clock target.
         ``cache`` (a :class:`~repro.cache.CacheStack`) is shared across
-        every channel, exactly as in the main constructor.
+        every channel, exactly as in the main constructor.  ``backend``
+        selects the alignment implementation every channel runs
+        (``"systolic"`` cycle simulator or the bit-identical
+        ``"compiled"`` NumPy backend — see ``docs/backends.md``).
         """
         params_by_kernel = params_by_kernel or {}
         runtimes = [
@@ -132,6 +136,7 @@ class DevicePool:
                     max_ref_len=channel.max_ref_len,
                 ),
                 params=params_by_kernel.get(channel.kernel.kernel_id),
+                backend=backend,
             )
             for channel in design.channels
         ]

@@ -44,6 +44,54 @@ class SystolicAlignmentError(ValueError):
     """Raised for inputs the configured hardware could not process."""
 
 
+def validate_pair(
+    spec: KernelSpec,
+    query: Sequence[Any],
+    reference: Sequence[Any],
+    max_q: int,
+    max_r: int,
+) -> None:
+    """Input checks shared by every backend (systolic and compiled).
+
+    Raises :class:`SystolicAlignmentError` with identical messages
+    regardless of which backend runs the pair — part of the backends'
+    bit-identical contract.
+    """
+    n_rows, n_cols = len(query), len(reference)
+    if n_rows < 1 or n_cols < 1:
+        raise SystolicAlignmentError("query and reference must be non-empty")
+    if n_rows > max_q or n_cols > max_r:
+        raise SystolicAlignmentError(
+            f"sequence pair {n_rows}x{n_cols} exceeds configured maximums "
+            f"{max_q}x{max_r}; use host-side tiling (repro.tiling) for "
+            f"longer alignments"
+        )
+    # Spot-check the first symbol of each input against the alphabet so a
+    # mis-encoded sequence fails with a clear message instead of deep in
+    # the PE function.
+    for label, sequence in (("query", query), ("reference", reference)):
+        if not spec.alphabet.validate_symbol(sequence[0]):
+            raise SystolicAlignmentError(
+                f"{spec.name}: {label} symbol {sequence[0]!r} does not "
+                f"match alphabet {spec.alphabet.name!r}"
+            )
+    if spec.banding is not None and spec.start_rule is StartRule.BOTTOM_RIGHT:
+        if abs(n_rows - n_cols) > spec.banding:
+            raise SystolicAlignmentError(
+                f"banded global alignment needs |Q - R| <= band "
+                f"({abs(n_rows - n_cols)} > {spec.banding})"
+            )
+
+
+def check_corner(spec: KernelSpec, row0: np.ndarray, col0: np.ndarray) -> None:
+    """Shared init consistency check: cell (0, 0) must be unambiguous."""
+    if not np.allclose(row0[0], col0[0]):
+        raise SystolicAlignmentError(
+            f"{spec.name}: init_row[0] and init_col[0] disagree on the "
+            f"corner cell: {row0[0]} vs {col0[0]}"
+        )
+
+
 def align(
     spec: KernelSpec,
     query: Sequence[Any],
@@ -101,33 +149,11 @@ def _align_impl(
     recorder: Recorder,
 ) -> AlignmentResult:
     n_rows, n_cols = len(query), len(reference)
-    if n_rows < 1 or n_cols < 1:
-        raise SystolicAlignmentError("query and reference must be non-empty")
     max_q = max_query_len if max_query_len is not None else n_rows
     max_r = max_ref_len if max_ref_len is not None else n_cols
-    if n_rows > max_q or n_cols > max_r:
-        raise SystolicAlignmentError(
-            f"sequence pair {n_rows}x{n_cols} exceeds configured maximums "
-            f"{max_q}x{max_r}; use host-side tiling (repro.tiling) for "
-            f"longer alignments"
-        )
+    validate_pair(spec, query, reference, max_q, max_r)
     if params is None:
         params = spec.default_params
-    # Spot-check the first symbol of each input against the alphabet so a
-    # mis-encoded sequence fails with a clear message instead of deep in
-    # the PE function.
-    for label, sequence in (("query", query), ("reference", reference)):
-        if not spec.alphabet.validate_symbol(sequence[0]):
-            raise SystolicAlignmentError(
-                f"{spec.name}: {label} symbol {sequence[0]!r} does not "
-                f"match alphabet {spec.alphabet.name!r}"
-            )
-    if spec.banding is not None and spec.start_rule is StartRule.BOTTOM_RIGHT:
-        if abs(n_rows - n_cols) > spec.banding:
-            raise SystolicAlignmentError(
-                f"banded global alignment needs |Q - R| <= band "
-                f"({abs(n_rows - n_cols)} > {spec.banding})"
-            )
 
     n_layers = spec.n_layers
     sentinel = spec.sentinel()
@@ -136,11 +162,7 @@ def _align_impl(
 
     row0 = spec.init_row_scores(params, n_cols + 1)
     col0 = spec.init_col_scores(params, n_rows + 1)
-    if not np.allclose(row0[0], col0[0]):
-        raise SystolicAlignmentError(
-            f"{spec.name}: init_row[0] and init_col[0] disagree on the "
-            f"corner cell: {row0[0]} vs {col0[0]}"
-        )
+    check_corner(spec, row0, col0)
 
     matrix: Optional[np.ndarray] = None
     if collect_matrix:
@@ -268,6 +290,7 @@ def _align_impl(
         recorder.count("engine.alignments")
         recorder.count("engine.wavefronts", total_wavefronts)
         recorder.count("engine.cells", cells_evaluated)
+        recorder.count("engine.cells_total{backend=systolic}", cells_evaluated)
         if total_wavefronts:
             recorder.gauge(
                 "engine.pe_utilization",

@@ -76,14 +76,18 @@ def _check_pair(
     query: Sequence[Any],
     reference: Sequence[Any],
     n_pe_values: Sequence[int],
+    backend: str = "systolic",
 ) -> Tuple[int, List[VerificationFailure]]:
     """All checks for one pair at every PE count: (runs, failures)."""
+    from repro.backend import get_backend
+
+    align_fn = align if backend == "systolic" else get_backend(backend)
     failures: List[VerificationFailure] = []
     runs = 0
     expected = oracle_align(spec, query, reference)
     for n_pe in n_pe_values:
         runs += 1
-        actual = align(spec, query, reference, n_pe=n_pe)
+        actual = align_fn(spec, query, reference, n_pe=n_pe)
         if not np.isclose(actual.score, expected.score):
             failures.append(
                 VerificationFailure(
@@ -129,8 +133,10 @@ def _verify_pair_task(payload: Tuple, _seed: int):
     """Picklable pooled work item: re-resolve the spec by id, check one pair."""
     from repro.kernels import get_kernel
 
-    kernel_id, index, query, reference, n_pe_values = payload
-    return _check_pair(get_kernel(kernel_id), index, query, reference, n_pe_values)
+    kernel_id, index, query, reference, n_pe_values, backend = payload
+    return _check_pair(
+        get_kernel(kernel_id), index, query, reference, n_pe_values, backend
+    )
 
 
 def verify_kernel(
@@ -138,8 +144,15 @@ def verify_kernel(
     pairs: Sequence[Tuple[Any, Any]],
     n_pe_values: Sequence[int] = (1, 4, 8),
     workers: int = 1,
+    backend: str = "systolic",
 ) -> VerificationReport:
-    """Verify a kernel against the oracle and cycle model on ``pairs``."""
+    """Verify a kernel against the oracle and cycle model on ``pairs``.
+
+    ``backend`` selects the engine under test (``"systolic"`` or
+    ``"compiled"``); the oracle and the closed-form cycle model are the
+    same either way, so a compiled-backend run checks the full
+    bit-identity contract including cycle totals.
+    """
     if not pairs:
         raise ValueError("verification needs at least one sequence pair")
     report = VerificationReport(
@@ -147,7 +160,7 @@ def verify_kernel(
     )
     if workers == 1:
         checked = [
-            _check_pair(spec, index, query, reference, n_pe_values)
+            _check_pair(spec, index, query, reference, n_pe_values, backend)
             for index, (query, reference) in enumerate(pairs)
         ]
     else:
@@ -160,7 +173,8 @@ def verify_kernel(
                 f"kernel #{spec.kernel_id} in the registry — use workers=1"
             )
         payloads = [
-            (spec.kernel_id, index, query, reference, tuple(n_pe_values))
+            (spec.kernel_id, index, query, reference, tuple(n_pe_values),
+             backend)
             for index, (query, reference) in enumerate(pairs)
         ]
         executor = ParallelExecutor(workers=workers)

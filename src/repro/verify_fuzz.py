@@ -3,15 +3,20 @@
 The paper trusts its generated kernels because C-simulation cross-checks
 them against known-good software.  This module is that step at campaign
 scale: seeded random sequence pairs (randomized lengths and PE counts,
-workload-realistic content) are pushed through three independent
+workload-realistic content) are pushed through four independent
 implementations —
 
 * the full systolic engine (:func:`repro.systolic.engine.align`),
+* the compiled wavefront backend (:func:`repro.backend.compiled_align`),
 * the row-major oracle (:func:`repro.reference.dp_oracle.oracle_align`),
 * the textbook reference (:func:`repro.reference.dispatch.classic_score`),
 
 and any disagreement on score, traceback start cell or move sequence is
-recorded.  A failing case is then *shrunk* — query and reference are
+recorded.  Engine-vs-oracle checks use score tolerance where the
+references are float-based; the systolic-vs-compiled leg is *strict*
+bit-identity — any divergence is reported as a ``backend_*`` failure
+whose detail is the full three-way disagreement triple
+(``systolic=... compiled=... oracle=...``).  A failing case is then *shrunk* — query and reference are
 greedily truncated and thinned while the failure persists — so every
 mismatch lands as a minimal reproducer ready to paste into a regression
 test (see ``tests/test_fuzz_regressions.py``).
@@ -30,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import compiled_align
 from repro.cache.fingerprint import fingerprint, sequence_blob
 from repro.core.spec import StartRule
 from repro.experiments.workloads import WORKLOADS
@@ -209,6 +215,10 @@ def case_fingerprint(case: FuzzCase) -> str:
     served request over the same inputs share one keying discipline.
     """
     return fingerprint({
+        # Version stamp of the differential harness a recorded reproducer
+        # was found under ("three_way_v1" = systolic vs compiled vs
+        # oracle); bumping it retires stale recorded digests explicitly.
+        "harness": "three_way_v1",
         "kernel_id": case.kernel_id,
         "case_seed": case.case_seed,
         "n_pe": case.n_pe,
@@ -236,6 +246,12 @@ def case_failures(
     ``align_fn`` substitutes for the systolic engine (tests inject faulty
     engines to exercise the shrinker); oracle/textbook failures propagate
     as exceptions because they mean the harness itself is broken.
+
+    The engine leg is followed by a strict three-way backend leg: the
+    compiled wavefront backend must reproduce the engine's score, start
+    cell, move sequence and cycle totals *bit-identically* (no
+    tolerance).  Disagreements are reported as ``backend_*`` failures
+    whose detail carries the full systolic/compiled/oracle triple.
     """
     engine = align_fn if align_fn is not None else align
     spec = get_kernel(case.kernel_id)
@@ -277,7 +293,59 @@ def case_failures(
             failures.append(FuzzFailure(
                 "engine_traceback", "recovered move sequences differ"
             ))
+
+    # ------------------------------------------------------------------
+    # compiled-backend leg: strict bit-identity against the engine, with
+    # the oracle as the third voice of the disagreement triple.
+    # ------------------------------------------------------------------
+    try:
+        lowered = compiled_align(
+            spec, case.query, case.reference, n_pe=case.n_pe
+        )
+    except Exception as exc:  # noqa: BLE001 - a backend crash is a finding
+        failures.append(FuzzFailure(
+            "compiled_exception", f"{type(exc).__name__}: {exc}"
+        ))
+        return failures
+    if lowered.score != actual.score:
+        failures.append(FuzzFailure(
+            "backend_score",
+            f"systolic={actual.score} compiled={lowered.score} "
+            f"oracle={expected.score}",
+        ))
+        return failures
+    if lowered.start != actual.start:
+        failures.append(FuzzFailure(
+            "backend_start_cell",
+            f"systolic={actual.start} compiled={lowered.start} "
+            f"oracle={expected.start}",
+        ))
+    if spec.has_traceback:
+        compiled_moves = lowered.alignment.moves if lowered.alignment else None
+        if compiled_moves != ours:
+            failures.append(FuzzFailure(
+                "backend_traceback",
+                f"systolic={_moves_str(ours)} "
+                f"compiled={_moves_str(compiled_moves)} "
+                f"oracle={_moves_str(theirs)}",
+            ))
+    if (
+        actual.cycles is not None
+        and lowered.cycles is not None
+        and lowered.cycles != actual.cycles
+    ):
+        failures.append(FuzzFailure(
+            "backend_cycles",
+            f"systolic={actual.cycles.total} compiled={lowered.cycles.total}",
+        ))
     return failures
+
+
+def _moves_str(moves) -> str:
+    """Compact CIGAR-like rendering of a move tuple for triple details."""
+    if moves is None:
+        return "<none>"
+    return "".join(move.value for move in moves) or "<empty>"
 
 
 def _valid_candidate(spec, query: tuple, reference: tuple) -> bool:

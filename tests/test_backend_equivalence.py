@@ -1,0 +1,180 @@
+"""Bit-identity contract between the systolic engine and compiled backend.
+
+The compiled wavefront backend (:mod:`repro.backend`) must be
+indistinguishable from the cycle-accurate systolic engine in every
+observable output: score (value *and* Python type), traceback start/end
+cells, recovered move sequences, the cycle report, the collected DP
+matrices (values and dtype), and even the exceptions raised on invalid
+input.  These goldens pin that contract over every registered kernel,
+the edge cases most likely to diverge, and the cache-fingerprint
+invariance that lets the two backends share one alignment cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKENDS,
+    compiled_align,
+    get_backend,
+    lower,
+)
+from repro.kernels import get_kernel, kernel_ids
+from repro.systolic.engine import align
+from repro.verify_fuzz import generate_case
+
+ALL_KERNELS = tuple(kernel_ids())
+
+
+def _outcome(fn, spec, query, reference, n_pe):
+    """Run one backend, capturing either the result or the exception."""
+    try:
+        return fn(spec, query, reference, n_pe=n_pe, collect_matrix=True)
+    except Exception as exc:  # noqa: BLE001 — parity check needs them all
+        return exc
+
+
+def assert_bit_identical(spec, query, reference, n_pe=4):
+    """Every observable output of both backends must match exactly."""
+    ours = _outcome(align, spec, query, reference, n_pe)
+    theirs = _outcome(compiled_align, spec, query, reference, n_pe)
+    if isinstance(ours, Exception) or isinstance(theirs, Exception):
+        assert type(ours) is type(theirs), (ours, theirs)
+        assert str(ours) == str(theirs)
+        return
+    assert ours.score == theirs.score
+    assert type(ours.score) is type(theirs.score)
+    assert ours.start == theirs.start
+    assert ours.end == theirs.end
+    assert ours.alignment == theirs.alignment
+    assert ours.cycles == theirs.cycles
+    assert ours.matrix.dtype == theirs.matrix.dtype
+    assert np.array_equal(ours.matrix, theirs.matrix)
+
+
+class TestGoldenEquivalence:
+    """Seeded corpora over all 15 kernels, scores AND tracebacks."""
+
+    @pytest.mark.parametrize("kid", ALL_KERNELS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bit_identical(self, kid, seed):
+        case = generate_case(kid, seed * 131 + kid, max_len=24)
+        assert_bit_identical(
+            get_kernel(kid), case.query, case.reference, n_pe=case.n_pe
+        )
+
+    @pytest.mark.parametrize("kid", (1, 2, 9, 11, 15))
+    def test_bit_identical_across_pe_counts(self, kid):
+        case = generate_case(kid, 7 * kid, max_len=20)
+        for n_pe in (1, 4, 32):
+            assert_bit_identical(
+                get_kernel(kid), case.query, case.reference, n_pe=n_pe
+            )
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("kid", (1, 3, 11))
+    def test_empty_query_same_exception(self, kid):
+        case = generate_case(kid, kid, max_len=8)
+        assert_bit_identical(get_kernel(kid), (), case.reference)
+        assert_bit_identical(get_kernel(kid), case.query, ())
+
+    @pytest.mark.parametrize("kid", (1, 2, 3, 4, 6, 7, 11))
+    def test_length_one(self, kid):
+        spec = get_kernel(kid)
+        assert_bit_identical(spec, (0,), (0,))
+        assert_bit_identical(spec, (0,), (3,))
+
+    @pytest.mark.parametrize("kid", (1, 3, 6, 7, 15))
+    def test_all_mismatch(self, kid):
+        spec = get_kernel(kid)
+        cardinality = spec.alphabet.size or 4
+        query = (0,) * 12
+        reference = (cardinality - 1,) * 12
+        assert_bit_identical(spec, query, reference)
+
+    @pytest.mark.parametrize("kid", (11, 12, 13))
+    def test_band_clipped(self, kid):
+        """Sequences long enough that the band clips the wavefront."""
+        spec = get_kernel(kid)
+        assert spec.banding is not None
+        case = generate_case(kid, 3 * kid + 1, max_len=8)
+        length = spec.banding + 16  # diagonals beyond the band width
+        rng = np.random.RandomState(kid)
+        query = tuple(int(s) for s in rng.randint(0, 4, size=length))
+        reference = tuple(int(s) for s in rng.randint(0, 4, size=length))
+        assert_bit_identical(spec, query, reference)
+        # and the oversized-|Q - R| rejection is word-for-word identical
+        assert_bit_identical(spec, case.query, case.reference)
+
+
+class TestBackendRegistry:
+    def test_registry_contents(self):
+        assert set(BACKENDS) == {"systolic", "compiled"}
+        assert get_backend("compiled") is compiled_align
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("verilator")
+
+    def test_lowering_is_cached(self):
+        spec = get_kernel(1)
+        assert lower(spec) is lower(spec)
+
+    @pytest.mark.parametrize("kid", ALL_KERNELS)
+    def test_every_kernel_lowers(self, kid):
+        compiled = lower(get_kernel(kid))
+        assert compiled.source.startswith("def _pe(")
+
+
+class TestCacheBackendInvariance:
+    """A cache warmed by one backend must hit from the other."""
+
+    def _cached_runtime(self, kid, stack, backend):
+        from repro.cache import CachedRuntime
+        from repro.host import DeviceRuntime
+        from repro.synth import LaunchConfig
+
+        return CachedRuntime(
+            DeviceRuntime(
+                get_kernel(kid),
+                LaunchConfig(n_pe=4, n_b=2, n_k=1,
+                             max_query_len=64, max_ref_len=64),
+                backend=backend,
+            ),
+            stack,
+        )
+
+    @pytest.mark.parametrize("kid", (1, 4, 11, 15))
+    def test_fingerprints_are_backend_invariant(self, kid):
+        from repro.cache import CacheStack
+
+        stack = CacheStack()
+        systolic = self._cached_runtime(kid, stack, "systolic")
+        compiled = self._cached_runtime(kid, stack, "compiled")
+        assert systolic.runtime_key == compiled.runtime_key
+        case = generate_case(kid, kid + 21, max_len=16)
+        pair = (case.query, case.reference)
+        assert systolic.pair_key(*pair) == compiled.pair_key(*pair)
+
+    @pytest.mark.parametrize("warm,probe", [
+        ("systolic", "compiled"), ("compiled", "systolic"),
+    ])
+    def test_cross_backend_cache_hits(self, warm, probe):
+        from repro.cache import CacheStack
+
+        stack = CacheStack()
+        warmer = self._cached_runtime(1, stack, warm)
+        prober = self._cached_runtime(1, stack, probe)
+        pairs = [
+            (case.query, case.reference)
+            for case in (generate_case(1, s + 50, max_len=16)
+                         for s in range(4))
+        ]
+        first = warmer.run(pairs)
+        assert first.cached == [False] * len(pairs)
+        second = prober.run(pairs)
+        assert second.cached == [True] * len(pairs)
+        for a, b in zip(first.results, second.results):
+            assert a.score == b.score
+            assert a.alignment == b.alignment

@@ -10,6 +10,12 @@ checks that must keep passing when the engine or an oracle changes.
 
 Each test is a minimal reproducer in fuzz-case form: if one starts
 failing, `repro.verify_fuzz.shrink_case` on it will localise the break.
+
+Since the harness became a three-way differential (PR 6), every
+`_assert_clean` call also runs the compiled wavefront backend and
+demands bit-identical scores, tracebacks and cycle reports — the
+`TestThreeWayDifferential` classes below add the case classes that
+sweep leaned on hardest while proving the compiled leg.
 """
 
 import pytest
@@ -76,6 +82,65 @@ class TestBandedSeams:
     @pytest.mark.parametrize("kid", (11, 12, 13))
     def test_equal_length_band_edges(self, kid):
         _assert_clean(kid, (0, 1, 2, 3) * 9, (0, 1, 3, 3) * 9, n_pe=5)
+
+
+class TestThreeWayQuantization:
+    """Cases where scalar-vs-vector float behaviour could diverge.
+
+    The compiled backend quantizes whole anti-diagonals with numpy while
+    the engine quantizes cell-by-cell in Python; these pin the rounding
+    seams (half-even ties, truncation toward zero, fixed-point
+    resolution steps) where any discrepancy would first appear.
+    """
+
+    @pytest.mark.parametrize("n_pe", (1, 2, 7))
+    def test_dtw_fixed_point_rounding(self, n_pe):
+        from repro.data.signals import random_complex_signal
+
+        qry = random_complex_signal(11, seed=31)
+        ref = random_complex_signal(17, seed=32)
+        _assert_clean(9, qry, ref, n_pe=n_pe)
+
+    def test_viterbi_log_domain(self):
+        from repro.experiments.workloads import WORKLOADS
+
+        qry, ref = WORKLOADS[10].make_pairs(1, seed=33)[0]
+        _assert_clean(10, qry[:13], ref[:19], n_pe=6)
+
+    def test_profile_fractional_columns(self):
+        from repro.data.profiles import profile_pair
+
+        qry, ref = profile_pair(n_cols=14, seed=34)
+        _assert_clean(8, qry[:9], ref[:14], n_pe=5)
+
+
+class TestThreeWayBandEdges:
+    """Band clipping is coordinate arithmetic in the compiled backend but
+    boundary muxes in the engine — pin the seams where they must agree."""
+
+    @pytest.mark.parametrize("kid", (11, 13))
+    def test_band_wider_than_matrix(self, kid):
+        _assert_clean(kid, (0, 1, 2) * 3, (0, 2, 2) * 3, n_pe=4)
+
+    @pytest.mark.parametrize("kid", (11, 12, 13))
+    def test_wavefront_clipped_by_band(self, kid):
+        # length > banding (32), so interior diagonals are clipped
+        _assert_clean(kid, (0, 1, 2, 3) * 10, (0, 1, 2, 2) * 10, n_pe=7)
+
+    def test_score_only_banded_local(self):
+        _assert_clean(12, (1, 2, 3, 0) * 8, (1, 2, 0, 0) * 8, n_pe=3)
+
+
+class TestThreeWayStartCellTies:
+    """Co-optimal start cells: both implementations must break ties
+    toward the smallest (i, j) in row-major order."""
+
+    @pytest.mark.parametrize("kid", (3, 4, 6, 7))
+    def test_constant_inputs_tie_everywhere(self, kid):
+        _assert_clean(kid, (2,) * 9, (2,) * 9, n_pe=4)
+
+    def test_overlap_suffix_prefix_tie(self):
+        _assert_clean(6, (0, 1, 0, 1, 0, 1), (1, 0, 1, 0, 1, 0), n_pe=2)
 
 
 class TestNonDnaSubstrates:

@@ -24,12 +24,15 @@ class TestCorpusDeterminism:
         If this digest moves, recorded fuzz reproducers from earlier runs
         no longer regenerate — bump it only with a changelog entry.
         (Bumped when the corpus became keyed by repro.cache fingerprints;
-        see CHANGES.md PR 4.  Case *generation* was untouched — the same
-        seed still yields the same sequences.)
+        see CHANGES.md PR 4.  Bumped again when the harness became the
+        three-way differential — case fingerprints now carry a
+        "harness": "three_way_v1" stamp; see CHANGES.md PR 6.  Case
+        *generation* was untouched both times — the same seed still
+        yields the same sequences.)
         """
         corpus = make_corpus(kernels=(1,), cases_per_kernel=3, seed=0, max_len=8)
         assert corpus_digest(corpus) == (
-            "5fdb0a3dff874797fc0cfca42209ac53bfe0651c7949bebad81b4f6103751e9d"
+            "9af96b9beebf10fbbafd59bb38c7032a3a54a80d3876c56cc130cda17b2a139a"
         )
 
 
