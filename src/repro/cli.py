@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import List, Optional
 
 from repro.core.alphabet import encode_dna, encode_protein
@@ -204,19 +205,6 @@ def _service_pool(kernels, n_pe: int, n_b: int, replicas: int, max_len: int,
     return DevicePool(runtimes, cache=cache)
 
 
-def _cache_stack(args):
-    """Build the optional :class:`CacheStack` from ``--cache-*`` flags."""
-    directory = getattr(args, "cache_dir", None)
-    if directory is None:
-        return None
-    from repro.cache import CacheConfig, CacheStack
-
-    return CacheStack(CacheConfig(
-        directory=directory,
-        memory_bytes=int(getattr(args, "cache_mem_mb", 64) * 1024 * 1024),
-    ))
-
-
 def _service_workload(kernels, pairs_per_kernel: int, length: int, seed: int):
     """Random (kernel_id, query, reference) tuples for the load generator."""
     import random
@@ -235,39 +223,115 @@ def _service_workload(kernels, pairs_per_kernel: int, length: int, seed: int):
     return workload
 
 
-def cmd_serve(args) -> int:
-    """Run the always-on alignment service until interrupted."""
-    from repro.service import AlignmentServer, BatcherConfig, ServiceCore
+def _deployment_from_args(args):
+    """Build the :class:`~repro.shard.Deployment` a serve-shaped
+    argparse namespace describes (shared by serve and in-proc loadgen)."""
+    from repro.shard import Deployment
 
-    kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
-    pool = _service_pool(
-        kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
-        cache=_cache_stack(args), backend=args.backend,
+    kernel_ids = tuple(
+        _kernel_arg(k).kernel_id for k in (args.kernel or ["1"])
     )
-    core = ServiceCore(pool, BatcherConfig(
-        max_batch=args.max_batch,
-        max_delay_ms=args.max_delay_ms,
-        max_queue_depth=args.queue_bound,
-    )).start()
-    server = AlignmentServer((args.host, args.port), core)
-    host, port = server.server_address
-    deployed = {spec.kernel_id for spec in kernels}
+    try:
+        deployment = Deployment(
+            kernel_ids=kernel_ids,
+            replicas=args.replicas,
+            n_pe=args.n_pe,
+            n_b=args.n_b,
+            max_len=args.max_len,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            queue_bound=args.queue_bound,
+            backend=args.backend,
+            cache_dir=getattr(args, "cache_dir", None),
+            cache_mem_mb=getattr(args, "cache_mem_mb", 64.0),
+        )
+        deployment.specs()  # fail fast on unservable kernels
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return deployment
+
+
+def _print_deployed(kernel_ids) -> None:
+    """Describe the deployed kernels, one line each."""
+    deployed = set(kernel_ids)
     for info in list_kernels():
         if info["id"] in deployed:
             print(f"  kernel #{info['id']} {info['name']} "
                   f"({info['alphabet']}, {info['layers']} layers, "
                   f"traceback={'yes' if info['traceback'] else 'no'})")
-    print(f"serving kernels {pool.kernel_ids()} on {host}:{port} "
-          f"({len(pool.members)} runtimes, max_batch={args.max_batch}, "
-          f"max_delay={args.max_delay_ms}ms, queue_bound={args.queue_bound})")
+
+
+def cmd_serve(args) -> int:
+    """Run the always-on alignment service until interrupted.
+
+    ``--shards 1`` (the default) serves from this process;
+    ``--shards N`` spawns N worker processes behind an asyncio front
+    door that routes each request by its cache fingerprint.
+    """
+    import json as json_module
+    import signal
+
+    def _graceful(signum, frame) -> None:
+        """Turn SIGTERM/SIGINT into the KeyboardInterrupt drain path."""
+        raise KeyboardInterrupt
+
+    if threading.current_thread() is threading.main_thread():
+        # Explicit handlers: a server backgrounded from a script
+        # inherits SIGINT=ignore (POSIX job control), and SIGTERM
+        # should drain gracefully rather than kill mid-request.
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+
+    deployment = _deployment_from_args(args)
+    if args.shards > 1:
+        from repro.shard import ShardServer
+
+        server = ShardServer(
+            (args.host, args.port), deployment, n_shards=args.shards
+        ).start()
+        host, port = server.address
+        _print_deployed(deployment.kernel_ids)
+        shard_ports = ", ".join(
+            f"{h.name}:{h.port}" for h in server.manager.handles()
+        )
+        print(f"serving kernels {list(deployment.kernel_ids)} on "
+              f"{host}:{port} ({args.shards} shards: {shard_ports})",
+              flush=True)
+        snapshot = {}
+        stop = threading.Event()
+        try:
+            # wait() with a timeout stays interruptible by SIGINT
+            # (an untimed lock acquire on the main thread is not).
+            while not stop.wait(1.0):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            try:
+                snapshot = server.metrics_snapshot()
+            except Exception:  # noqa: BLE001 - shutdown still proceeds
+                pass
+            codes = server.close()
+            print(json_module.dumps(snapshot, indent=2, sort_keys=True))
+            print(f"drained shards: {json_module.dumps(codes, sort_keys=True)}")
+        return 0 if all(code == 0 for code in codes.values()) else 1
+
+    from repro.service import AlignmentServer
+
+    core = deployment.build_core(cache=deployment.build_cache()).start()
+    server = AlignmentServer((args.host, args.port), core)
+    host, port = server.server_address
+    _print_deployed(deployment.kernel_ids)
+    print(f"serving kernels {list(deployment.kernel_ids)} on {host}:{port} "
+          f"({len(core.pool.members)} runtimes, max_batch={args.max_batch}, "
+          f"max_delay={args.max_delay_ms}ms, queue_bound={args.queue_bound})",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
-        import json as json_module
-
         print(json_module.dumps(core.metrics_snapshot(), indent=2, sort_keys=True))
     return 0
 
@@ -277,35 +341,32 @@ def cmd_loadgen(args) -> int:
     import json as json_module
 
     from repro.service import (
-        AlignmentClient,
-        BatcherConfig,
         InProcClient,
         LoadGenerator,
-        ServiceCore,
+        RetryPolicy,
+        connect_with_retry,
     )
 
     kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
     workload = _service_workload(kernels, args.pairs, args.length, args.seed)
     core = None
     if args.in_proc:
-        pool = _service_pool(
-            kernels, args.n_pe, args.n_b, args.replicas, args.max_len,
-            cache=_cache_stack(args), backend=args.backend,
-        )
-        core = ServiceCore(pool, BatcherConfig(
-            max_batch=args.max_batch,
-            max_delay_ms=args.max_delay_ms,
-            max_queue_depth=args.queue_bound,
-        )).start()
+        deployment = _deployment_from_args(args)
+        core = deployment.build_core(cache=deployment.build_cache()).start()
         client = InProcClient(core)
     else:
-        client = AlignmentClient(args.host, args.port)
+        client = connect_with_retry(
+            args.host, args.port,
+            policy=RetryPolicy(attempts=args.connect_retries),
+            read_timeout=args.read_timeout,
+        )
     failures = 0
     try:
         generator = LoadGenerator(client, workload, seed=args.seed)
         for rate in args.rate or [100.0]:
-            report = generator.run(
-                rate, args.requests, deadline_ms=args.deadline_ms
+            report = generator.run_concurrent(
+                rate, args.requests, args.concurrency,
+                deadline_ms=args.deadline_ms,
             )
             failures += report.errors
             print(report.summary())
@@ -604,6 +665,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("systolic", "compiled"),
                    default="systolic",
                    help="alignment engine backing every runtime")
+    p.add_argument("--shards", type=int, default=1,
+                   help="worker shard processes behind an asyncio front "
+                        "door routing on cache fingerprints (1 = serve "
+                        "from this process)")
 
     p = sub.add_parser(
         "loadgen", help="drive open-loop Poisson load against a service"
@@ -636,6 +701,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("systolic", "compiled"),
                    default="systolic",
                    help="alignment engine backing the in-proc service")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="parallel open-loop firing threads splitting the "
+                        "offered rate")
+    p.add_argument("--connect-retries", type=int, default=5,
+                   help="connection attempts (exponential backoff) while "
+                        "the service comes up")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   help="fail outstanding requests if the server goes "
+                        "silent this long (seconds)")
 
     p = sub.add_parser(
         "cache",

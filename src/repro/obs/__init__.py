@@ -10,8 +10,7 @@ end-to-end wall-clock can be attributed across every layer.
 * :mod:`repro.obs.recorder` — the :class:`Recorder` interface with its
   three modes (:class:`NullRecorder`, :class:`MetricsRecorder`,
   :class:`TraceRecorder`) and the process-global current recorder;
-* :mod:`repro.obs.metrics`  — the counter/histogram registry (moved
-  here from ``repro.service.metrics``);
+* :mod:`repro.obs.metrics`  — the counter/histogram registry;
 * :mod:`repro.obs.export`   — Chrome trace-event JSON and plain-text
   snapshot rendering.
 

@@ -10,8 +10,7 @@ sample lists — and quantiles (p50/p95/p99) are estimated by linear
 interpolation inside the covering bucket.
 
 ``snapshot()`` returns a plain JSON-safe dict; ``to_json()`` is the wire
-form the server answers ``metrics`` messages with.  (This module used to
-live at :mod:`repro.service.metrics`, which now re-exports it.)
+form the server answers ``metrics`` messages with.
 """
 
 from __future__ import annotations

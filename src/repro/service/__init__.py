@@ -21,18 +21,26 @@ design (Section 4, step 6) one level up:
 Counters, histograms and (optionally) spans are reported through
 :mod:`repro.obs` — the core's default recorder keeps the always-on
 metrics; install a :class:`~repro.obs.TraceRecorder` for Chrome-trace
-timelines (``repro trace``).  :mod:`repro.service.metrics` remains as a
-compatibility re-export of :mod:`repro.obs.metrics`.
+timelines (``repro trace``).  The metric primitives themselves
+(``Counter``/``Histogram``/``MetricsRegistry``) live in
+:mod:`repro.obs.metrics` and are re-exported here for convenience.
+
+For scale-out beyond one process, :mod:`repro.shard` fronts N worker
+processes — each running this package's server unchanged — behind one
+asyncio endpoint with consistent-hash routing on cache fingerprints.
 """
 
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.service.batcher import BatcherConfig, DynamicBatcher
 from repro.service.client import (
     AlignmentClient,
+    ConnectError,
     InProcClient,
     LoadGenerator,
     LoadReport,
+    RetryPolicy,
+    connect_with_retry,
 )
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
 from repro.service.pool import DevicePool
 from repro.service.protocol import (
     AlignRequest,
@@ -48,6 +56,7 @@ __all__ = [
     "AlignmentClient",
     "AlignmentServer",
     "BatcherConfig",
+    "ConnectError",
     "Counter",
     "DevicePool",
     "DynamicBatcher",
@@ -58,6 +67,8 @@ __all__ = [
     "MetricsRegistry",
     "ProtocolError",
     "ReplySlot",
+    "RetryPolicy",
     "ServiceCore",
     "Status",
+    "connect_with_retry",
 ]

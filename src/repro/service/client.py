@@ -12,6 +12,13 @@ are drawn from a seeded Poisson process at the offered rate and requests
 fire at their scheduled instants regardless of completions, so queueing
 delay shows up in the measured latency instead of throttling the
 offered load (closed-loop generators hide saturation).
+
+Failure handling is explicit rather than hung: ``connect_timeout``
+bounds the TCP handshake, ``read_timeout`` bounds how long an
+*outstanding* request may wait for any byte from the server (an idle
+connection is never torn down), and :func:`connect_with_retry` wraps
+construction in a bounded exponential backoff — the shape a caller
+needs when the server is still spawning shards.
 """
 
 from __future__ import annotations
@@ -109,15 +116,93 @@ class InProcClient:
         """No-op (the core's owner stops it)."""
 
 
+class ConnectError(ConnectionError):
+    """Raised when every connection attempt of a retry budget failed."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for connection attempts.
+
+    Attempt ``i`` (0-based) sleeps
+    ``min(max_delay_s, base_delay_s * multiplier ** i)`` before the
+    next try; after ``attempts`` failures the caller gives up.  The
+    schedule is deterministic — reproducible tests beat jittered ones
+    here, and a handful of clients retrying a local service do not
+    need thundering-herd protection.
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.1
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before the attempt after ``attempt`` (0-based)."""
+        return min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** attempt
+        )
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    policy: Optional[RetryPolicy] = None,
+    connect_timeout: float = 10.0,
+    read_timeout: Optional[float] = None,
+) -> "AlignmentClient":
+    """Connect to a service, retrying with backoff while it comes up.
+
+    Raises :class:`ConnectError` (chaining the last socket error) once
+    the policy's attempt budget is exhausted.
+    """
+    policy = policy or RetryPolicy()
+    last: Optional[OSError] = None
+    for attempt in range(policy.attempts):
+        try:
+            return AlignmentClient(
+                host, port,
+                connect_timeout=connect_timeout,
+                read_timeout=read_timeout,
+            )
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < policy.attempts:
+                time.sleep(policy.delay_s(attempt))
+    raise ConnectError(
+        f"could not connect to {host}:{port} after "
+        f"{policy.attempts} attempts: {last}"
+    ) from last
+
+
 class AlignmentClient:
-    """JSON-line TCP client with response demultiplexing by id."""
+    """JSON-line TCP client with response demultiplexing by id.
+
+    ``read_timeout`` bounds how long any *outstanding* request may go
+    without the server producing a byte; when it trips, every pending
+    request resolves as an error and the connection closes.  A quiet
+    connection with nothing in flight is left alone.
+    """
 
     def __init__(
-        self, host: str, port: int, connect_timeout: float = 10.0
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        read_timeout: Optional[float] = None,
     ) -> None:
         self._sock = socket.create_connection((host, port), connect_timeout)
+        self._read_timeout = read_timeout
+        self._sock.settimeout(read_timeout)
         self._wfile = self._sock.makefile("wb")
-        self._rfile = self._sock.makefile("rb")
         self._write_lock = threading.Lock()
         self._pending_lock = threading.Lock()
         self._pending: Dict[str, ReplySlot] = {}
@@ -138,35 +223,67 @@ class AlignmentClient:
             self._wfile.flush()
 
     def _read_loop(self) -> None:
-        """Demultiplex every incoming line to its waiting slot."""
+        """Demultiplex every incoming line to its waiting slot.
+
+        Reads raw ``recv`` chunks into a line buffer rather than
+        iterating a file object: a read timeout must be able to fire
+        *without* corrupting a partially received line, because an
+        idle-connection timeout is ignored and reading continues.
+        """
+        buffer = bytearray()
+        reason = "connection closed before a response arrived"
         try:
-            for raw in self._rfile:
-                line = raw.strip()
-                if not line:
-                    continue
+            while True:
                 try:
-                    message = decode_line(line)
-                except ProtocolError:
-                    continue
-                kind = message.get("type")
-                message_id = message.get("id")
-                if kind == "result" and message_id is not None:
+                    chunk = self._sock.recv(65536)
+                except socket.timeout:
                     with self._pending_lock:
-                        slot = self._pending.pop(message_id, None)
-                    if slot is not None:
-                        slot.resolve(AlignResponse.from_dict(message))
-                elif (
-                    kind in ("metrics", "metrics_text", "trace", "pong")
-                    and message_id is not None
-                ):
-                    with self._pending_lock:
-                        box = self._metrics_waiters.pop(message_id, None)
-                    if box is not None:
-                        box.put(message)
+                        overdue = bool(self._pending)
+                    if not overdue:
+                        continue
+                    reason = (
+                        "no response within the read timeout "
+                        f"({self._read_timeout}s)"
+                    )
+                    break
+                if not chunk:
+                    break
+                buffer.extend(chunk)
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    line = bytes(buffer[:newline]).strip()
+                    del buffer[:newline + 1]
+                    if line:
+                        self._dispatch_line(line)
         except (OSError, ValueError):
             pass
         finally:
-            self._fail_pending("connection closed before a response arrived")
+            self._fail_pending(reason)
+            self.close()
+
+    def _dispatch_line(self, line: bytes) -> None:
+        """Route one decoded server line to its waiter."""
+        try:
+            message = decode_line(line)
+        except ProtocolError:
+            return
+        kind = message.get("type")
+        message_id = message.get("id")
+        if kind == "result" and message_id is not None:
+            with self._pending_lock:
+                slot = self._pending.pop(message_id, None)
+            if slot is not None:
+                slot.resolve(AlignResponse.from_dict(message))
+        elif (
+            kind in ("metrics", "metrics_text", "trace", "pong")
+            and message_id is not None
+        ):
+            with self._pending_lock:
+                box = self._metrics_waiters.pop(message_id, None)
+            if box is not None:
+                box.put(message)
 
     def _fail_pending(self, reason: str) -> None:
         with self._pending_lock:
@@ -330,6 +447,29 @@ class LoadReport:
             "p99_ms": self.percentile_ms(0.99),
         }
 
+    @staticmethod
+    def merge(reports: Sequence["LoadReport"]) -> "LoadReport":
+        """Combine per-worker reports of one concurrent run.
+
+        Counts and offered load add; elapsed time is the slowest
+        worker's (they run simultaneously); latency samples pool, so
+        percentiles of the merged report are exact over every request.
+        """
+        if not reports:
+            raise ValueError("need at least one report to merge")
+        merged_latencies: List[float] = []
+        for report in reports:
+            merged_latencies.extend(report.latencies_ms)
+        return LoadReport(
+            offered_rps=sum(r.offered_rps for r in reports),
+            sent=sum(r.sent for r in reports),
+            ok=sum(r.ok for r in reports),
+            rejected=sum(r.rejected for r in reports),
+            errors=sum(r.errors for r in reports),
+            elapsed_s=max(r.elapsed_s for r in reports),
+            latencies_ms=merged_latencies,
+        )
+
     def summary(self) -> str:
         """One-line human rendering."""
         p50 = self.percentile_ms(0.50)
@@ -410,3 +550,65 @@ class LoadGenerator:
             elapsed_s=elapsed,
             latencies_ms=latencies,
         )
+
+    def run_concurrent(
+        self,
+        rate_rps: float,
+        n_requests: int,
+        concurrency: int,
+        deadline_ms: Optional[float] = None,
+        result_timeout: float = 120.0,
+    ) -> LoadReport:
+        """Offer the load from ``concurrency`` firing threads.
+
+        One open-loop thread caps out when the per-request submit cost
+        approaches the inter-arrival gap; splitting the offered rate
+        across workers keeps the *aggregate* arrival process honest at
+        rates a single thread cannot sustain (each worker draws its own
+        seeded Poisson gaps at ``rate/concurrency``).  Worker ``i``
+        starts at a rotated offset of the workload so concurrent
+        workers exercise different keys, and the merged report pools
+        every latency sample.
+        """
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if concurrency == 1:
+            return self.run(
+                rate_rps, n_requests,
+                deadline_ms=deadline_ms, result_timeout=result_timeout,
+            )
+        share, remainder = divmod(n_requests, concurrency)
+        results: List[Optional[LoadReport]] = [None] * concurrency
+        errors: List[BaseException] = []
+
+        def worker(index: int) -> None:
+            count = share + (1 if index < remainder else 0)
+            if count == 0:
+                return
+            offset = (index * len(self.workload)) // concurrency
+            rotated = self.workload[offset:] + self.workload[:offset]
+            generator = LoadGenerator(
+                self.client, rotated, seed=self.seed + index
+            )
+            try:
+                results[index] = generator.run(
+                    rate_rps / concurrency, count,
+                    deadline_ms=deadline_ms, result_timeout=result_timeout,
+                )
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(index,),
+                name=f"loadgen-{index}", daemon=True,
+            )
+            for index in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return LoadReport.merge([r for r in results if r is not None])

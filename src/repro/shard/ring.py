@@ -1,0 +1,182 @@
+"""Consistent-hash ring: cache fingerprints → shard names.
+
+Each shard owns many *virtual nodes* — points on a 64-bit ring derived
+by hashing ``"name#k"`` — and a key routes to the owner of the first
+point at or after the key's own position (wrapping at the top).  The
+two properties the serving tier leans on both fall out of that
+construction:
+
+* **balance** — with enough virtual nodes per shard (128 by default)
+  the arc lengths owned by each shard concentrate around the fair
+  share, so random fingerprints spread evenly;
+* **minimal remapping** — adding a shard only claims the arcs between
+  its new points and their predecessors (keys never move between two
+  surviving shards), and removing one only reassigns the arcs it
+  owned.  Each shard's memory-tier LRU therefore stays hot for its key
+  range across membership changes elsewhere in the ring.
+
+Keys are :mod:`repro.cache` fingerprints (SHA-256 hex): the leading
+:data:`PREFIX_HEX_CHARS` characters *are* the ring position — already
+uniform, no re-hashing needed.  Non-hex keys fall back to hashing, so
+the ring is usable for any string key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+#: Leading fingerprint characters used as the 64-bit ring position.
+PREFIX_HEX_CHARS = 16
+
+#: Default virtual nodes per shard (balance/memory trade-off).
+DEFAULT_VNODES = 128
+
+_RING_BITS = 64
+_RING_SIZE = 1 << _RING_BITS
+
+
+def key_point(key: str) -> int:
+    """Ring position of a key.
+
+    A hex key (a cache fingerprint) positions by its first
+    :data:`PREFIX_HEX_CHARS` characters; anything else is hashed first,
+    so arbitrary strings still spread uniformly.
+    """
+    prefix = key[:PREFIX_HEX_CHARS]
+    try:
+        point = int(prefix, 16)
+    except ValueError:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+    # Short hex keys shift up so "ab" and "ab000..." agree on position.
+    return (point << (4 * (PREFIX_HEX_CHARS - len(prefix)))) % _RING_SIZE
+
+
+def node_point(node: str, replica: int) -> int:
+    """Ring position of one virtual node of ``node``."""
+    digest = hashlib.sha256(f"{node}#{replica}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named shards.
+
+    Membership operations (:meth:`add` / :meth:`remove`) rebuild the
+    sorted point list — they are rare control-plane events; lookups are
+    a single binary search.
+    """
+
+    def __init__(self, nodes: Tuple[str, ...] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: Dict[str, List[int]] = {}
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Insert a shard (idempotent is an error: names must be unique)."""
+        if not node:
+            raise ValueError("shard name must be non-empty")
+        if node in self._nodes:
+            raise ValueError(f"shard {node!r} is already on the ring")
+        self._nodes[node] = [node_point(node, k) for k in range(self.vnodes)]
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Evict a shard; its arcs fall to the ring's survivors."""
+        if node not in self._nodes:
+            raise KeyError(f"shard {node!r} is not on the ring")
+        del self._nodes[node]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Re-sort the point list after a membership change.
+
+        Colliding points (astronomically unlikely with 64-bit hashes)
+        resolve by node-name order, so every process that saw the same
+        membership routes identically.
+        """
+        pairs = sorted(
+            (point, node)
+            for node, points in self._nodes.items()
+            for point in points
+        )
+        self._points = [point for point, _node in pairs]
+        self._owners = [node for _point, node in pairs]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current shard names, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        """Number of shards on the ring."""
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        """Whether a shard is on the ring."""
+        return node in self._nodes
+
+    # -- routing -------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """Owner of ``key`` (a fingerprint or any string).
+
+        Raises :class:`LookupError` on an empty ring — the caller turns
+        that into a reject-not-drop response.
+        """
+        if not self._points:
+            raise LookupError("the ring has no shards")
+        return self.route_point(key_point(key))
+
+    def route_point(self, point: int) -> str:
+        """Owner of an explicit 64-bit ring position."""
+        if not self._points:
+            raise LookupError("the ring has no shards")
+        index = bisect.bisect_left(self._points, point % _RING_SIZE)
+        if index == len(self._points):
+            index = 0  # wrap past the highest point to the first
+        return self._owners[index]
+
+    # -- introspection -------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary (shard names, vnode count, point total)."""
+        return {
+            "nodes": self.nodes,
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }
+
+    def load_split(self, keys: List[str]) -> Dict[str, int]:
+        """Histogram of ``keys`` by owning shard (test/diagnostic aid)."""
+        split: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            split[self.route(key)] += 1
+        return split
+
+
+def arc_share(ring: HashRing, node: Optional[str] = None) -> Dict[str, float]:
+    """Fraction of the 64-bit ring owned by each shard (or one shard).
+
+    The exact stationary load split for uniformly distributed keys —
+    what the balance test bounds without needing millions of samples.
+    """
+    points = ring._points
+    owners = ring._owners
+    if not points:
+        return {}
+    shares: Dict[str, float] = {name: 0.0 for name in ring.nodes}
+    for index, owner in enumerate(owners):
+        previous = points[index - 1] if index > 0 else points[-1] - _RING_SIZE
+        shares[owner] += (points[index] - previous) / _RING_SIZE
+    if node is not None:
+        return {node: shares[node]}
+    return shares

@@ -1,0 +1,84 @@
+"""Front-door request fingerprinting: the routing key *is* the cache key.
+
+Routing on anything other than the exact :mod:`repro.cache` fingerprint
+would defeat the point of sharding by key range — a request would land
+on one shard while its cached result lives on another.  So the front
+door computes, per deployed kernel, the same
+:func:`~repro.cache.fingerprint.runtime_fingerprint` that every worker's
+:class:`~repro.cache.CachedRuntime` derives for its runtimes, and folds
+each request's sequences in through
+:func:`~repro.cache.fingerprint.pair_fingerprint`.  Identical request →
+identical fingerprint → identical shard → that shard's memory LRU stays
+hot for its key range; and when caching is enabled, the fingerprint the
+worker attaches to the response equals the one routing used.
+
+Runtime keys depend on the synthesized initiation interval, so building
+a router synthesizes each deployed kernel once (the same work every
+worker performs when constructing its runtimes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cache.fingerprint import pair_fingerprint, runtime_fingerprint
+from repro.shard.deployment import Deployment
+
+
+class FingerprintRouter:
+    """Per-kernel runtime keys + per-request pair fingerprints."""
+
+    def __init__(self, runtime_keys: Dict[int, str]) -> None:
+        if not runtime_keys:
+            raise ValueError("a router needs at least one deployed kernel")
+        self.runtime_keys = dict(runtime_keys)
+
+    @classmethod
+    def from_deployment(cls, deployment: Deployment) -> "FingerprintRouter":
+        """Derive the runtime key of every kernel in a deployment.
+
+        Matches :class:`~repro.cache.CachedRuntime` exactly: spec
+        surface, effective params (deployment override or the spec
+        default), ``n_pe``, the synthesized ``ii`` and the deployed
+        length maxima.
+        """
+        from repro.synth import synthesize
+
+        config = deployment.launch_config()
+        keys: Dict[int, str] = {}
+        for spec in deployment.specs():
+            params = deployment.params_by_kernel.get(spec.kernel_id)
+            if params is None:
+                params = spec.default_params
+            report = synthesize(spec, config)
+            keys[spec.kernel_id] = runtime_fingerprint(
+                spec, params, config.n_pe, report.ii,
+                config.max_query_len, config.max_ref_len,
+            )
+        return cls(keys)
+
+    # -- lookup --------------------------------------------------------
+
+    def kernel_ids(self) -> List[int]:
+        """Deployed kernel ids, ascending (mirrors the pool's view)."""
+        return sorted(self.runtime_keys)
+
+    def supports(self, kernel_id: int) -> bool:
+        """Whether requests for ``kernel_id`` can be routed."""
+        return kernel_id in self.runtime_keys
+
+    def key(
+        self,
+        kernel_id: int,
+        query: Sequence,
+        reference: Sequence,
+    ) -> str:
+        """Content-addressed fingerprint of one request."""
+        try:
+            runtime_key = self.runtime_keys[kernel_id]
+        except KeyError:
+            raise KeyError(
+                f"kernel #{kernel_id} is not deployed "
+                f"(deployed: {self.kernel_ids()})"
+            ) from None
+        return pair_fingerprint(runtime_key, query, reference)

@@ -1,11 +1,11 @@
-"""Tests for the service metrics layer (counters, histograms, registry)."""
+"""Tests for the obs metrics layer (counters, histograms, registry)."""
 
 import json
 import threading
 
 import pytest
 
-from repro.service.metrics import (
+from repro.obs.metrics import (
     Counter,
     Histogram,
     MetricsRegistry,

@@ -1,0 +1,192 @@
+"""Consistent-hash ring properties the serving tier depends on.
+
+Three guarantees are pinned: routing is a pure deterministic function
+of (membership, key); the arc shares every shard owns stay close to
+the fair split (balance); and membership changes move only the keys
+they must (minimal remapping) — the property that keeps each shard's
+memory-tier cache hot across join/leave events elsewhere in the ring.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.shard.ring import (
+    DEFAULT_VNODES,
+    PREFIX_HEX_CHARS,
+    HashRing,
+    arc_share,
+    key_point,
+    node_point,
+)
+
+
+def fingerprints(n, salt=""):
+    """Deterministic SHA-256 hex keys, shaped like cache fingerprints."""
+    return [
+        hashlib.sha256(f"{salt}pair-{i}".encode()).hexdigest()
+        for i in range(n)
+    ]
+
+
+class TestKeyPoint:
+    """The key → 64-bit position mapping."""
+
+    def test_hex_prefix_is_the_position(self):
+        key = "deadbeefcafef00d" + "0" * 48
+        assert key_point(key) == int("deadbeefcafef00d", 16)
+
+    def test_prefix_truncation(self):
+        full = fingerprints(1)[0]
+        assert key_point(full) == key_point(full[:PREFIX_HEX_CHARS])
+
+    def test_short_hex_keys_shift_up(self):
+        # "ab" positions as "ab" + zero padding, not as the integer 0xab.
+        assert key_point("ab") == key_point("ab" + "0" * 14)
+        assert key_point("ab") == 0xAB << (4 * 14)
+
+    def test_non_hex_falls_back_to_hashing(self):
+        point = key_point("not hex at all!")
+        assert 0 <= point < (1 << 64)
+        assert point == key_point("not hex at all!")
+
+    def test_node_points_differ_by_replica(self):
+        points = {node_point("shard-00", k) for k in range(64)}
+        assert len(points) == 64
+
+
+class TestMembership:
+    """Ring membership bookkeeping."""
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(("a",))
+        with pytest.raises(ValueError):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing(("a",)).remove("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing().add("")
+
+    def test_vnode_floor(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_len_contains_nodes(self):
+        ring = HashRing(("b", "a"))
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ["a", "b"]
+
+    def test_describe_counts_points(self):
+        ring = HashRing(("a", "b"), vnodes=32)
+        assert ring.describe() == {
+            "nodes": ["a", "b"], "vnodes": 32, "points": 64,
+        }
+
+    def test_empty_ring_raises_lookup_error(self):
+        with pytest.raises(LookupError):
+            HashRing().route("ab" * 32)
+
+
+class TestDeterminism:
+    """Same membership + same key → same shard, everywhere, always."""
+
+    def test_route_is_stable_across_instances(self):
+        keys = fingerprints(200)
+        ring_a = HashRing(("shard-00", "shard-01", "shard-02"))
+        ring_b = HashRing(("shard-02", "shard-00", "shard-01"))
+        assert [ring_a.route(k) for k in keys] == [
+            ring_b.route(k) for k in keys
+        ]
+
+    def test_route_survives_unrelated_churn(self):
+        # Adding then removing an unrelated shard must restore the
+        # exact original routing table.
+        keys = fingerprints(300)
+        ring = HashRing(("shard-00", "shard-01"))
+        before = [ring.route(k) for k in keys]
+        ring.add("shard-02")
+        ring.remove("shard-02")
+        assert [ring.route(k) for k in keys] == before
+
+    def test_single_node_takes_everything(self):
+        ring = HashRing(("only",))
+        assert set(ring.load_split(fingerprints(64)).values()) == {64}
+
+
+class TestBalance:
+    """Arc shares concentrate near the fair split."""
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_arc_share_within_factor_of_fair(self, n_shards):
+        ring = HashRing(
+            tuple(f"shard-{i:02d}" for i in range(n_shards)),
+            vnodes=DEFAULT_VNODES,
+        )
+        shares = arc_share(ring)
+        fair = 1.0 / n_shards
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        for name, share in shares.items():
+            # With 128 vnodes the arc share stays well within 2x of
+            # fair — loose enough to be hash-stable, tight enough to
+            # catch a broken point distribution.
+            assert fair / 2 < share < fair * 2, (name, share)
+
+    def test_sampled_split_matches_arc_share(self):
+        ring = HashRing(("shard-00", "shard-01", "shard-02"))
+        keys = fingerprints(3000)
+        split = ring.load_split(keys)
+        shares = arc_share(ring)
+        assert sum(split.values()) == len(keys)
+        for name in ring.nodes:
+            observed = split[name] / len(keys)
+            assert abs(observed - shares[name]) < 0.05, name
+
+
+class TestMinimalRemap:
+    """Joins claim keys only for themselves; leaves spill only their own."""
+
+    def test_join_moves_keys_only_to_the_joiner(self):
+        keys = fingerprints(2000)
+        ring = HashRing(("shard-00", "shard-01", "shard-02"))
+        before = {k: ring.route(k) for k in keys}
+        ring.add("shard-03")
+        moved = 0
+        for key in keys:
+            after = ring.route(key)
+            if after != before[key]:
+                assert after == "shard-03", (
+                    "a key moved between two surviving shards on join"
+                )
+                moved += 1
+        # The joiner should take roughly its fair share (1/4) and
+        # certainly not more than the 1/2 a naive mod-N remap would.
+        assert 0 < moved / len(keys) < 0.5
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        keys = fingerprints(2000)
+        ring = HashRing(("shard-00", "shard-01", "shard-02", "shard-03"))
+        before = {k: ring.route(k) for k in keys}
+        ring.remove("shard-02")
+        for key in keys:
+            after = ring.route(key)
+            if before[key] == "shard-02":
+                assert after != "shard-02"
+            else:
+                assert after == before[key], (
+                    "a surviving shard's key moved on an unrelated leave"
+                )
+
+    def test_rejoin_restores_ownership(self):
+        # A shard that leaves and returns owns exactly its old range —
+        # the warm-start property of the per-shard disk journals.
+        keys = fingerprints(1000)
+        ring = HashRing(("shard-00", "shard-01", "shard-02"))
+        before = {k: ring.route(k) for k in keys}
+        ring.remove("shard-01")
+        ring.add("shard-01")
+        assert {k: ring.route(k) for k in keys} == before
