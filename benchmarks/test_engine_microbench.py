@@ -4,9 +4,13 @@ Measures the functional systolic engine's and the compiled wavefront
 backend's cell-update rates — useful when sizing functional verification
 campaigns (the paper's C-simulation step) and the evidence behind
 serving on the compiled backend.  Besides the rendered table this writes
-``BENCH_engine.json`` at the repo root: machine-readable cells/sec per
-backend, the speedup ratio and p50/p95 per-pair latency, validated by
-the ``smoke-compiled`` CI job.
+``BENCH_engine.json`` at the repo root (schema ``bench-engine/v2``):
+machine-readable cells/sec per backend, the speedup ratio, p50/p95
+per-pair latency, and — since v2 — the batched lockstep sweep's
+throughput at service-sized pairs (``batched.cells_per_sec``,
+``batch_size``, ``batched_speedup_vs_single``; every v1 field is
+unchanged so history stays comparable).  Validated by the
+``smoke-compiled`` CI job.
 """
 
 import json
@@ -15,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.backend import compiled_align
+from repro.backend import compiled_align, compiled_align_batch
 from repro.kernels import get_kernel
 from repro.reference import oracle_align
 from repro.systolic import align
@@ -25,6 +29,10 @@ from .conftest import emit
 
 LENGTH = 96
 BENCH_LENGTH = 256
+#: The batched section measures the serving shape: short pairs, whole
+#: batcher flushes (BENCH_service.json uses length-48 pairs too).
+BATCH_PAIR_LENGTH = 48
+BATCH_SIZE = 64
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
@@ -106,7 +114,7 @@ def test_backend_speedup_writes_bench_json():
         }
 
     doc = {
-        "schema": "bench-engine/v1",
+        "schema": "bench-engine/v2",
         "kernel": spec.name,
         "query_len": len(query),
         "ref_len": len(reference),
@@ -116,6 +124,7 @@ def test_backend_speedup_writes_bench_json():
             "systolic": stats(systolic),
             "compiled": stats(compiled),
         },
+        "batched": _bench_batched(spec),
     }
     doc["speedup"] = (
         doc["backends"]["compiled"]["cells_per_sec"]
@@ -132,8 +141,64 @@ def test_backend_speedup_writes_bench_json():
             f"p50 {s['p50_ms']:.2f} ms  p95 {s['p95_ms']:.2f} ms"
         )
     lines.append(f"  speedup: {doc['speedup']:.1f}x")
+    batched = doc["batched"]
+    lines.append(
+        f"  batched ({batched['batch_size']}x len "
+        f"{batched['pair_length']}): {batched['cells_per_sec']:,.0f} "
+        f"cells/s, {batched['batched_speedup_vs_single']:.1f}x over "
+        f"single-pair compiled"
+    )
     emit("engine_microbench", "\n".join(lines))
 
     # the acceptance bar is 10x; assert conservatively so a loaded CI
     # machine does not flake the build
     assert doc["speedup"] >= 5.0
+    # committed-artifact bar is 3x (asserted by CI); conservative here
+    assert batched["batched_speedup_vs_single"] >= 2.0
+
+
+def _bench_batched(spec):
+    """Batched lockstep sweep vs per-pair compiled at the serving shape.
+
+    Service-sized pairs (length :data:`BATCH_PAIR_LENGTH` <= 64) in one
+    :data:`BATCH_SIZE`-pair flush (>= 32), as the batcher would hand the
+    pool — the regime where per-diagonal dispatch overhead dominates a
+    single-pair sweep.
+    """
+    pairs = []
+    for index in range(BATCH_SIZE):
+        reference = random_dna(BATCH_PAIR_LENGTH, seed=100 + index)
+        query = mutated_copy(
+            reference, seed=200 + index
+        )[:BATCH_PAIR_LENGTH]
+        pairs.append((query, reference))
+    cells = sum(len(q) * len(r) for q, r in pairs)
+
+    # warm-up both paths (compile cache, allocations)
+    compiled_align(spec, *pairs[0], n_pe=16)
+    compiled_align_batch(spec, pairs[:4], n_pe=16)
+
+    t0 = time.perf_counter()
+    for query, reference in pairs:
+        compiled_align(spec, query, reference, n_pe=16)
+    single_s = time.perf_counter() - t0
+
+    reps = 5
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        results = compiled_align_batch(spec, pairs, n_pe=16)
+        samples.append(time.perf_counter() - t0)
+        assert len(results) == BATCH_SIZE
+    samples.sort()
+    batched_s = _percentile(samples, 50)
+
+    return {
+        "pair_length": BATCH_PAIR_LENGTH,
+        "batch_size": BATCH_SIZE,
+        "reps": reps,
+        "cells_per_sec": cells / batched_s,
+        "single_cells_per_sec": cells / single_s,
+        "p50_batch_ms": batched_s * 1e3,
+        "batched_speedup_vs_single": single_s / batched_s,
+    }

@@ -18,9 +18,15 @@ and the ``repro serve``/``loadgen``/``campaign`` CLIs routes through it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
-from repro.backend.compiler import CompiledKernel, UnsupportedSpecError, lower
+from repro.backend.batch import compiled_align_batch
+from repro.backend.compiler import (
+    CompiledKernel,
+    UnsupportedSpecError,
+    lower,
+    prewarm,
+)
 from repro.backend.wavefront import compiled_align
 
 
@@ -36,6 +42,18 @@ BACKENDS: Dict[str, Callable[..., Any]] = {
     "compiled": compiled_align,
 }
 
+#: Backend name -> whole-batch align callable (one call, B results),
+#: for backends that amortize dispatch across pairs.  Absence means the
+#: backend has no batched fast path and callers fall back to per-pair.
+BATCH_BACKENDS: Dict[str, Callable[..., Any]] = {
+    "compiled": compiled_align_batch,
+}
+
+
+def get_batch_backend(name: str) -> Optional[Callable[..., Any]]:
+    """Resolve a backend name to its batched align callable, if any."""
+    return BATCH_BACKENDS.get(name)
+
 
 def get_backend(name: str) -> Callable[..., Any]:
     """Resolve a backend name to its align callable."""
@@ -50,9 +68,13 @@ def get_backend(name: str) -> Callable[..., Any]:
 
 __all__ = [
     "BACKENDS",
+    "BATCH_BACKENDS",
     "CompiledKernel",
     "UnsupportedSpecError",
     "compiled_align",
+    "compiled_align_batch",
     "get_backend",
+    "get_batch_backend",
     "lower",
+    "prewarm",
 ]

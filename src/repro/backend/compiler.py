@@ -231,6 +231,21 @@ def lower(spec: KernelSpec, params: Any = None) -> CompiledKernel:
     return compiled
 
 
+def prewarm(spec: KernelSpec, params: Any = None) -> bool:
+    """Compile ``spec`` now so the first request doesn't pay for lowering.
+
+    Returns ``True`` when the spec lowered (or was already cached) and
+    ``False`` when it is outside the compiled surface — callers on the
+    serving ready path treat that as "this kernel stays on the systolic
+    backend", not as an error.
+    """
+    try:
+        lower(spec, params)
+    except UnsupportedSpecError:
+        return False
+    return True
+
+
 def runtime_params(params: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
     """Split a ScoringParams instance into (scalar dict, table dict)."""
     scalars: Dict[str, Any] = {}

@@ -82,6 +82,102 @@ def _take(symbols: Any, idx: np.ndarray) -> Any:
     return symbols[idx]
 
 
+def select_start(
+    spec: KernelSpec,
+    layer: np.ndarray,
+    computed: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+) -> Tuple[float, Tuple[int, int]]:
+    """Locate the reported score / traceback start cell of one matrix.
+
+    ``layer`` and ``computed`` are the score layer and computed-cell mask
+    of one (n_rows+1, n_cols+1) DP matrix.  NumPy's first-occurrence tie
+    rule over the row-major flattened matrix equals the engine's
+    smallest-(i, j) tie break; the batched driver reuses this on per-pair
+    slices, where row-major order is likewise (i, j)-lexicographic.
+    """
+    if spec.start_rule is StartRule.BOTTOM_RIGHT:
+        if not computed[n_rows, n_cols]:
+            raise SystolicAlignmentError(
+                f"{spec.name}: bottom-right cell was never computed"
+            )
+        return layer[n_rows, n_cols], (n_rows, n_cols)
+    eligible = computed.copy()
+    if spec.start_rule is StartRule.LAST_ROW_MAX:
+        eligible[:n_rows, :] = False
+    elif spec.start_rule is StartRule.LAST_ROW_OR_COL_MAX:
+        edge = np.zeros_like(eligible)
+        edge[n_rows, :] = True
+        edge[:, n_cols] = True
+        eligible &= edge
+    if not eligible.any():
+        raise TracebackError(
+            f"{spec.name}: no cell satisfied start rule "
+            f"{spec.start_rule.value}"
+        )
+    if spec.objective is Objective.MAXIMIZE:
+        flat = int(np.argmax(np.where(eligible, layer, -np.inf)))
+    else:
+        flat = int(np.argmin(np.where(eligible, layer, np.inf)))
+    si, sj = divmod(flat, n_cols + 1)
+    return layer[si, sj], (si, sj)
+
+
+def cycle_report(
+    spec: KernelSpec,
+    n_rows: int,
+    n_cols: int,
+    n_pe: int,
+    ii: int,
+    traceback_cycles: int,
+    model_interface: bool,
+) -> CycleReport:
+    """Closed-form :class:`CycleReport` of one pair on the modelled array.
+
+    The same arithmetic the systolic engine accumulates while running,
+    reconstructed from the chunk schedule.
+    """
+    chunks = chunk_schedules(n_rows, n_cols, n_pe, spec.banding)
+    total_wavefronts = sum(len(chunk.wavefronts) for chunk in chunks)
+    if spec.start_rule is StartRule.BOTTOM_RIGHT:
+        reduction_cycles = 0
+    else:
+        reduction_cycles = max(1, math.ceil(math.log2(max(2, n_pe)))) + 2
+    return CycleReport(
+        init_cycles=(n_cols + 1) + (n_rows + 1),
+        load_cycles=n_rows,
+        compute_cycles=total_wavefronts * ii,
+        reduction_cycles=reduction_cycles,
+        traceback_cycles=traceback_cycles,
+        interface_cycles=(
+            INTERFACE_CYCLES_PER_BASE * (n_rows + n_cols)
+            if model_interface else 0
+        ),
+        wavefronts=total_wavefronts,
+        ii=ii,
+    )
+
+
+def assemble_matrix(
+    spec: KernelSpec,
+    row0: np.ndarray,
+    col0: np.ndarray,
+    work: np.ndarray,
+    computed: np.ndarray,
+) -> np.ndarray:
+    """Collected DP matrix: dtype inferred from the sentinel (int64 for
+    ap_int kernels), init row/col *unmasked* — same construction as the
+    engine and oracle."""
+    sentinel = spec.sentinel()
+    matrix = np.full(work.shape, sentinel)
+    matrix[:, 0, :] = row0.T
+    matrix[:, :, 0] = col0.T
+    for k in range(spec.n_layers):
+        matrix[k][computed] = work[k][computed].astype(matrix.dtype)
+    return matrix
+
+
 def compiled_align(
     spec: KernelSpec,
     query: Sequence[Any],
@@ -203,35 +299,9 @@ def _align_impl(
     # ------------------------------------------------------------------
     # locate the reported score / traceback start cell
     # ------------------------------------------------------------------
-    if spec.start_rule is StartRule.BOTTOM_RIGHT:
-        if not computed[n_rows, n_cols]:
-            raise SystolicAlignmentError(
-                f"{spec.name}: bottom-right cell was never computed"
-            )
-        raw_score = work[score_layer, n_rows, n_cols]
-        start = (n_rows, n_cols)
-    else:
-        eligible = computed.copy()
-        if spec.start_rule is StartRule.LAST_ROW_MAX:
-            eligible[:n_rows, :] = False
-        elif spec.start_rule is StartRule.LAST_ROW_OR_COL_MAX:
-            edge = np.zeros_like(eligible)
-            edge[n_rows, :] = True
-            edge[:, n_cols] = True
-            eligible &= edge
-        if not eligible.any():
-            raise TracebackError(
-                f"{spec.name}: no cell satisfied start rule "
-                f"{spec.start_rule.value}"
-            )
-        layer = work[score_layer]
-        if spec.objective is Objective.MAXIMIZE:
-            flat = int(np.argmax(np.where(eligible, layer, -np.inf)))
-        else:
-            flat = int(np.argmin(np.where(eligible, layer, np.inf)))
-        si, sj = divmod(flat, n_cols + 1)
-        raw_score = layer[si, sj]
-        start = (si, sj)
+    raw_score, start = select_start(
+        spec, work[score_layer], computed, n_rows, n_cols
+    )
     # Restore the scalar engine's score type (Python int for ap_int
     # kernels, float for ap_fixed) — quantize is idempotent on already
     # quantized values.
@@ -253,41 +323,19 @@ def _align_impl(
     # cycle model: reconstructed from the chunk schedule in closed form —
     # the same arithmetic the systolic engine accumulates while running.
     # ------------------------------------------------------------------
-    chunks = chunk_schedules(n_rows, n_cols, n_pe, banding)
-    total_wavefronts = sum(len(chunk.wavefronts) for chunk in chunks)
-    if spec.start_rule is StartRule.BOTTOM_RIGHT:
-        reduction_cycles = 0
-    else:
-        reduction_cycles = max(1, math.ceil(math.log2(max(2, n_pe)))) + 2
-    cycles = CycleReport(
-        init_cycles=(n_cols + 1) + (n_rows + 1),
-        load_cycles=n_rows,
-        compute_cycles=total_wavefronts * ii,
-        reduction_cycles=reduction_cycles,
-        traceback_cycles=traceback_cycles,
-        interface_cycles=(
-            INTERFACE_CYCLES_PER_BASE * (n_rows + n_cols)
-            if model_interface else 0
-        ),
-        wavefronts=total_wavefronts,
-        ii=ii,
+    cycles = cycle_report(
+        spec, n_rows, n_cols, n_pe, ii, traceback_cycles, model_interface
     )
 
     if recorder.enabled:
         recorder.count("engine.alignments")
-        recorder.count("engine.wavefronts", total_wavefronts)
+        recorder.count("engine.wavefronts", cycles.wavefronts)
         recorder.count("engine.cells", cells_evaluated)
         recorder.count("engine.cells_total{backend=compiled}", cells_evaluated)
 
     matrix: Optional[np.ndarray] = None
     if collect_matrix:
-        # Same construction as the engine/oracle: dtype inferred from the
-        # sentinel (int64 for ap_int kernels), init row/col *unmasked*.
-        matrix = np.full((n_layers, n_rows + 1, n_cols + 1), sentinel)
-        matrix[:, 0, :] = row0.T
-        matrix[:, :, 0] = col0.T
-        for k in range(n_layers):
-            matrix[k][computed] = work[k][computed].astype(matrix.dtype)
+        matrix = assemble_matrix(spec, row0, col0, work, computed)
 
     if alignment is not None:
         end = (alignment.query_start, alignment.ref_start)

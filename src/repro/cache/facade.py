@@ -14,8 +14,10 @@ stack's own stats.
 to callers: it wraps a :class:`~repro.host.runtime.DeviceRuntime`,
 exposes the same ``run`` batch API, and serves each pair from the
 tiers when possible — only the misses reach the wrapped runtime (as
-one batch, so host-side parallelism still applies), and concurrent
-identical pairs across threads coalesce onto one engine execution.
+one *deduped* batch, so host-side parallelism still applies and the
+compiled backend's whole-batch lockstep sweep covers every distinct
+miss in one call), and concurrent identical pairs across threads
+coalesce onto one engine execution.
 Its outcome is a :class:`CachedBatchOutcome` carrying the per-pair
 fingerprints and hit flags the serving layer forwards to clients.
 

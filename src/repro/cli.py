@@ -295,7 +295,8 @@ def cmd_serve(args) -> int:
             f"{h.name}:{h.port}" for h in server.manager.handles()
         )
         print(f"serving kernels {list(deployment.kernel_ids)} on "
-              f"{host}:{port} ({args.shards} shards: {shard_ports})",
+              f"{host}:{port} ({args.shards} shards: {shard_ports}, "
+              f"backend={deployment.backend})",
               flush=True)
         snapshot = {}
         stop = threading.Event()
@@ -324,7 +325,8 @@ def cmd_serve(args) -> int:
     _print_deployed(deployment.kernel_ids)
     print(f"serving kernels {list(deployment.kernel_ids)} on {host}:{port} "
           f"({len(core.pool.members)} runtimes, max_batch={args.max_batch}, "
-          f"max_delay={args.max_delay_ms}ms, queue_bound={args.queue_bound})",
+          f"max_delay={args.max_delay_ms}ms, queue_bound={args.queue_bound}, "
+          f"backend={deployment.backend})",
           flush=True)
     try:
         server.serve_forever()

@@ -10,9 +10,15 @@ batch-level throughput and utilization.
 the functional work across CPU cores through :mod:`repro.parallel` — the
 software mirror of the N_K channel fan-out — while the performance model
 still accounts for the *device's* concurrency, and a failing pair becomes
-a structured error record instead of aborting the batch.  The historical
-``align_one`` / ``align_batch`` / ``submit`` trio survives as deprecated
-shims over ``run``.
+a structured error record instead of aborting the batch.  When the
+backend has a whole-batch fast path (``backend="compiled"``), the serial
+path hands the entire batch to one
+:func:`repro.backend.compiled_align_batch` sweep instead — bit-identical
+results, dispatch overhead amortized across pairs — controlled by the
+``batch_exec=`` knob and falling back to per-pair execution (and its
+failure isolation) if the sweep raises.  The historical ``align_one`` /
+``align_batch`` / ``submit`` trio survives as deprecated shims over
+``run``.
 
 Execution reports through the current :mod:`repro.obs` recorder: a
 ``host.run`` span brackets the batch, with child ``host.execute``
@@ -87,13 +93,22 @@ class DeviceRuntime:
         params: Any = None,
         backend: str = "systolic",
     ) -> None:
-        from repro.backend import get_backend
+        from repro.backend import get_backend, get_batch_backend
 
         self.spec = spec
         self.config = config or LaunchConfig()
         self.params = params if params is not None else spec.default_params
         self.backend = backend
         self._align_fn = get_backend(backend)
+        self._batch_fn = get_batch_backend(backend)
+        if self._batch_fn is not None:
+            # Pre-warm lowering on the construction path (memoized in the
+            # compiler cache) so the first request never pays for it;
+            # specs outside the compiled surface keep failing lazily at
+            # align time, exactly as before.
+            from repro.backend import prewarm
+
+            prewarm(spec, self.params)
         self.report: SynthesisReport = synthesize(spec, self.config)
         if not self.report.feasible:
             raise ValueError(
@@ -111,6 +126,7 @@ class DeviceRuntime:
         *,
         workers: Optional[int] = None,
         timeout: Optional[float] = None,
+        batch_exec: Optional[bool] = None,
     ) -> BatchOutcome:
         """Align a batch with host-side parallelism and failure isolation.
 
@@ -124,43 +140,89 @@ class DeviceRuntime:
         are unaffected.  An empty batch is a no-op: the scheduler
         already models it as a zero-cycle schedule, so online callers
         (the service batcher) never special-case it.
+
+        ``batch_exec`` selects the whole-batch fast path — one
+        :func:`repro.backend.compiled_align_batch` sweep instead of N
+        per-pair calls.  ``None`` (the default) uses it automatically
+        whenever the backend has one (``backend="compiled"``) and the
+        serial path applies; ``False`` forces per-pair execution;
+        ``True`` demands a batched backend and raises if there is none.
+        Results are bit-identical either way, so if the batched sweep
+        raises (for instance one malformed pair poisoning the batch)
+        the runtime transparently re-runs the batch per pair, restoring
+        per-pair failure isolation.
         """
         n_workers = 1 if workers is None else workers
+        if batch_exec and self._batch_fn is None:
+            raise ValueError(
+                f"backend {self.backend!r} has no batched fast path; "
+                f"use batch_exec=False or backend='compiled'"
+            )
+        use_batch = (
+            n_workers == 1
+            and timeout is None
+            and self._batch_fn is not None
+            and batch_exec is not False
+        )
         recorder = get_recorder()
         pairs = list(pairs)
         with recorder.span(
             "host.run", kernel=self.spec.name, pairs=len(pairs),
             workers=n_workers,
         ):
-            executor = ParallelExecutor(workers=n_workers, timeout=timeout)
+            results: Optional[List[Optional[AlignmentResult]]] = None
+            errors: List[WorkError] = []
             with recorder.span("host.execute", pairs=len(pairs)):
-                if n_workers == 1:
-                    def task(pair, _seed):
-                        return self._align_pair(*pair)
+                if use_batch:
+                    try:
+                        results = list(self._batch_fn(
+                            self.spec, pairs, params=self.params,
+                            n_pe=self.config.n_pe, ii=self.report.ii,
+                            max_query_len=self.config.max_query_len,
+                            max_ref_len=self.config.max_ref_len,
+                        ))
+                        if recorder.enabled:
+                            recorder.count("host.batched_fast_path")
+                    except Exception:
+                        # fall through to the per-pair path, which turns
+                        # the failing pair(s) into WorkError records
+                        # instead of poisoning the whole batch
+                        results = None
+                if results is None:
+                    executor = ParallelExecutor(
+                        workers=n_workers, timeout=timeout
+                    )
+                    if n_workers == 1:
+                        def task(pair, _seed):
+                            return self._align_pair(*pair)
 
-                    batch_result = executor.map(task, pairs)
-                else:
-                    from repro.kernels import is_registered
+                        batch_result = executor.map(task, pairs)
+                    else:
+                        from repro.kernels import is_registered
 
-                    if not is_registered(self.spec):
-                        raise ValueError(
-                            f"parallel submission needs a registered kernel "
-                            f"so workers can resolve it by id; "
-                            f"{self.spec.name!r} is not kernel "
-                            f"#{self.spec.kernel_id} in the registry — "
-                            f"use workers=1"
+                        if not is_registered(self.spec):
+                            raise ValueError(
+                                f"parallel submission needs a registered "
+                                f"kernel so workers can resolve it by id; "
+                                f"{self.spec.name!r} is not kernel "
+                                f"#{self.spec.kernel_id} in the registry — "
+                                f"use workers=1"
+                            )
+                        payloads = [
+                            (
+                                self.spec.kernel_id, self.backend,
+                                self.params,
+                                self.config.n_pe, self.report.ii,
+                                self.config.max_query_len,
+                                self.config.max_ref_len, query, reference,
+                            )
+                            for query, reference in pairs
+                        ]
+                        batch_result = executor.map(
+                            _align_pair_task, payloads
                         )
-                    payloads = [
-                        (
-                            self.spec.kernel_id, self.backend, self.params,
-                            self.config.n_pe, self.report.ii,
-                            self.config.max_query_len,
-                            self.config.max_ref_len, query, reference,
-                        )
-                        for query, reference in pairs
-                    ]
-                    batch_result = executor.map(_align_pair_task, payloads)
-            results = batch_result.values(strict=False)
+                    results = batch_result.values(strict=False)
+                    errors = batch_result.errors
             with recorder.span("host.schedule", jobs=len(pairs)):
                 batch = AlignmentBatch()
                 for result in results:
@@ -169,14 +231,14 @@ class DeviceRuntime:
                 schedule = self._scheduler.run(batch)
         if recorder.enabled:
             recorder.count("host.pairs", len(pairs))
-            recorder.count("host.pair_errors", len(batch_result.errors))
+            recorder.count("host.pair_errors", len(errors))
             recorder.gauge("host.block_utilization", schedule.utilization)
             recorder.gauge("host.dispatch_fraction", schedule.dispatch_fraction)
         return BatchOutcome(
             results=results,
             schedule=schedule,
             clock_mhz=self.report.fmax_mhz,
-            errors=batch_result.errors,
+            errors=errors,
         )
 
     def _align_pair(

@@ -12,7 +12,11 @@ Routing is least-loaded: a flushed batch goes to the member currently
 holding the fewest in-flight pairs for that kernel.  Execution goes
 through ``DeviceRuntime.run``, so functional work can fan across the
 :mod:`repro.parallel` process pool (``workers > 1``) while per-pair
-failures stay isolated as structured errors.
+failures stay isolated as structured errors — and with
+``backend="compiled"`` and the default ``workers=1``, the whole flushed
+batch runs as *one* :func:`repro.backend.compiled_align_batch` lockstep
+sweep, so the batcher's work of assembling per-kernel batches is paid
+back as amortized NumPy dispatch instead of N serialized calls.
 
 Passing a :class:`~repro.cache.CacheStack` wraps every member in a
 :class:`~repro.cache.CachedRuntime`: the whole pool shares one

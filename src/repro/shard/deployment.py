@@ -96,6 +96,27 @@ class Deployment:
             max_query_len=self.max_len, max_ref_len=self.max_len,
         )
 
+    def prewarm(self) -> int:
+        """Compile every served kernel now (compiled backend only).
+
+        The worker ready path calls this before announcing its port, so
+        the first request a shard sees never pays PE-function lowering
+        latency; results land in the process-wide compiler cache that
+        every :class:`~repro.host.DeviceRuntime` reuses.  Returns the
+        number of kernels warmed (0 for the systolic backend, and
+        kernels outside the compiled surface are skipped, not errors).
+        """
+        if self.backend != "compiled":
+            return 0
+        from repro.backend import prewarm
+
+        warmed = 0
+        for spec in self.specs():
+            params = self.params_by_kernel.get(spec.kernel_id)
+            if prewarm(spec, params):
+                warmed += 1
+        return warmed
+
     def build_cache(self):
         """The shard-private :class:`~repro.cache.CacheStack` (or ``None``)."""
         if self.cache_dir is None:

@@ -53,6 +53,10 @@ def worker_main(
     try:
         from repro.service import AlignmentServer
 
+        # Ready-path prewarm: lower every served kernel before the
+        # parent learns our port, so the shard's first request never
+        # pays compilation latency (no-op for the systolic backend).
+        deployment.prewarm()
         cache = deployment.build_cache()
         core = deployment.build_core(cache=cache).start()
         server = AlignmentServer((host, 0), core)

@@ -16,7 +16,11 @@ recorded.  Engine-vs-oracle checks use score tolerance where the
 references are float-based; the systolic-vs-compiled leg is *strict*
 bit-identity — any divergence is reported as a ``backend_*`` failure
 whose detail is the full three-way disagreement triple
-(``systolic=... compiled=... oracle=...``).  A failing case is then *shrunk* — query and reference are
+(``systolic=... compiled=... oracle=...``).  A fifth leg re-runs every
+kernel's cases as *one* :func:`repro.backend.compiled_align_batch`
+lockstep sweep (mixed lengths, per-case PE counts) and compares each
+slot bit-identically against the per-pair compiled result — any
+divergence is a ``batched_*`` failure.  A failing case is then *shrunk* — query and reference are
 greedily truncated and thinned while the failure persists — so every
 mismatch lands as a minimal reproducer ready to paste into a regression
 test (see ``tests/test_fuzz_regressions.py``).
@@ -35,7 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend import compiled_align
+from repro.backend import compiled_align, compiled_align_batch
 from repro.cache.fingerprint import fingerprint, sequence_blob
 from repro.core.spec import StartRule
 from repro.experiments.workloads import WORKLOADS
@@ -112,6 +116,7 @@ class FuzzReport:
     cases_by_kernel: Dict[int, int] = field(default_factory=dict)
     mismatches: List[FuzzMismatch] = field(default_factory=list)
     harness_errors: List[str] = field(default_factory=list)
+    batched_pairs: int = 0
     elapsed_s: float = field(default=0.0, compare=False)
 
     @property
@@ -132,6 +137,15 @@ class FuzzReport:
             f"{len(self.cases_by_kernel)} kernels (seed {self.seed}), "
             f"{len(self.mismatches)} mismatches"
         ]
+        if self.batched_pairs:
+            batched_bad = sum(
+                1 for m in self.mismatches
+                if m.failure.check.startswith("batched_")
+            )
+            lines.append(
+                f"  batched-vs-single differential: {self.batched_pairs} "
+                f"pairs, {batched_bad} batch mismatches"
+            )
         for kid in sorted(self.cases_by_kernel):
             lines.append(
                 f"  kernel #{kid:>2} {get_kernel(kid).name:28s} "
@@ -216,9 +230,10 @@ def case_fingerprint(case: FuzzCase) -> str:
     """
     return fingerprint({
         # Version stamp of the differential harness a recorded reproducer
-        # was found under ("three_way_v1" = systolic vs compiled vs
-        # oracle); bumping it retires stale recorded digests explicitly.
-        "harness": "three_way_v1",
+        # was found under ("four_way_v1" = systolic vs compiled vs oracle
+        # plus the batched-vs-single compiled leg); bumping it retires
+        # stale recorded digests explicitly.
+        "harness": "four_way_v1",
         "kernel_id": case.kernel_id,
         "case_seed": case.case_seed,
         "n_pe": case.n_pe,
@@ -421,6 +436,92 @@ def shrink_case(
     return current, rounds
 
 
+def _compare_batched(single, batched) -> List[FuzzFailure]:
+    """Strict bit-identity checks between a per-pair compiled result and
+    the same pair's slot in a batched sweep (no tolerance anywhere)."""
+    failures: List[FuzzFailure] = []
+    if batched.score != single.score or (
+        type(batched.score) is not type(single.score)
+    ):
+        failures.append(FuzzFailure(
+            "batched_score",
+            f"single={single.score!r} batched={batched.score!r}",
+        ))
+        return failures
+    if batched.start != single.start or batched.end != single.end:
+        failures.append(FuzzFailure(
+            "batched_start_cell",
+            f"single={single.start}/{single.end} "
+            f"batched={batched.start}/{batched.end}",
+        ))
+    single_moves = single.alignment.moves if single.alignment else None
+    batched_moves = batched.alignment.moves if batched.alignment else None
+    if single_moves != batched_moves:
+        failures.append(FuzzFailure(
+            "batched_traceback",
+            f"single={_moves_str(single_moves)} "
+            f"batched={_moves_str(batched_moves)}",
+        ))
+    if batched.cycles != single.cycles:
+        failures.append(FuzzFailure(
+            "batched_cycles",
+            f"single={single.cycles.total if single.cycles else None} "
+            f"batched={batched.cycles.total if batched.cycles else None}",
+        ))
+    return failures
+
+
+def _batched_failures(
+    corpus: Sequence[FuzzCase],
+) -> Tuple[int, List[Tuple[FuzzCase, FuzzFailure]]]:
+    """Batched-vs-single differential over a whole corpus.
+
+    Each kernel's cases run as *one* ``compiled_align_batch`` sweep
+    (mixed lengths and per-case PE counts, exactly as the service's
+    batcher would hand them over) and every slot is compared strictly
+    against a fresh per-pair ``compiled_align``.  Cases whose single-pair
+    run raises are skipped here — the per-case compiled leg already
+    reports them.
+    """
+    failures: List[Tuple[FuzzCase, FuzzFailure]] = []
+    pairs_checked = 0
+    by_kernel: Dict[int, List[FuzzCase]] = {}
+    for case in corpus:
+        by_kernel.setdefault(case.kernel_id, []).append(case)
+    for kid in sorted(by_kernel):
+        spec = get_kernel(kid)
+        singles = []
+        runnable = []
+        for case in by_kernel[kid]:
+            try:
+                singles.append(compiled_align(
+                    spec, case.query, case.reference, n_pe=case.n_pe
+                ))
+            except Exception:  # noqa: BLE001 - reported by the single leg
+                continue
+            runnable.append(case)
+        if not runnable:
+            continue
+        try:
+            batched = compiled_align_batch(
+                spec,
+                [(case.query, case.reference) for case in runnable],
+                n_pe=[case.n_pe for case in runnable],
+            )
+        except Exception as exc:  # noqa: BLE001 - a batch crash is a finding
+            failures.append((runnable[0], FuzzFailure(
+                "batched_exception",
+                f"{type(exc).__name__}: {exc} "
+                f"(batch of {len(runnable)}, singles all succeeded)",
+            )))
+            continue
+        pairs_checked += len(runnable)
+        for case, single, slot in zip(runnable, singles, batched):
+            for failure in _compare_batched(single, slot):
+                failures.append((case, failure))
+    return pairs_checked, failures
+
+
 def _fuzz_task(case: FuzzCase, _seed: int) -> List[Tuple[str, str]]:
     """Worker-side check of one case (picklable input and output)."""
     return [(f.check, f.detail) for f in case_failures(case)]
@@ -436,7 +537,9 @@ def run_corpus(
     """Differentially test every case in a corpus, shrinking failures.
 
     ``align_fn`` forces the serial path (an injected engine does not cross
-    process boundaries) — used by tests to fault-inject.
+    process boundaries) — used by tests to fault-inject; it also skips
+    the batched-vs-single leg, which exists to check the real compiled
+    backend against itself, not an injected fake.
     """
     started = time.perf_counter()
     report = FuzzReport(seed=seed)
@@ -483,6 +586,24 @@ def run_corpus(
                 shrunk_reference=minimal.reference,
                 shrink_rounds=rounds,
             ))
+
+    # ------------------------------------------------------------------
+    # batched-vs-single leg: every kernel's cases as one lockstep sweep,
+    # slots compared bit-identically to fresh per-pair compiled runs.
+    # Not shrunk — the reproducer is the whole batch, and the per-pair
+    # inputs are already minimal fuzz cases.
+    # ------------------------------------------------------------------
+    if align_fn is None:
+        pairs_checked, batched_failures = _batched_failures(corpus)
+        report.batched_pairs = pairs_checked
+        for case, failure in batched_failures:
+            report.mismatches.append(FuzzMismatch(
+                case=case,
+                failure=failure,
+                shrunk_query=case.query,
+                shrunk_reference=case.reference,
+                shrink_rounds=0,
+            ))
     report.elapsed_s = time.perf_counter() - started
     return report
 
@@ -522,6 +643,7 @@ def fuzz(
             )
         report.mismatches.extend(round_report.mismatches)
         report.harness_errors.extend(round_report.harness_errors)
+        report.batched_pairs += round_report.batched_pairs
         rounds_done += 1
         if budget_s is None:
             break

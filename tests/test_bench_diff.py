@@ -1,0 +1,79 @@
+"""The bench-artifact tolerance differ CI leans on must itself be sound."""
+
+import pytest
+
+from benchmarks.bench_diff import DEFAULT_SKIP_KEYS, diff_docs
+
+
+BASE = {
+    "schema": "bench-engine/v2",
+    "n_pe": 16,
+    "cpus": 8,
+    "valid_for_scaling": True,
+    "speedup": 18.0,
+    "backends": {"compiled": {"cells_per_sec": 1.0e7, "reps": 20}},
+    "points": [{"p50_ms": 2.0}],
+}
+
+
+def _fresh(**overrides):
+    doc = {
+        **BASE,
+        "backends": {"compiled": dict(BASE["backends"]["compiled"])},
+        "points": [dict(BASE["points"][0])],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestBenchDiff:
+    def test_identical_docs_agree(self):
+        assert diff_docs(BASE, _fresh()) == []
+
+    def test_floats_pass_inside_band_fail_outside(self):
+        inside = _fresh(speedup=18.0 * 3)
+        assert diff_docs(BASE, inside, band=25.0) == []
+        outside = _fresh(speedup=18.0 * 30)
+        problems = diff_docs(BASE, outside, band=25.0)
+        assert len(problems) == 1 and "$.speedup" in problems[0]
+        # the band is symmetric: a collapse fails like a blow-up
+        assert diff_docs(BASE, _fresh(speedup=18.0 / 30), band=25.0)
+
+    def test_sign_flip_and_zero_never_pass(self):
+        assert diff_docs(BASE, _fresh(speedup=-18.0))
+        assert diff_docs(BASE, _fresh(speedup=0.0))
+
+    def test_ints_strings_bools_exact(self):
+        assert diff_docs(BASE, _fresh(n_pe=17))
+        assert diff_docs(BASE, _fresh(schema="bench-engine/v1"))
+
+    def test_skip_keys_value_exempt_but_presence_required(self):
+        skipped = _fresh(cpus=1, valid_for_scaling=False)
+        assert diff_docs(BASE, skipped, skip_keys=DEFAULT_SKIP_KEYS) == []
+        missing = _fresh()
+        del missing["cpus"]
+        problems = diff_docs(BASE, missing, skip_keys=DEFAULT_SKIP_KEYS)
+        assert any("$.cpus" in p and "missing" in p for p in problems)
+
+    def test_structure_strict_both_directions(self):
+        extra = _fresh(new_field=1)
+        assert any("not in committed" in p for p in diff_docs(BASE, extra))
+        nested = _fresh()
+        del nested["backends"]["compiled"]["reps"]
+        assert any(
+            "$.backends.compiled.reps" in p for p in diff_docs(BASE, nested)
+        )
+
+    def test_nested_float_inside_list_uses_band(self):
+        moved = _fresh()
+        moved["points"][0]["p50_ms"] = 4.5
+        assert diff_docs(BASE, moved, band=25.0) == []
+        assert diff_docs(BASE, moved, band=2.0)
+
+    def test_container_shape_mismatch(self):
+        assert diff_docs(BASE, _fresh(points={"p50_ms": 2.0}))
+        assert diff_docs(BASE, _fresh(backends=[1, 2]))
+
+    def test_band_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            diff_docs(BASE, _fresh(), band=0.5)

@@ -25,14 +25,15 @@ class TestCorpusDeterminism:
         no longer regenerate — bump it only with a changelog entry.
         (Bumped when the corpus became keyed by repro.cache fingerprints;
         see CHANGES.md PR 4.  Bumped again when the harness became the
-        three-way differential — case fingerprints now carry a
-        "harness": "three_way_v1" stamp; see CHANGES.md PR 6.  Case
-        *generation* was untouched both times — the same seed still
-        yields the same sequences.)
+        three-way differential — "harness": "three_way_v1"; see
+        CHANGES.md PR 6.  Bumped again when the batched-vs-single
+        compiled leg landed — "harness": "four_way_v1"; see CHANGES.md
+        PR 8.  Case *generation* was untouched every time — the same
+        seed still yields the same sequences.)
         """
         corpus = make_corpus(kernels=(1,), cases_per_kernel=3, seed=0, max_len=8)
         assert corpus_digest(corpus) == (
-            "9af96b9beebf10fbbafd59bb38c7032a3a54a80d3876c56cc130cda17b2a139a"
+            "0942522cc398208e6a3d72654ce359e7287c5c4ce2f3345c9453b3fe4d9c7bc2"
         )
 
 
