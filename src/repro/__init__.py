@@ -26,6 +26,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-model comparison of every table and figure.
 """
 
+from repro.api import Pipeline, RunOptions, Stage, map_flowcell, serve
 from repro.core import (
     Alignment,
     AlignmentResult,
@@ -45,13 +46,18 @@ from repro.synth import LaunchConfig, SynthesisReport, synthesize
 from repro.systolic import align
 from repro.tiling import tiled_align
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "align",
+    "serve",
+    "map_flowcell",
     "oracle_align",
     "synthesize",
     "tiled_align",
+    "Stage",
+    "Pipeline",
+    "RunOptions",
     "ParallelExecutor",
     "run_batch",
     "BatchResult",

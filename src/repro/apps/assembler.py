@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api.stage import Stage
 from repro.kernels import get_kernel
 from repro.systolic import align
 
@@ -82,3 +83,35 @@ def greedy_assemble(
         contigs[best.a] = _merge(contigs[best.a], contigs[best.b], best.b_end)
         contigs[best.b] = None
     return [c for c in contigs if c is not None]
+
+
+class AssemblerStage(Stage):
+    """Greedy assembly as a pipeline :class:`~repro.api.Stage`.
+
+    Assembly is inherently all-to-all, so this stage *accumulates* the
+    reads it sees and emits the assembled contigs as a single chunk at
+    drain time (:meth:`finish`) — the Stage shape for reductions.
+    """
+
+    def __init__(self, min_overlap_score: float = 20.0, n_pe: int = 16) -> None:
+        self.min_overlap_score = min_overlap_score
+        self.n_pe = n_pe
+        self._reads: List[Tuple[int, ...]] = []
+
+    @property
+    def name(self) -> str:
+        """Metric prefix component (``pipeline.assemble.*``)."""
+        return "assemble"
+
+    def process(self, chunk):
+        """Accumulate one chunk of reads; nothing flows until drain."""
+        self._reads.extend(tuple(read) for read in chunk)
+        return ()
+
+    def finish(self):
+        """Assemble everything accumulated and emit the contig list."""
+        return [greedy_assemble(
+            self._reads,
+            min_overlap_score=self.min_overlap_score,
+            n_pe=self.n_pe,
+        )]

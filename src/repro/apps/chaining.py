@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.api.stage import Stage
+
 
 @dataclass(frozen=True)
 class Anchor:
@@ -107,3 +109,31 @@ def anchors_from_index(
         for pos in index.get(tuple(read[offset:offset + k]), ()):
             anchors.append(Anchor(read_pos=offset, ref_pos=pos, length=k))
     return anchors
+
+
+class ChainStage(Stage):
+    """Anchor chaining as a pipeline :class:`~repro.api.Stage`.
+
+    Consumes chunks of ``(name, read)`` records, seeds each read against
+    the given ``{k-mer: positions}`` index, and emits one chunk of
+    ``(name, Chain | None)`` per input chunk.
+    """
+
+    def __init__(self, index, k: int, max_gap: int = 128) -> None:
+        self.index = index
+        self.k = k
+        self.max_gap = max_gap
+
+    @property
+    def name(self) -> str:
+        """Metric prefix component (``pipeline.chain.*``)."""
+        return "chain"
+
+    def process(self, chunk):
+        """Chain the seed anchors of every read in one chunk."""
+        out = []
+        for read_name, read in chunk:
+            anchors = anchors_from_index(read, self.index, self.k)
+            chain = chain_anchors(anchors, max_gap=self.max_gap)
+            out.append((read_name, chain))
+        return [out]

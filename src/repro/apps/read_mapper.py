@@ -12,6 +12,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.stage import Stage
 from repro.data.genome import reverse_complement
 from repro.kernels import get_kernel
 from repro.systolic import align
@@ -121,3 +122,28 @@ class ReadMapper:
     def mapped_start(self, hit: MappedRead) -> int:
         """Genome coordinate where the read alignment begins."""
         return hit.position + hit.window_offset
+
+
+class ReadMapperStage(Stage):
+    """:class:`ReadMapper` as a pipeline :class:`~repro.api.Stage`.
+
+    Consumes chunks of ``(name, read)`` records and emits one chunk of
+    ``(name, read, MappedRead | None)`` decisions per input chunk, so a
+    flowcell streams through in bounded memory.
+    """
+
+    def __init__(self, mapper: ReadMapper) -> None:
+        self.mapper = mapper
+
+    @property
+    def name(self) -> str:
+        """Metric prefix component (``pipeline.map.*``)."""
+        return "map"
+
+    def process(self, chunk):
+        """Map every read of one chunk; unmappable reads carry ``None``."""
+        out = []
+        for read_name, read in chunk:
+            hit = self.mapper.map(read) if len(read) >= self.mapper.k else None
+            out.append((read_name, read, hit))
+        return [out]

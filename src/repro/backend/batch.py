@@ -407,6 +407,16 @@ def _batch_impl(
             alignment=alignment, cycles=cycles, matrix=matrix,
         ))
 
+    # Break the _Pair <-> _Bucket reference cycles so each sweep's dense
+    # matrices free on refcount rather than waiting for a gc pass; the
+    # streaming pipeline's bounded-memory guarantee depends on wavefront
+    # buffers dying before the next chunk allocates its own.
+    for member in members:
+        member.bucket = None
+    for bucket in buckets.values():
+        bucket.pairs.clear()
+        bucket.work = bucket.ptrs = bucket.computed = None
+
     if recorder.enabled:
         lane_cells = sum(b.lane_cells for b in buckets.values())
         padded_cells = sum(b.padded_cells for b in buckets.values())

@@ -38,7 +38,12 @@ from repro.cache.fingerprint import pair_fingerprint, runtime_fingerprint
 from repro.cache.memory import MemoryCache
 from repro.cache.singleflight import SingleFlight
 from repro.core.result import Alignment, AlignmentResult, CycleReport, Move
-from repro.host.runtime import BatchOutcome, DeviceRuntime
+from repro.host.runtime import (
+    BatchOutcome,
+    DeviceRuntime,
+    RunOptions,
+    resolve_run_options,
+)
 from repro.obs.recorder import get_recorder
 from repro.parallel import WorkError
 
@@ -326,18 +331,20 @@ class CachedRuntime:
     def run(
         self,
         pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
-        *,
-        workers: Optional[int] = None,
-        timeout: Optional[float] = None,
+        options: Optional[RunOptions] = None,
+        **legacy: Any,
     ) -> CachedBatchOutcome:
         """Align a batch, serving every known pair from the cache tiers.
 
         Semantics match :meth:`DeviceRuntime.run` — index-aligned
-        results, per-pair failures isolated in ``errors`` — with two
-        additions: ``fingerprints``/``cached`` attribution on the
-        outcome, and cross-thread single-flight (an identical pair
-        being computed by another thread is awaited, not recomputed).
+        results, per-pair failures isolated in ``errors``, knobs in
+        ``options`` (legacy ``workers=``/``timeout=`` keywords warn for
+        one release) — with two additions: ``fingerprints``/``cached``
+        attribution on the outcome, and cross-thread single-flight (an
+        identical pair being computed by another thread is awaited,
+        not recomputed).
         """
+        opts = resolve_run_options(options, legacy)
         recorder = get_recorder()
         pairs = list(pairs)
         n = len(pairs)
@@ -369,12 +376,12 @@ class CachedRuntime:
                 )
             lead_keys = list(lead)
             lead_pairs = [pairs[pending[key][0]] for key in lead_keys]
-            inner = self._run_lead(lead_keys, lead_pairs, workers, timeout)
+            inner = self._run_lead(lead_keys, lead_pairs, opts)
             self._settle(lead, lead_keys, inner, pending, results, cached,
                          errors)
             for key, flight in follow.items():
                 self._await(flight, pending[key], results, cached, errors,
-                            timeout)
+                            opts.timeout)
             if recorder.enabled:
                 recorder.count("cache.pairs", n)
         outcome = inner["outcome"]
@@ -393,8 +400,7 @@ class CachedRuntime:
         self,
         lead_keys: List[str],
         lead_pairs: List[Tuple[Sequence[Any], Sequence[Any]]],
-        workers: Optional[int],
-        timeout: Optional[float],
+        opts: RunOptions,
     ) -> Dict[str, Any]:
         """Run the deduped miss set as one inner batch.
 
@@ -404,9 +410,7 @@ class CachedRuntime:
         may hang).
         """
         try:
-            outcome = self.runtime.run(
-                lead_pairs, workers=workers, timeout=timeout
-            )
+            outcome = self.runtime.run(lead_pairs, options=opts)
         except BaseException as exc:
             failure = CacheComputeError(type(exc).__name__, str(exc))
             return {"outcome": None, "errors": {

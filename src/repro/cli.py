@@ -10,7 +10,10 @@ Commands mirror the workflow of Fig. 2A plus the experiment harnesses:
 * ``campaign KERNEL|all``       — bulk two-tier verification campaign
 * ``fuzz``                      — differential fuzzing of the engine
 * ``serve``                     — run the online alignment service (TCP)
-* ``loadgen``                   — open-loop Poisson load against a service
+* ``loadgen``                   — open-loop Poisson load against a service,
+  or closed-loop replay of a recorded tile trace (``--trace``)
+* ``map``                       — stream a (simulated) long-read flowcell
+  through the read-mapping pipeline to SAM (:mod:`repro.pipeline`)
 * ``cache stats|warm|clear``    — inspect, warm or clear the persistent
   content-addressed alignment cache (:mod:`repro.cache`)
 * ``trace``                     — serve a traced workload in-process and
@@ -338,8 +341,47 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _validate_loadgen_sources(args) -> None:
+    """Reject mixing ``--trace`` with the Poisson workload knobs.
+
+    The two sources are mutually exclusive: a trace fixes the request
+    stream (content, order, volume), so every synthetic-workload flag
+    would be silently ignored — fail loudly instead.  Called before the
+    synthetic defaults are filled in, so "explicit flag" is detectable
+    as "not None / non-empty".
+    """
+    if args.trace is None:
+        return
+    conflicts = []
+    if args.rate:
+        conflicts.append("--rate")
+    if args.requests is not None:
+        conflicts.append("--requests")
+    if args.pairs is not None:
+        conflicts.append("--pairs")
+    if args.length is not None:
+        conflicts.append("--length")
+    if args.kernel:
+        conflicts.append("--kernel")
+    if args.concurrency is not None:
+        conflicts.append("--concurrency")
+    if conflicts:
+        raise SystemExit(
+            f"--trace replays a recorded workload and cannot be combined "
+            f"with the synthetic-load options: {', '.join(conflicts)}. "
+            f"Drop them, or drop --trace to generate Poisson load."
+        )
+
+
 def cmd_loadgen(args) -> int:
-    """Drive open-loop Poisson load against a service and report latency."""
+    """Drive a service: open-loop Poisson load, or trace replay.
+
+    Without ``--trace``, fires a synthetic random workload open-loop at
+    each ``--rate``.  With ``--trace``, replays a tile trace recorded by
+    ``repro map --trace-out`` closed-loop, in recorded order — the
+    request stream (and therefore the cache hit profile) a real mapping
+    run produced.
+    """
     import json as json_module
 
     from repro.service import (
@@ -349,8 +391,27 @@ def cmd_loadgen(args) -> int:
         connect_with_retry,
     )
 
-    kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
-    workload = _service_workload(kernels, args.pairs, args.length, args.seed)
+    _validate_loadgen_sources(args)
+    if args.trace is not None:
+        from repro.pipeline import read_trace
+
+        try:
+            workload = read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load trace: {exc}") from None
+        if not workload:
+            raise SystemExit(f"trace {args.trace} holds no requests")
+        # The deployment must serve the kernels the trace names.
+        args.kernel = [str(k) for k in sorted({k for k, _, _ in workload})]
+    else:
+        args.requests = 100 if args.requests is None else args.requests
+        args.pairs = 16 if args.pairs is None else args.pairs
+        args.length = 24 if args.length is None else args.length
+        kernels = [_kernel_arg(k) for k in (args.kernel or ["1"])]
+        workload = _service_workload(
+            kernels, args.pairs, args.length, args.seed
+        )
+    args.concurrency = 1 if args.concurrency is None else args.concurrency
     core = None
     if args.in_proc:
         deployment = _deployment_from_args(args)
@@ -365,13 +426,20 @@ def cmd_loadgen(args) -> int:
     failures = 0
     try:
         generator = LoadGenerator(client, workload, seed=args.seed)
-        for rate in args.rate or [100.0]:
-            report = generator.run_concurrent(
-                rate, args.requests, args.concurrency,
-                deadline_ms=args.deadline_ms,
+        if args.trace is not None:
+            report = generator.replay(
+                deadline_ms=args.deadline_ms, window=args.window
             )
             failures += report.errors
             print(report.summary())
+        else:
+            for rate in args.rate or [100.0]:
+                report = generator.run_concurrent(
+                    rate, args.requests, args.concurrency,
+                    deadline_ms=args.deadline_ms,
+                )
+                failures += report.errors
+                print(report.summary())
         snapshot = client.metrics()
         if not snapshot.get("counters"):
             print("error: empty metrics snapshot")
@@ -382,6 +450,96 @@ def cmd_loadgen(args) -> int:
         if core is not None:
             core.stop()
     return 0 if failures == 0 else 1
+
+
+def cmd_map(args) -> int:
+    """Map a long-read flowcell to SAM through the streaming pipeline.
+
+    Without ``--fastq``, simulates a flowcell from the (seeded) random
+    reference first — the self-contained form the smoke-pipeline CI job
+    runs.  Tiles execute in-process by default; ``--connect HOST:PORT``
+    dispatches them to a running alignment service instead.  The emitted
+    SAM is re-parsed (and thereby validated) before the command reports
+    success.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.data.fastq import write_flowcell
+    from repro.data.genome import random_genome
+    from repro.data.sam import iter_sam
+    from repro.pipeline import ServiceTileDispatcher, map_flowcell
+
+    genome = random_genome(args.genome_length, seed=args.genome_seed)
+    fastq = args.fastq
+    if fastq is None:
+        fastq = str(Path(args.out).with_suffix(".fastq"))
+        n = write_flowcell(
+            fastq, genome, args.reads, length=args.read_length,
+            error_rate=args.error_rate, seed=args.seed,
+        )
+        print(f"simulated {n} reads ({args.read_length} bp, "
+              f"{args.error_rate:.0%} error) -> {fastq}", flush=True)
+
+    dispatcher = None
+    cache = None
+    try:
+        if args.connect is not None:
+            from repro.service import RetryPolicy, connect_with_retry
+
+            host, _, port = args.connect.rpartition(":")
+            if not host or not port.isdigit():
+                raise SystemExit(
+                    f"--connect needs HOST:PORT, got {args.connect!r}"
+                )
+            client = connect_with_retry(
+                host, int(port),
+                policy=RetryPolicy(attempts=args.connect_retries),
+            )
+            dispatcher = ServiceTileDispatcher(
+                client, kernel_id=_kernel_arg(args.kernel).kernel_id
+            )
+        elif args.cache_dir is not None:
+            from repro.cache import CacheConfig, CacheStack
+
+            cache = CacheStack(CacheConfig(
+                directory=args.cache_dir,
+                memory_bytes=int(args.cache_mem_mb * 1024 * 1024),
+            ))
+        report = map_flowcell(
+            fastq, genome, args.out,
+            chunk_size=args.chunk_size,
+            queue_bound=args.queue_bound,
+            k=args.k,
+            tile_size=args.tile_size,
+            overlap=args.overlap,
+            min_identity=args.min_identity,
+            n_pe=args.n_pe,
+            backend=args.backend,
+            cache=cache,
+            dispatcher=dispatcher,
+            trace_path=args.trace_out,
+        )
+    finally:
+        if cache is not None:
+            cache.close()
+    parsed = sum(1 for _ in iter_sam(args.out))
+    print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    print(f"sam: {parsed} records validated -> {args.out}")
+    if args.trace_out is not None:
+        print(f"trace: {report.trace_records} tile requests -> "
+              f"{args.trace_out}")
+    if parsed != report.reads:
+        print(f"error: SAM round-trip saw {parsed} records "
+              f"for {report.reads} reads")
+        return 1
+    if report.reads == 0 or report.mapped == 0:
+        print("error: pipeline mapped no reads")
+        return 1
+    if report.pipeline.dropped:
+        print(f"error: {report.pipeline.dropped} chunks dropped")
+        return 1
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -673,21 +831,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "from this process)")
 
     p = sub.add_parser(
-        "loadgen", help="drive open-loop Poisson load against a service"
+        "loadgen",
+        help="drive open-loop Poisson load against a service, or replay "
+             "a recorded tile trace (--trace)",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7878)
     p.add_argument("--in-proc", action="store_true",
                    help="spin up an in-process service instead of TCP")
+    p.add_argument("--trace", default=None,
+                   help="replay this tile trace (from repro map "
+                        "--trace-out) instead of generating Poisson "
+                        "load; mutually exclusive with the synthetic "
+                        "workload options")
+    p.add_argument("--window", type=int, default=64,
+                   help="max in-flight requests during --trace replay")
     p.add_argument("--kernel", action="append", default=[],
                    help="kernel number/name to request (repeatable; default 1)")
     p.add_argument("--rate", action="append", type=float, default=[],
                    help="offered load in req/s (repeatable; default 100)")
-    p.add_argument("--requests", type=int, default=100,
-                   help="requests per offered-load point")
-    p.add_argument("--pairs", type=int, default=16,
-                   help="distinct random pairs per kernel in the workload")
-    p.add_argument("--length", type=int, default=24)
+    p.add_argument("--requests", type=int, default=None,
+                   help="requests per offered-load point (default 100)")
+    p.add_argument("--pairs", type=int, default=None,
+                   help="distinct random pairs per kernel in the "
+                        "workload (default 16)")
+    p.add_argument("--length", type=int, default=None,
+                   help="sequence length of synthetic pairs (default 24)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--deadline-ms", type=float, default=None)
     p.add_argument("--replicas", type=int, default=1)
@@ -703,15 +872,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=("systolic", "compiled"),
                    default="systolic",
                    help="alignment engine backing the in-proc service")
-    p.add_argument("--concurrency", type=int, default=1,
+    p.add_argument("--concurrency", type=int, default=None,
                    help="parallel open-loop firing threads splitting the "
-                        "offered rate")
+                        "offered rate (default 1)")
     p.add_argument("--connect-retries", type=int, default=5,
                    help="connection attempts (exponential backoff) while "
                         "the service comes up")
     p.add_argument("--read-timeout", type=float, default=None,
                    help="fail outstanding requests if the server goes "
                         "silent this long (seconds)")
+
+    p = sub.add_parser(
+        "map",
+        help="map a (simulated) long-read flowcell to SAM through the "
+             "streaming pipeline",
+    )
+    p.add_argument("--out", default="mapped.sam",
+                   help="SAM output path")
+    p.add_argument("--fastq", default=None,
+                   help="input FASTQ; omitted = simulate a flowcell "
+                        "from the reference first")
+    p.add_argument("--genome-length", type=int, default=2_000_000,
+                   help="length of the seeded random reference")
+    p.add_argument("--genome-seed", type=int, default=0)
+    p.add_argument("--reads", type=int, default=32,
+                   help="reads to simulate when --fastq is omitted")
+    p.add_argument("--read-length", type=int, default=512)
+    p.add_argument("--error-rate", type=float, default=0.12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunk-size", type=int, default=16,
+                   help="reads per pipeline chunk")
+    p.add_argument("--queue-bound", type=int, default=4,
+                   help="inter-stage queue capacity (chunks)")
+    p.add_argument("--k", type=int, default=12, help="seed k-mer size")
+    p.add_argument("--tile-size", type=int, default=128)
+    p.add_argument("--overlap", type=int, default=32)
+    p.add_argument("--min-identity", type=float, default=0.55,
+                   help="accept floor on base-level identity")
+    p.add_argument("--n-pe", type=int, default=32)
+    p.add_argument("--backend", choices=("systolic", "compiled"),
+                   default="compiled",
+                   help="engine for in-process tile execution")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed tile cache (in-process only)")
+    p.add_argument("--cache-mem-mb", type=float, default=64.0)
+    p.add_argument("--trace-out", default=None,
+                   help="record every tile request here (JSONL) for "
+                        "repro loadgen --trace")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="dispatch tiles to a running alignment service "
+                        "instead of in-process")
+    p.add_argument("--connect-retries", type=int, default=5)
+    p.add_argument("--kernel", default="1",
+                   help="tile kernel for --connect dispatch (must be a "
+                        "global kernel)")
 
     p = sub.add_parser(
         "cache",
@@ -795,6 +1009,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "matrix": cmd_matrix,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "map": cmd_map,
         "trace": cmd_trace,
         "cache": cmd_cache,
     }

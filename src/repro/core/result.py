@@ -90,6 +90,37 @@ def compress_cigar(moves: Sequence[Move]) -> str:
     return "".join(out)
 
 
+def expand_cigar(cigar: str) -> Tuple[Move, ...]:
+    """Decode a CIGAR string back into its move sequence.
+
+    The exact inverse of :func:`compress_cigar` for END-free paths
+    (END is dropped by compression, so round-trips exclude it) — what
+    lets a served CIGAR reconstruct the device's traceback losslessly.
+
+    >>> expand_cigar('2M1I')
+    (<Move.MATCH: 'M'>, <Move.MATCH: 'M'>, <Move.INS: 'I'>)
+    """
+    moves: List[Move] = []
+    count = 0
+    for ch in cigar:
+        if ch.isdigit():
+            count = count * 10 + int(ch)
+            continue
+        if count < 1:
+            raise ValueError(f"malformed CIGAR {cigar!r}: zero-length run")
+        try:
+            move = Move(ch)
+        except ValueError:
+            raise ValueError(
+                f"malformed CIGAR {cigar!r}: unknown op {ch!r}"
+            ) from None
+        moves.extend([move] * count)
+        count = 0
+    if count:
+        raise ValueError(f"malformed CIGAR {cigar!r}: trailing count")
+    return tuple(moves)
+
+
 @dataclass
 class Alignment:
     """A recovered alignment path through the DP matrix.

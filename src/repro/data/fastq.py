@@ -8,12 +8,12 @@ quality, align).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, NamedTuple, Optional, Tuple, Union
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.alphabet import decode_dna
-from repro.data.pbsim import simulate_read_pairs
+from repro.data.pbsim import simulate_genome_reads, simulate_read_pairs
 
 PathLike = Union[str, Path]
 
@@ -61,6 +61,94 @@ def write_fastq(path: PathLike, records: List[FastqRecord]) -> None:
                 )
             handle.write(f"@{record.name}\n{record.sequence}\n+\n")
             handle.write(encode_qualities(record.qualities) + "\n")
+
+
+def iter_fastq(path: PathLike) -> Iterator[FastqRecord]:
+    """Stream a FASTQ file one record at a time (constant memory).
+
+    The streaming counterpart of :func:`read_fastq`: records are parsed
+    and yielded as the file is read, so a flowcell larger than memory
+    still flows — the ingest contract of :mod:`repro.pipeline`.
+    """
+    with open(path) as handle:
+        index = 0
+        while True:
+            header = handle.readline()
+            if header == "":
+                return
+            header = header.rstrip("\n")
+            if header == "":
+                continue  # tolerate trailing blank lines
+            sequence = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            quality = handle.readline()
+            if quality == "":
+                raise ValueError(f"{path}: truncated FASTQ at record {index}")
+            quality = quality.rstrip("\n")
+            if not header.startswith("@"):
+                raise ValueError(f"{path}: record {index} missing '@' header")
+            if not plus.startswith("+"):
+                raise ValueError(f"{path}: record {index} missing '+' line")
+            if len(sequence) != len(quality):
+                raise ValueError(f"{path}: record {index} length mismatch")
+            yield FastqRecord(
+                name=header[1:].split()[0],
+                sequence=sequence.upper(),
+                qualities=decode_qualities(quality),
+            )
+            index += 1
+
+
+def iter_fastq_chunks(
+    path: PathLike, chunk_size: int
+) -> Iterator[List[FastqRecord]]:
+    """Stream a FASTQ file as chunks of ``chunk_size`` records."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk: List[FastqRecord] = []
+    for record in iter_fastq(path):
+        chunk.append(record)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def write_flowcell(
+    path: PathLike,
+    genome: Sequence[int],
+    n_reads: int,
+    length: int = 512,
+    error_rate: float = 0.15,
+    seed: Optional[int] = None,
+) -> int:
+    """Simulate a flowcell from ``genome`` straight to a FASTQ file.
+
+    Reads are written as they are simulated (never held as a list); the
+    record name carries the true origin (``read_K/pos=S``) so tests can
+    check placement.  Returns the number of reads written.
+    """
+    rng = np.random.RandomState(seed)
+    base_q = -10.0 * np.log10(max(error_rate, 1e-6)) if error_rate else 40.0
+    written = 0
+    with open(path, "w") as handle:
+        reads = simulate_genome_reads(
+            tuple(genome), n_reads, length=length, error_rate=error_rate,
+            seed=rng.randint(2**31 - 1),
+        )
+        for index, read in enumerate(reads):
+            n = len(read.query)
+            phred = np.clip(
+                np.round(rng.normal(base_q, 2.0, size=n)), 2, MAX_PHRED
+            ).astype(int)
+            handle.write(f"@read_{index}/pos={read.genome_start}\n")
+            handle.write(decode_dna(read.query) + "\n+\n")
+            handle.write(
+                encode_qualities(tuple(int(q) for q in phred)) + "\n"
+            )
+            written += 1
+    return written
 
 
 def read_fastq(path: PathLike) -> List[FastqRecord]:

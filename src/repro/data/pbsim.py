@@ -67,6 +67,43 @@ def simulate_read(
     return tuple(read)
 
 
+def simulate_genome_reads(
+    genome: Tuple[int, ...],
+    n_reads: int,
+    length: int = 512,
+    error_rate: float = 0.15,
+    seed: Optional[int] = None,
+):
+    """Yield CLR-like reads sampled from a *given* genome (a flowcell).
+
+    Unlike :func:`simulate_read_pairs` (which fabricates its own random
+    genome per call), this samples read start positions uniformly from
+    the provided reference — the generator the streaming pipeline feeds
+    from, so a multi-megabase flowcell never materializes as a list.
+    Reads losing more than half their bases to deletions are resampled.
+    """
+    if n_reads < 1:
+        raise ValueError(f"n_reads must be >= 1, got {n_reads}")
+    if length > len(genome):
+        raise ValueError(
+            f"read length {length} exceeds genome length {len(genome)}"
+        )
+    rng = np.random.RandomState(seed)
+    produced = 0
+    while produced < n_reads:
+        start = int(rng.randint(0, len(genome) - length + 1))
+        reference = extract_region(genome, start, length)
+        query = simulate_read(
+            reference, error_rate=error_rate, seed=rng.randint(2**31 - 1)
+        )
+        if len(query) < length // 2:
+            continue
+        produced += 1
+        yield SimulatedRead(
+            query=query, reference=reference, genome_start=start
+        )
+
+
 def simulate_read_pairs(
     n_pairs: int,
     length: int = 256,

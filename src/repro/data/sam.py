@@ -8,10 +8,12 @@ the pipeline example uses is implemented: header (@HD/@SQ), FLAG bits 4
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.apps.read_mapper import MappedRead, ReadMapper
+from repro.core.result import Move, expand_cigar
 
 PathLike = Union[str, Path]
 
@@ -87,3 +89,141 @@ def parse_sam_positions(path: PathLike) -> List[Tuple[str, int, bool]]:
         flag = int(fields[1])
         out.append((fields[0], int(fields[3]) - 1, not flag & FLAG_UNMAPPED))
     return out
+
+
+class SamWriter:
+    """Streaming SAM emitter: header up front, one record at a time.
+
+    The write-side counterpart of :func:`iter_sam`: records leave the
+    process as they arrive (nothing is accumulated), which is what lets
+    the pipeline's emission stage run in constant memory.  Usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        reference_name: str,
+        reference_length: int,
+    ) -> None:
+        self.reference_name = reference_name
+        self._handle = open(path, "w")
+        self._records = 0
+        try:
+            self._handle.write(
+                sam_header(reference_name, reference_length) + "\n"
+            )
+        except BaseException:
+            self._handle.close()
+            raise
+
+    def write(
+        self,
+        read_name: str,
+        sequence: str,
+        hit: Optional[MappedRead],
+        mapq: int = 60,
+    ) -> None:
+        """Emit one record (an unmapped line when ``hit`` is None)."""
+        self._handle.write(
+            sam_record(
+                read_name, sequence, hit,
+                reference_name=self.reference_name, mapq=mapq,
+            ) + "\n"
+        )
+        self._records += 1
+
+    @property
+    def records_written(self) -> int:
+        """Alignment lines emitted so far (header excluded)."""
+        return self._records
+
+    def close(self) -> None:
+        """Flush and release the file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "SamWriter":
+        """Context-manager entry: the writer itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the handle."""
+        self.close()
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One parsed alignment line (the fields this repo's dialect emits).
+
+    CIGARs follow the repo's :class:`~repro.core.result.Move` semantics
+    (``D`` consumes a read base, ``I`` a reference base — the transpose
+    of the standard SAM convention), matching what :func:`sam_record`
+    writes from the engine's traceback.
+    """
+
+    name: str
+    flag: int
+    reference_name: str
+    position: int          # 0-based (converted from SAM's 1-based POS)
+    mapq: int
+    cigar: str
+    sequence: str
+    score: Optional[int]   # the AS:i tag, when present
+
+    @property
+    def mapped(self) -> bool:
+        """Whether the record places the read on the reference."""
+        return not self.flag & FLAG_UNMAPPED
+
+    @property
+    def reverse(self) -> bool:
+        """Whether the read mapped on the reverse strand."""
+        return bool(self.flag & FLAG_REVERSE)
+
+
+def iter_sam(path: PathLike) -> Iterator[SamRecord]:
+    """Stream and validate the alignment lines of a SAM file.
+
+    Each mapped record's CIGAR is decoded (:func:`expand_cigar`) and
+    checked for consistency with the sequence under the repo's move
+    semantics: ``M + D`` columns must consume exactly the read.  This is
+    the round-trip the CI smoke job leans on to call emitted SAM valid.
+    """
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if line == "" or line.startswith("@"):
+                continue
+            fields = line.split("\t")
+            if len(fields) < 11:
+                raise ValueError(
+                    f"{path}:{number}: {len(fields)} fields (need >= 11)"
+                )
+            flag = int(fields[1])
+            cigar = fields[5]
+            sequence = fields[9]
+            if not flag & FLAG_UNMAPPED and cigar != "*":
+                moves = expand_cigar(cigar)
+                consumed = sum(
+                    1 for m in moves if m in (Move.MATCH, Move.DEL)
+                )
+                if consumed != len(sequence):
+                    raise ValueError(
+                        f"{path}:{number}: CIGAR {cigar} consumes "
+                        f"{consumed} read bases but SEQ has {len(sequence)}"
+                    )
+            score: Optional[int] = None
+            for tag in fields[11:]:
+                if tag.startswith("AS:i:"):
+                    score = int(tag[5:])
+            yield SamRecord(
+                name=fields[0],
+                flag=flag,
+                reference_name=fields[2],
+                position=int(fields[3]) - 1,
+                mapq=int(fields[4]),
+                cigar=cigar,
+                sequence=sequence,
+                score=score,
+            )

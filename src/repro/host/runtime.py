@@ -6,19 +6,28 @@ pairs, runs each pair through the functional engine (results) while the
 scheduler model accounts for block occupancy (performance), and reports
 batch-level throughput and utilization.
 
-``run`` is the single batch entry point: with ``workers > 1`` it fans
-the functional work across CPU cores through :mod:`repro.parallel` — the
-software mirror of the N_K channel fan-out — while the performance model
-still accounts for the *device's* concurrency, and a failing pair becomes
-a structured error record instead of aborting the batch.  When the
-backend has a whole-batch fast path (``backend="compiled"``), the serial
-path hands the entire batch to one
-:func:`repro.backend.compiled_align_batch` sweep instead — bit-identical
-results, dispatch overhead amortized across pairs — controlled by the
-``batch_exec=`` knob and falling back to per-pair execution (and its
-failure isolation) if the sweep raises.  The historical ``align_one`` /
-``align_batch`` / ``submit`` trio survives as deprecated shims over
-``run``.
+``run`` is the single batch entry point and takes one documented
+:class:`RunOptions` value for every execution knob:
+
+* ``workers`` fans the functional work across CPU cores through
+  :mod:`repro.parallel` — the software mirror of the N_K channel
+  fan-out — while the performance model still accounts for the
+  *device's* concurrency, and a failing pair becomes a structured error
+  record instead of aborting the batch;
+* ``timeout`` bounds each pair's wall-clock seconds;
+* ``backend`` overrides the runtime's constructed backend for one call
+  (backends are bit-identical, so this only moves wall-clock);
+* ``batch_exec`` selects the whole-batch fast path — when the backend
+  has one (``backend="compiled"``), the serial path hands the entire
+  batch to one :func:`repro.backend.compiled_align_batch` sweep instead
+  of N per-pair calls, falling back to per-pair execution (and its
+  failure isolation) if the sweep raises.
+
+The historical per-knob keyword arguments (``workers=`` / ``timeout=``
+/ ``batch_exec=``) keep working for one release through a thin adapter
+that emits a ``DeprecationWarning``; the even older ``align_one`` /
+``align_batch`` / ``submit`` trio (deprecated since the ``run``
+unification) has been deleted.
 
 Execution reports through the current :mod:`repro.obs` recorder: a
 ``host.run`` span brackets the batch, with child ``host.execute``
@@ -39,6 +48,49 @@ from repro.host.scheduler import AlignmentBatch, HostScheduler, ScheduleResult
 from repro.obs.recorder import get_recorder
 from repro.parallel import ParallelExecutor, WorkError
 from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
+
+#: The per-knob keywords the legacy-adapter still accepts on ``run``.
+_LEGACY_RUN_KWARGS = ("workers", "timeout", "batch_exec")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Every execution knob of one :meth:`DeviceRuntime.run` call.
+
+    ``workers=None`` (the default) keeps the deterministic serial path:
+    every pair runs in-process, in order, producing bit-identical
+    results.  ``workers > 1`` fans pairs across a process pool; that
+    path requires the runtime's spec to be the registered kernel
+    (worker processes re-resolve it by id).  ``timeout`` bounds each
+    pair's wall-clock seconds.
+
+    ``backend=None`` uses the backend the runtime was constructed with;
+    naming one (``"systolic"`` / ``"compiled"``) overrides it for this
+    call only — results are bit-identical either way, so the override
+    moves wall-clock, never answers.
+
+    ``batch_exec`` selects the whole-batch fast path: ``None`` (the
+    default) uses it automatically whenever the effective backend has
+    one and the serial path applies; ``False`` forces per-pair
+    execution; ``True`` demands a batched backend and raises if there
+    is none.
+    """
+
+    workers: Optional[int] = None
+    timeout: Optional[float] = None
+    backend: Optional[str] = None
+    batch_exec: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    @property
+    def n_workers(self) -> int:
+        """The effective process-pool width (``None`` means serial)."""
+        return 1 if self.workers is None else self.workers
 
 
 def _align_pair_task(payload: Tuple, _seed: int) -> AlignmentResult:
@@ -83,6 +135,43 @@ class BatchOutcome:
         return self.schedule.utilization
 
 
+def resolve_run_options(
+    options: Optional[RunOptions], legacy: dict, stacklevel: int = 3
+) -> RunOptions:
+    """Merge the ``options=`` value with legacy per-knob kwargs.
+
+    The adapter behind the one-release compatibility window: legacy
+    keywords build a :class:`RunOptions` (warning once per call site),
+    and mixing both spellings is an error rather than a silent
+    precedence rule.
+    """
+    if options is not None and not isinstance(options, RunOptions):
+        raise TypeError(
+            f"options must be a RunOptions, got {type(options).__name__}"
+        )
+    if not legacy:
+        return options if options is not None else RunOptions()
+    unknown = set(legacy) - set(_LEGACY_RUN_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"run() got unexpected keyword argument(s) {sorted(unknown)}; "
+            f"supported: options=RunOptions(...) or the deprecated "
+            f"{'/'.join(_LEGACY_RUN_KWARGS)}"
+        )
+    if options is not None:
+        raise TypeError(
+            "pass either options=RunOptions(...) or the deprecated "
+            "workers=/timeout=/batch_exec= keywords, not both"
+        )
+    warnings.warn(
+        "passing workers=/timeout=/batch_exec= to run() is deprecated; "
+        "use options=RunOptions(workers=..., timeout=..., "
+        "backend=..., batch_exec=...) instead",
+        DeprecationWarning, stacklevel=stacklevel,
+    )
+    return RunOptions(**legacy)
+
+
 class DeviceRuntime:
     """A deployed kernel: functional alignment + performance accounting."""
 
@@ -120,49 +209,46 @@ class DeviceRuntime:
 
     # -- the batch entry point ----------------------------------------
 
+    def _backend_fns(self, backend: Optional[str]):
+        """(name, align_fn, batch_fn) of the effective backend."""
+        if backend is None or backend == self.backend:
+            return self.backend, self._align_fn, self._batch_fn
+        from repro.backend import get_backend, get_batch_backend
+
+        return backend, get_backend(backend), get_batch_backend(backend)
+
     def run(
         self,
         pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
-        *,
-        workers: Optional[int] = None,
-        timeout: Optional[float] = None,
-        batch_exec: Optional[bool] = None,
+        options: Optional[RunOptions] = None,
+        **legacy: Any,
     ) -> BatchOutcome:
         """Align a batch with host-side parallelism and failure isolation.
 
-        ``workers=None`` (the default) keeps the deterministic serial
-        path: every pair runs in-process, in order, producing
-        bit-identical results.  ``workers > 1`` fans pairs across a
-        process pool; that path requires the runtime's spec to be the
-        registered kernel (worker processes re-resolve it by id).
-        ``timeout`` bounds each pair's wall-clock seconds.  Failed pairs
-        surface in ``errors`` with their batch index; surviving pairs
-        are unaffected.  An empty batch is a no-op: the scheduler
-        already models it as a zero-cycle schedule, so online callers
-        (the service batcher) never special-case it.
+        All execution knobs travel in ``options`` (see
+        :class:`RunOptions`); failed pairs surface in ``errors`` with
+        their batch index, and surviving pairs are unaffected.  An
+        empty batch is a no-op: the scheduler already models it as a
+        zero-cycle schedule, so online callers (the service batcher)
+        never special-case it.
 
-        ``batch_exec`` selects the whole-batch fast path — one
-        :func:`repro.backend.compiled_align_batch` sweep instead of N
-        per-pair calls.  ``None`` (the default) uses it automatically
-        whenever the backend has one (``backend="compiled"``) and the
-        serial path applies; ``False`` forces per-pair execution;
-        ``True`` demands a batched backend and raises if there is none.
-        Results are bit-identical either way, so if the batched sweep
-        raises (for instance one malformed pair poisoning the batch)
-        the runtime transparently re-runs the batch per pair, restoring
-        per-pair failure isolation.
+        The deprecated ``workers=`` / ``timeout=`` / ``batch_exec=``
+        keywords still work for one release (with a
+        ``DeprecationWarning``) through :func:`resolve_run_options`.
         """
-        n_workers = 1 if workers is None else workers
-        if batch_exec and self._batch_fn is None:
+        opts = resolve_run_options(options, legacy)
+        backend, align_fn, batch_fn = self._backend_fns(opts.backend)
+        n_workers = opts.n_workers
+        if opts.batch_exec and batch_fn is None:
             raise ValueError(
-                f"backend {self.backend!r} has no batched fast path; "
+                f"backend {backend!r} has no batched fast path; "
                 f"use batch_exec=False or backend='compiled'"
             )
         use_batch = (
             n_workers == 1
-            and timeout is None
-            and self._batch_fn is not None
-            and batch_exec is not False
+            and opts.timeout is None
+            and batch_fn is not None
+            and opts.batch_exec is not False
         )
         recorder = get_recorder()
         pairs = list(pairs)
@@ -175,7 +261,7 @@ class DeviceRuntime:
             with recorder.span("host.execute", pairs=len(pairs)):
                 if use_batch:
                     try:
-                        results = list(self._batch_fn(
+                        results = list(batch_fn(
                             self.spec, pairs, params=self.params,
                             n_pe=self.config.n_pe, ii=self.report.ii,
                             max_query_len=self.config.max_query_len,
@@ -190,11 +276,11 @@ class DeviceRuntime:
                         results = None
                 if results is None:
                     executor = ParallelExecutor(
-                        workers=n_workers, timeout=timeout
+                        workers=n_workers, timeout=opts.timeout
                     )
                     if n_workers == 1:
                         def task(pair, _seed):
-                            return self._align_pair(*pair)
+                            return self._align_pair(*pair, align_fn=align_fn)
 
                         batch_result = executor.map(task, pairs)
                     else:
@@ -210,7 +296,7 @@ class DeviceRuntime:
                             )
                         payloads = [
                             (
-                                self.spec.kernel_id, self.backend,
+                                self.spec.kernel_id, backend,
                                 self.params,
                                 self.config.n_pe, self.report.ii,
                                 self.config.max_query_len,
@@ -242,64 +328,16 @@ class DeviceRuntime:
         )
 
     def _align_pair(
-        self, query: Sequence[Any], reference: Sequence[Any]
+        self,
+        query: Sequence[Any],
+        reference: Sequence[Any],
+        align_fn: Any = None,
     ) -> AlignmentResult:
         """One pair on one block (the serial-path work item)."""
-        return self._align_fn(
+        fn = align_fn if align_fn is not None else self._align_fn
+        return fn(
             self.spec, query, reference, params=self.params,
             n_pe=self.config.n_pe, ii=self.report.ii,
             max_query_len=self.config.max_query_len,
             max_ref_len=self.config.max_ref_len,
         )
-
-    # -- deprecated shims ---------------------------------------------
-
-    def align_one(
-        self, query: Sequence[Any], reference: Sequence[Any]
-    ) -> AlignmentResult:
-        """Deprecated: use ``run([(query, reference)]).results[0]``."""
-        warnings.warn(
-            "DeviceRuntime.align_one is deprecated; use "
-            "DeviceRuntime.run([(query, reference)]) instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self._align_pair(query, reference)
-
-    def align_batch(
-        self,
-        pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
-        workers: int = 1,
-    ) -> BatchOutcome:
-        """Deprecated: use :meth:`run` (which isolates failures).
-
-        Keeps the historical contract: a failing pair raises, and so
-        does an empty batch.
-        """
-        warnings.warn(
-            "DeviceRuntime.align_batch is deprecated; use "
-            "DeviceRuntime.run(pairs, workers=...) instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        if not pairs:
-            raise ValueError("batch must contain at least one pair")
-        outcome = self.run(pairs, workers=workers)
-        if outcome.errors:
-            first = outcome.errors[0]
-            raise ValueError(
-                f"pair {first.index} failed: {first.message}"
-            )
-        return outcome
-
-    def submit(
-        self,
-        pairs: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
-        workers: int = 1,
-        timeout: Optional[float] = None,
-    ) -> BatchOutcome:
-        """Deprecated: use :meth:`run` (same semantics, keyword-only)."""
-        warnings.warn(
-            "DeviceRuntime.submit is deprecated; use "
-            "DeviceRuntime.run(pairs, workers=..., timeout=...) instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.run(pairs, workers=workers, timeout=timeout)

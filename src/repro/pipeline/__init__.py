@@ -1,0 +1,57 @@
+"""Streaming whole-genome read mapping (chunked FASTQ → SAM).
+
+The production face of the repo's device model: a bounded-memory,
+backpressured pipeline that seeds reads against a
+:class:`~repro.pipeline.index.KmerIndex`, GACT-extends them in
+read-batched tile wavefronts through any
+:class:`~repro.pipeline.dispatch.TileDispatcher` (in-process runtime,
+cached runtime, or the shard service front door), and streams SAM out
+as reads finish.  Entry point: :func:`map_flowcell`.
+"""
+
+from repro.pipeline.dispatch import (
+    RuntimeTileDispatcher,
+    ServiceTileDispatcher,
+    TileDispatcher,
+    TileResult,
+    TracingDispatcher,
+)
+from repro.pipeline.extend import ExtendOutcome, count_matches, extend_batch
+from repro.pipeline.flow import (
+    MapReport,
+    TILE_KERNEL_ID,
+    build_tile_runtime,
+    map_flowcell,
+)
+from repro.pipeline.index import KmerIndex, kmer_codes
+from repro.pipeline.stages import (
+    ExtendStage,
+    MappedItem,
+    SeedChainStage,
+    SeedTask,
+)
+from repro.pipeline.trace import TraceSummary, read_trace, summarize_trace
+
+__all__ = [
+    "ExtendOutcome",
+    "ExtendStage",
+    "KmerIndex",
+    "MapReport",
+    "MappedItem",
+    "RuntimeTileDispatcher",
+    "SeedChainStage",
+    "SeedTask",
+    "ServiceTileDispatcher",
+    "TILE_KERNEL_ID",
+    "TileDispatcher",
+    "TileResult",
+    "TraceSummary",
+    "TracingDispatcher",
+    "build_tile_runtime",
+    "count_matches",
+    "extend_batch",
+    "kmer_codes",
+    "map_flowcell",
+    "read_trace",
+    "summarize_trace",
+]

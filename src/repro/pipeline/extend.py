@@ -1,0 +1,159 @@
+"""Batched-across-reads GACT extension.
+
+:func:`repro.tiling.gact.tiled_align` walks one read's tiles serially —
+correct, but it feeds the device one tile at a time.  The pipeline's
+extension stage instead advances a whole chunk of reads in lockstep:
+every iteration gathers the *current* tile of each still-active read
+into one wavefront, dispatches the wavefront as a single batch (one
+``DeviceRuntime.run`` call, one service round trip), commits each
+read's returned path with the same :func:`~repro.tiling.gact.commit_moves`
+rule, and repeats until every read finishes.  The per-read tile
+sequence — and therefore the stitched alignment — is byte-identical to
+the serial walk; only the grouping across reads changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.result import Alignment, Move
+from repro.pipeline.dispatch import TileDispatcher
+from repro.tiling.gact import commit_moves
+
+ExtendTask = Tuple[Sequence[Any], Sequence[Any]]
+
+
+@dataclass
+class _TaskState:
+    """Per-read stitching cursor while its tiles are in flight."""
+
+    query: Sequence[Any]
+    reference: Sequence[Any]
+    qi: int = 0
+    ri: int = 0
+    moves: List[Move] = field(default_factory=list)
+    tiles: int = 0
+    cached_tiles: int = 0
+    done: bool = False
+
+
+@dataclass(frozen=True)
+class ExtendOutcome:
+    """One read's stitched alignment plus tile accounting."""
+
+    alignment: Alignment
+    tiles: int
+    cached_tiles: int
+    matches: int
+
+
+def count_matches(
+    moves: Sequence[Move],
+    query: Sequence[Any],
+    reference: Sequence[Any],
+) -> int:
+    """MATCH columns whose two symbols are actually equal.
+
+    The global kernel emits ``M`` for both matches and substitutions;
+    identity filtering needs the true match count, recovered here by
+    walking the committed path against both sequences.
+    """
+    qi = ri = matches = 0
+    for move in moves:
+        if move is Move.MATCH:
+            if query[qi] == reference[ri]:
+                matches += 1
+            qi += 1
+            ri += 1
+        elif move is Move.DEL:
+            qi += 1
+        elif move is Move.INS:
+            ri += 1
+    return matches
+
+
+def extend_batch(
+    tasks: Sequence[ExtendTask],
+    dispatcher: TileDispatcher,
+    tile_size: int = 128,
+    overlap: int = 32,
+) -> List[ExtendOutcome]:
+    """GACT-extend a chunk of reads, tiles batched across reads.
+
+    Each task is a ``(query, reference)`` pair (read codes against its
+    candidate genome window).  Results are index-aligned.  Raises
+    ``RuntimeError`` when a tile commits no moves (degenerate
+    tile_size/overlap), mirroring :func:`~repro.tiling.gact.tiled_align`.
+    """
+    if not 0 < overlap < tile_size:
+        raise ValueError(
+            f"need 0 < overlap < tile_size, got overlap={overlap}, "
+            f"tile_size={tile_size}"
+        )
+    states = [_TaskState(query=q, reference=r) for q, r in tasks]
+    commit_limit = tile_size - overlap
+    active = [
+        i for i, st in enumerate(states)
+        if st.qi < len(st.query) and st.ri < len(st.reference)
+    ]
+    while active:
+        wavefront: List[Tuple[Sequence[Any], Sequence[Any]]] = []
+        last_flags: List[bool] = []
+        for i in active:
+            st = states[i]
+            q_tile = st.query[st.qi:st.qi + tile_size]
+            r_tile = st.reference[st.ri:st.ri + tile_size]
+            last_flags.append(
+                st.qi + len(q_tile) >= len(st.query)
+                and st.ri + len(r_tile) >= len(st.reference)
+            )
+            wavefront.append((q_tile, r_tile))
+        results = dispatcher.run_tiles(wavefront)
+        if len(results) != len(wavefront):
+            raise RuntimeError(
+                f"dispatcher returned {len(results)} tiles "
+                f"for a wavefront of {len(wavefront)}"
+            )
+        survivors: List[int] = []
+        for i, last, tile in zip(active, last_flags, results):
+            st = states[i]
+            q_used, r_used, committed = commit_moves(
+                tile.moves, limit=None if last else commit_limit
+            )
+            if not committed:
+                raise RuntimeError(
+                    f"tile at ({st.qi}, {st.ri}) committed no moves; "
+                    f"increase tile_size ({tile_size}) relative to "
+                    f"overlap ({overlap})"
+                )
+            st.moves.extend(committed)
+            st.qi += q_used
+            st.ri += r_used
+            st.tiles += 1
+            st.cached_tiles += int(tile.cached)
+            if not last and st.qi < len(st.query) and st.ri < len(st.reference):
+                survivors.append(i)
+        active = survivors
+    outcomes: List[ExtendOutcome] = []
+    for st in states:
+        st.moves.extend([Move.DEL] * (len(st.query) - st.qi))
+        st.moves.extend([Move.INS] * (len(st.reference) - st.ri))
+        alignment = Alignment(
+            moves=tuple(st.moves),
+            query_start=0,
+            query_end=len(st.query),
+            ref_start=0,
+            ref_end=len(st.reference),
+        )
+        outcomes.append(
+            ExtendOutcome(
+                alignment=alignment,
+                tiles=st.tiles,
+                cached_tiles=st.cached_tiles,
+                matches=count_matches(
+                    alignment.moves, st.query, st.reference
+                ),
+            )
+        )
+    return outcomes

@@ -551,6 +551,60 @@ class LoadGenerator:
             latencies_ms=latencies,
         )
 
+    def replay(
+        self,
+        deadline_ms: Optional[float] = None,
+        result_timeout: float = 120.0,
+        window: int = 64,
+    ) -> LoadReport:
+        """Replay the workload once, in order, closed-loop.
+
+        The trace-replay mode: instead of Poisson arrivals at a chosen
+        rate, every workload entry is submitted exactly once in its
+        recorded order, with at most ``window`` requests in flight —
+        the shape of a pipeline driving the service as fast as it will
+        go.  ``offered_rps`` on the report is the achieved submission
+        rate (there is no synthetic arrival process to offer).
+        """
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        started = time.perf_counter()
+        pending: List[ReplySlot] = []
+        ok = rejected = errors = 0
+        latencies: List[float] = []
+
+        def settle(slot: ReplySlot) -> None:
+            nonlocal ok, rejected, errors
+            response = slot.result(timeout=result_timeout)
+            if response.status is Status.OK:
+                ok += 1
+                if response.latency_ms is not None:
+                    latencies.append(response.latency_ms)
+            elif response.status is Status.REJECTED:
+                rejected += 1
+            else:
+                errors += 1
+
+        for kernel_id, query, reference in self.workload:
+            if len(pending) >= window:
+                settle(pending.pop(0))
+            pending.append(self.client.submit(
+                kernel_id, query, reference, deadline_ms=deadline_ms
+            ))
+        for slot in pending:
+            settle(slot)
+        elapsed = time.perf_counter() - started
+        sent = len(self.workload)
+        return LoadReport(
+            offered_rps=sent / elapsed if elapsed > 0 else 0.0,
+            sent=sent,
+            ok=ok,
+            rejected=rejected,
+            errors=errors,
+            elapsed_s=elapsed,
+            latencies_ms=latencies,
+        )
+
     def run_concurrent(
         self,
         rate_rps: float,

@@ -31,7 +31,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.host.runtime import BatchOutcome, DeviceRuntime
+from repro.host.runtime import BatchOutcome, DeviceRuntime, RunOptions
 from repro.obs.recorder import get_recorder
 from repro.synth.compiler import LaunchConfig
 from repro.synth.linker import LinkedDesign
@@ -199,7 +199,8 @@ class DevicePool:
                 pairs=len(pairs),
             ):
                 outcome = member.runtime.run(
-                    list(pairs), workers=self.workers
+                    list(pairs),
+                    options=RunOptions(workers=self.workers),
                 )
         finally:
             self._release(member, len(pairs))

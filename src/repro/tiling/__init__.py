@@ -6,6 +6,11 @@ al.]: align a tile globally, commit the traceback path up to an overlap
 margin from the tile edge, then slide the tile along the committed path.
 """
 
-from repro.tiling.gact import TiledAlignment, tiled_align
+from repro.tiling.gact import (
+    TiledAlignment,
+    commit_moves,
+    expected_tiles,
+    tiled_align,
+)
 
-__all__ = ["TiledAlignment", "tiled_align"]
+__all__ = ["TiledAlignment", "tiled_align", "commit_moves", "expected_tiles"]

@@ -109,6 +109,19 @@ def tiled_align(
     )
 
 
+def commit_moves(
+    moves: Sequence[Move], limit: Optional[int]
+) -> Tuple[int, int, List[Move]]:
+    """Commit a tile's moves until either sequence consumed ``limit``
+    symbols (``limit=None`` commits everything — the last tile).
+
+    Returns ``(q_used, r_used, committed)``.  Shared by the sequential
+    :func:`tiled_align` and the pipeline's batched-across-reads tiler
+    (:mod:`repro.pipeline.extend`), which must stitch identically.
+    """
+    return _commit(moves, limit)
+
+
 def _commit(
     moves: Sequence[Move], limit: Optional[int]
 ) -> Tuple[int, int, List[Move]]:

@@ -1,0 +1,192 @@
+"""The ``repro.api`` Stage/Pipeline protocol: composition, backpressure,
+drain semantics, failure propagation, and the app-stage ports."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import FnStage, Pipeline, PipelineError, Stage
+from repro.api.stage import StageStats
+from tests.conftest import mutated_copy, random_dna
+
+
+class Doubler(Stage):
+    """Emit each chunk twice (tests multi-output fan-out)."""
+
+    def process(self, chunk):
+        """Two copies of every input chunk."""
+        return [chunk, chunk]
+
+
+class Summing(Stage):
+    """Accumulate, emit only on finish (tests drain semantics)."""
+
+    def __init__(self):
+        self.total = 0
+        self.closed = False
+
+    def process(self, chunk):
+        """Swallow the chunk into the running total."""
+        self.total += sum(chunk)
+        return ()
+
+    def finish(self):
+        """Emit the accumulated total once upstream drains."""
+        return [self.total]
+
+    def close(self):
+        """Record the close for lifecycle assertions."""
+        self.closed = True
+
+
+class TestPipelineBasics:
+    def test_fnstage_transform_preserves_order(self):
+        pipeline = Pipeline([FnStage(lambda c: [c * 2], "double")])
+        out, report = pipeline.run_collect(iter([1, 2, 3]))
+        assert out == [2, 4, 6]
+        assert report.emitted == 3
+        assert report.dropped == 0
+        assert report.stage("double").chunks_in == 3
+
+    def test_multi_output_and_finish_emission(self):
+        summing = Summing()
+        pipeline = Pipeline([Doubler(), summing])
+        out, report = pipeline.run_collect(iter([[1], [2, 3]]))
+        # Doubler emits each chunk twice -> 1+1 + 2+3+2+3 = 12 on drain.
+        assert out == [12]
+        assert summing.closed
+        assert report.stage("doubler").items_out == 4
+
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError, match="unique"):
+            Pipeline([FnStage(lambda c: [c], "x"), FnStage(lambda c: [c], "x")])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Pipeline([])
+
+    def test_default_stage_name_is_lowered_class_name(self):
+        assert Doubler().name == "doubler"
+
+
+class TestBackpressure:
+    def test_bounded_queues_limit_source_readahead(self):
+        """With queue_bound=1 and a blocked stage, the feeder cannot race
+        ahead: at most bound + in-process-chunk items leave the source."""
+        pulled = []
+        release = threading.Event()
+        entered = threading.Event()
+
+        def source():
+            for i in range(50):
+                pulled.append(i)
+                yield i
+
+        def gated(chunk):
+            entered.set()
+            release.wait(timeout=30.0)
+            return [chunk]
+
+        pipeline = Pipeline([FnStage(gated, "gate")], queue_bound=1)
+        worker = threading.Thread(
+            target=pipeline.run, args=(source(),), daemon=True
+        )
+        worker.start()
+        assert entered.wait(timeout=10.0)
+        time.sleep(0.3)  # give the feeder every chance to overrun
+        # one chunk in the stage + queue_bound queued + one in the
+        # feeder's hand
+        assert len(pulled) <= 3
+        release.set()
+        worker.join(timeout=30.0)
+        assert not worker.is_alive()
+        assert len(pulled) == 50
+
+    def test_reject_not_drop_no_chunks_lost(self):
+        pipeline = Pipeline(
+            [FnStage(lambda c: [c], "a"), FnStage(lambda c: [c + 1], "b")],
+            queue_bound=2,
+        )
+        out, report = pipeline.run_collect(iter(range(100)))
+        assert out == list(range(1, 101))
+        assert report.dropped == 0
+
+
+class TestFailurePropagation:
+    def test_stage_error_raises_pipeline_error_with_stage_name(self):
+        def boom(chunk):
+            raise RuntimeError("kaput")
+
+        closed = Summing()
+        pipeline = Pipeline([FnStage(boom, "boom"), closed])
+        with pytest.raises(PipelineError, match="stage 'boom' failed: kaput"):
+            pipeline.run(iter([1, 2, 3]))
+        # downstream stages are still drained and closed
+        assert closed.closed
+
+    def test_error_report_counts_errors(self):
+        def boom(chunk):
+            raise ValueError("nope")
+
+        pipeline = Pipeline([FnStage(boom, "boom")])
+        with pytest.raises(PipelineError) as excinfo:
+            pipeline.run(iter([1]))
+        assert isinstance(excinfo.value.error, ValueError)
+
+
+class TestStageStats:
+    def test_queue_percentiles_nearest_rank(self):
+        stats = StageStats(name="s")
+        stats.queue_ms.extend(float(v) for v in range(1, 101))
+        # nearest rank over 1..100: round(q * 99) + 1
+        assert stats.queue_p50_ms == 51.0
+        assert stats.queue_p95_ms == 95.0
+
+    def test_empty_samples_are_zero(self):
+        stats = StageStats(name="s")
+        assert stats.queue_p50_ms == 0.0
+        assert stats.to_dict()["queue_p95_ms"] == 0.0
+
+
+class TestAppStagePorts:
+    """The ported application stages speak the Stage protocol."""
+
+    def test_read_mapper_stage(self):
+        from repro.apps.read_mapper import ReadMapper, ReadMapperStage
+
+        genome = random_dna(600, seed=5)
+        reads = [
+            ("r0", mutated_copy(genome[100:180], seed=6, error_rate=0.1)),
+            ("r1", (0, 1)),  # shorter than k -> unmappable
+        ]
+        stage = ReadMapperStage(ReadMapper(genome, k=12))
+        assert stage.name == "map"
+        (out,) = stage.process(reads)
+        assert [name for name, _, _ in out] == ["r0", "r1"]
+        assert out[0][2] is not None and out[1][2] is None
+
+    def test_chain_stage(self):
+        from collections import defaultdict
+
+        from repro.apps.chaining import ChainStage
+
+        genome = random_dna(400, seed=7)
+        k = 12
+        index = defaultdict(list)
+        for pos in range(len(genome) - k + 1):
+            index[tuple(genome[pos:pos + k])].append(pos)
+        stage = ChainStage(index, k)
+        (out,) = stage.process([("r0", genome[50:120])])
+        name, chain = out[0]
+        assert name == "r0" and chain is not None and chain.score > 0
+
+    def test_assembler_stage_accumulates_until_finish(self):
+        from repro.apps.assembler import AssemblerStage
+
+        genome = random_dna(120, seed=8)
+        stage = AssemblerStage(min_overlap_score=10.0)
+        assert stage.process([genome[:70]]) == ()
+        assert stage.process([genome[40:]]) == ()
+        (contigs,) = stage.finish()
+        assert len(contigs) >= 1

@@ -31,7 +31,7 @@ from repro.backend import (
     prewarm,
 )
 from repro.backend import compiler
-from repro.host import DeviceRuntime
+from repro.host import DeviceRuntime, RunOptions
 from repro.kernels import get_kernel, kernel_ids
 from repro.obs import TraceRecorder, set_recorder
 from repro.shard import Deployment
@@ -258,7 +258,7 @@ class TestRuntimeFastPath:
             fast = runtime.run(pairs)
         finally:
             set_recorder(previous)
-        slow = runtime.run(pairs, batch_exec=False)
+        slow = runtime.run(pairs, options=RunOptions(batch_exec=False))
         assert not fast.errors and not slow.errors
         assert recorder.snapshot()["counters"]["host.batched_fast_path"] == 1
         for fast_result, slow_result in zip(fast.results, slow.results):
@@ -268,7 +268,7 @@ class TestRuntimeFastPath:
     def test_batch_exec_true_without_batched_backend_raises(self):
         runtime = self._runtime(backend="systolic")
         with pytest.raises(ValueError, match="no batched fast path"):
-            runtime.run(self._pairs(2), batch_exec=True)
+            runtime.run(self._pairs(2), options=RunOptions(batch_exec=True))
 
     def test_fallback_isolates_failing_pair(self):
         """A poisoned batch degrades to per-pair WorkError isolation."""

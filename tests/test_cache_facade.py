@@ -201,11 +201,11 @@ class TestCachedRuntime:
         leader_entered = threading.Event()
         release = threading.Event()
 
-        def slow_run(pairs, *, workers=None, timeout=None):
+        def slow_run(pairs, options=None, **legacy):
             engine_pair_counts.append(len(pairs))
             leader_entered.set()
             assert release.wait(timeout=30.0)
-            return real_run(pairs, workers=workers, timeout=timeout)
+            return real_run(pairs, options=options, **legacy)
 
         inner.run = slow_run
         outcomes = {}

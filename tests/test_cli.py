@@ -103,6 +103,31 @@ class TestServiceCommands:
         with pytest.raises(SystemExit, match="struct"):
             main(["loadgen", "--in-proc", "--kernel", "9", "--requests", "1"])
 
+    def test_loadgen_trace_excludes_synthetic_flags(self, tmp_path):
+        """--trace and the Poisson-load options are mutually exclusive,
+        and the error names the offending flags."""
+        trace = tmp_path / "tiles.jsonl"
+        trace.write_text(
+            '{"kernel": 1, "query": [0, 1], "reference": [0, 1]}\n'
+        )
+        with pytest.raises(SystemExit, match="--rate"):
+            main([
+                "loadgen", "--in-proc", "--trace", str(trace),
+                "--rate", "100",
+            ])
+        with pytest.raises(SystemExit, match="--requests.*--pairs"):
+            main([
+                "loadgen", "--in-proc", "--trace", str(trace),
+                "--requests", "5", "--pairs", "2",
+            ])
+
+    def test_loadgen_trace_missing_file_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace"):
+            main([
+                "loadgen", "--in-proc",
+                "--trace", str(tmp_path / "absent.jsonl"),
+            ])
+
     def test_serve_parser_accepts_service_flags(self):
         from repro.cli import build_parser
 
@@ -114,6 +139,32 @@ class TestServiceCommands:
         assert args.kernel == ["1", "3"]
         assert args.max_batch == 4
         assert args.queue_bound == 32
+
+
+class TestMapCommand:
+    def test_map_simulated_flowcell_roundtrip(self, tmp_path, capsys):
+        """Simulate, map, validate SAM, record a trace, then replay the
+        trace through loadgen — the full flowcell-to-replay loop."""
+        out = tmp_path / "mapped.sam"
+        trace = tmp_path / "tiles.jsonl"
+        rc = main([
+            "map", "--out", str(out),
+            "--genome-length", "30000", "--reads", "4",
+            "--read-length", "200", "--seed", "7", "--genome-seed", "8",
+            "--trace-out", str(trace),
+        ])
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert '"dropped_chunks": 0' in printed
+        assert "records validated" in printed
+        assert out.exists() and trace.exists()
+
+        rc = main([
+            "loadgen", "--in-proc", "--trace", str(trace),
+            "--max-len", "128", "--n-pe", "32", "--backend", "compiled",
+        ])
+        assert rc == 0
+        assert "err 0" in capsys.readouterr().out
 
 
 class TestExperimentCommands:

@@ -67,7 +67,7 @@ class TestReadmeQuickstart:
         expected = {
             "front_end.md", "back_end.md", "kernels.md",
             "performance_model.md", "adding_a_kernel.md", "baselines.md",
-            "apps.md",
+            "apps.md", "pipeline.md",
         }
         assert expected <= {p.name for p in docs.glob("*.md")}
 

@@ -9,7 +9,7 @@ path.
 import numpy as np
 import pytest
 
-from repro.host import DeviceRuntime
+from repro.host import DeviceRuntime, RunOptions
 from repro.kernels import get_kernel
 from repro.reference.dp_oracle import oracle_align
 from repro.synth import LaunchConfig
@@ -90,7 +90,7 @@ class TestBatchEdgeCases:
     @pytest.mark.parametrize("workers", (1, 2))
     def test_empty_run_returns_empty_outcome(self, workers):
         """run([]) is a no-op batch."""
-        outcome = _runtime().run([], workers=workers)
+        outcome = _runtime().run([], options=RunOptions(workers=workers))
         assert outcome.results == [] and outcome.errors == []
         assert outcome.schedule.makespan_cycles == 0
 
@@ -104,7 +104,7 @@ class TestBatchEdgeCases:
         """One invalid pair yields an error record; the rest align."""
         pairs = _pairs(5)
         pairs.insert(2, ((99,), (0, 1, 2)))  # symbol outside the alphabet
-        outcome = _runtime().run(pairs, workers=workers)
+        outcome = _runtime().run(pairs, options=RunOptions(workers=workers))
         assert len(outcome.errors) == 1
         error = outcome.errors[0]
         assert error.index == 2
@@ -116,8 +116,8 @@ class TestBatchEdgeCases:
 
     def test_serial_and_parallel_run_identical(self):
         pairs = _pairs(6)
-        serial = _runtime().run(pairs, workers=1)
-        pooled = _runtime().run(pairs, workers=2)
+        serial = _runtime().run(pairs, options=RunOptions(workers=1))
+        pooled = _runtime().run(pairs, options=RunOptions(workers=2))
         assert [r.score for r in serial.results] == [
             r.score for r in pooled.results
         ]
@@ -126,10 +126,14 @@ class TestBatchEdgeCases:
         ]
         assert serial.schedule == pooled.schedule
 
-    def test_deprecated_align_batch_still_raises_on_failure(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="pair 0 failed"):
-                _runtime().align_batch([((99,), (0, 1))])
+    def test_legacy_workers_kwarg_warns_and_matches_options(self):
+        pairs = _pairs(3)
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            legacy = _runtime().run(pairs, workers=1)
+        modern = _runtime().run(pairs, options=RunOptions(workers=1))
+        assert [r.score for r in legacy.results] == [
+            r.score for r in modern.results
+        ]
 
     def test_parallel_run_requires_registered_kernel(self):
         import dataclasses
@@ -137,4 +141,4 @@ class TestBatchEdgeCases:
         runtime = _runtime()
         runtime.spec = dataclasses.replace(runtime.spec, name="custom_copy")
         with pytest.raises(ValueError, match="registered kernel"):
-            runtime.run(_pairs(2), workers=2)
+            runtime.run(_pairs(2), options=RunOptions(workers=2))

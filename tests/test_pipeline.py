@@ -1,0 +1,196 @@
+"""End-to-end tests of the streaming read-mapping pipeline.
+
+The four production claims of :mod:`repro.pipeline`:
+
+* a flowcell maps to *valid, correctly placed* SAM with zero dropped
+  chunks;
+* the SAM bytes are identical whether tiles run on the in-process
+  runtime or through the 2-shard service front door;
+* memory stays flat as the flowcell doubles (streaming, not batch);
+* a recorded tile trace replays with a deterministic cache-hit profile.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.data.fastq import write_flowcell
+from repro.data.genome import random_genome
+from repro.data.sam import iter_sam
+from repro.pipeline import (
+    ServiceTileDispatcher,
+    map_flowcell,
+    read_trace,
+    summarize_trace,
+)
+
+GENOME_LEN = 40_000
+READS = 6
+READ_LEN = 256
+
+
+@pytest.fixture(scope="module")
+def genome():
+    """One module-wide reference genome."""
+    return random_genome(GENOME_LEN, seed=21)
+
+
+@pytest.fixture(scope="module")
+def flowcell(genome, tmp_path_factory):
+    """A small simulated flowcell FASTQ on disk."""
+    path = tmp_path_factory.mktemp("flowcell") / "reads.fastq"
+    n = write_flowcell(
+        path, genome, READS, length=READ_LEN, error_rate=0.12, seed=22
+    )
+    assert n == READS
+    return path
+
+
+class TestEndToEnd:
+    def test_maps_flowcell_to_valid_placed_sam(self, genome, flowcell,
+                                               tmp_path):
+        out = tmp_path / "out.sam"
+        report = map_flowcell(flowcell, genome, out, chunk_size=2)
+        assert report.reads == READS
+        assert report.mapped > 0
+        assert report.pipeline.dropped == 0
+        assert report.tiles > 0
+        # per-stage stats exist for both stages
+        assert {s.name for s in report.pipeline.stages} == {"seed", "extend"}
+        records = list(iter_sam(out))  # iter_sam validates CIGAR vs SEQ
+        assert len(records) == READS
+        placed = 0
+        for record in records:
+            if not record.mapped:
+                continue
+            truth = int(record.name.split("pos=")[1])
+            if abs(record.position - truth) <= 2 * 32:
+                placed += 1
+        assert placed >= report.mapped * 2 // 3
+        assert all(0 <= r.mapq <= 60 for r in records)
+
+    def test_cached_rerun_is_byte_identical_and_all_hits(
+        self, genome, flowcell, tmp_path
+    ):
+        from repro.cache.facade import CacheStack
+
+        stack = CacheStack()
+        cold_sam = tmp_path / "cold.sam"
+        warm_sam = tmp_path / "warm.sam"
+        cold = map_flowcell(flowcell, genome, cold_sam, cache=stack)
+        warm = map_flowcell(flowcell, genome, warm_sam, cache=stack)
+        assert cold.tile_hit_rate == 0.0
+        assert warm.tile_hit_rate == 1.0
+        assert cold_sam.read_bytes() == warm_sam.read_bytes()
+
+
+class TestServiceByteIdentity:
+    def test_inproc_vs_two_shard_front_door(self, genome, flowcell,
+                                            tmp_path):
+        """Identical SAM bytes whether tiles run locally or through the
+        multi-process sharded service."""
+        from repro.service import AlignmentClient
+        from repro.shard import Deployment, ShardServer
+
+        local_sam = tmp_path / "local.sam"
+        local = map_flowcell(flowcell, genome, local_sam)
+        assert local.mapped > 0
+
+        deployment = Deployment(
+            kernel_ids=(1,), n_pe=32, max_len=128, backend="compiled",
+        )
+        server = ShardServer(
+            ("127.0.0.1", 0), deployment, n_shards=2
+        ).start()
+        try:
+            client = AlignmentClient(*server.address, read_timeout=120.0)
+            dispatcher = ServiceTileDispatcher(client, kernel_id=1)
+            shard_sam = tmp_path / "sharded.sam"
+            sharded = map_flowcell(
+                flowcell, genome, shard_sam, dispatcher=dispatcher
+            )
+        finally:
+            server.close()
+        assert sharded.mapped == local.mapped
+        assert shard_sam.read_bytes() == local_sam.read_bytes()
+
+
+class TestBoundedMemory:
+    def test_peak_memory_flat_as_flowcell_doubles(self, genome,
+                                                  tmp_path):
+        """Peak traced memory must not scale with flowcell size: the
+        pipeline holds chunks, not the dataset."""
+        def run(n_reads: int) -> float:
+            fastq = tmp_path / f"fc_{n_reads}.fastq"
+            write_flowcell(
+                fastq, genome, n_reads, length=READ_LEN,
+                error_rate=0.12, seed=23,
+            )
+            out = tmp_path / f"out_{n_reads}.sam"
+            tracemalloc.start()
+            try:
+                report = map_flowcell(
+                    fastq, genome, out, chunk_size=2, queue_bound=2
+                )
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            assert report.reads == n_reads
+            return float(peak)
+
+        small = run(4)
+        large = run(8)
+        assert large <= small * 1.6, (
+            f"peak grew {large / small:.2f}x when the flowcell doubled "
+            f"({small:.0f} -> {large:.0f} bytes)"
+        )
+
+
+class TestTraceReplay:
+    def _record(self, genome, flowcell, tmp_path):
+        trace = tmp_path / "tiles.jsonl"
+        report = map_flowcell(
+            flowcell, genome, tmp_path / "traced.sam", trace_path=trace
+        )
+        assert report.trace_records == report.tiles
+        return trace
+
+    def _replay_misses(self, workload):
+        """Replay a workload against a fresh cached in-proc service;
+        returns (ok, cache_misses, cache_hits)."""
+        from repro.service import InProcClient, LoadGenerator
+        from repro.shard import Deployment
+
+        deployment = Deployment(
+            kernel_ids=(1,), n_pe=32, max_len=128, backend="compiled",
+            cache_dir=None,
+        )
+        from repro.cache.facade import CacheStack
+
+        core = deployment.build_core(cache=CacheStack()).start()
+        try:
+            generator = LoadGenerator(InProcClient(core), workload)
+            report = generator.replay(window=8)
+            counters = core.metrics_snapshot()["counters"]
+        finally:
+            core.stop()
+        return (
+            report.ok,
+            counters.get("cache_misses_total", 0),
+            counters.get("cache_hits_total", 0),
+        )
+
+    def test_replay_reproduces_cache_hit_profile(self, genome, flowcell,
+                                                 tmp_path):
+        trace = self._record(genome, flowcell, tmp_path)
+        workload = read_trace(trace)
+        summary = summarize_trace(workload)
+        assert summary.requests > 0
+
+        ok_a, misses_a, hits_a = self._replay_misses(workload)
+        ok_b, misses_b, hits_b = self._replay_misses(workload)
+        # every request answers, and the miss profile is a pure function
+        # of the trace: distinct tiles miss, repeats hit
+        assert ok_a == summary.requests == ok_b
+        assert misses_a == summary.distinct == misses_b
+        assert hits_a == hits_b

@@ -1,0 +1,210 @@
+"""Unit tests for the pipeline building blocks: k-mer index, batched
+GACT extension (byte-identity vs the serial tiler), and tile traces."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.result import Move
+from repro.kernels import get_kernel
+from repro.pipeline import (
+    KmerIndex,
+    RuntimeTileDispatcher,
+    TracingDispatcher,
+    build_tile_runtime,
+    count_matches,
+    extend_batch,
+    kmer_codes,
+    read_trace,
+    summarize_trace,
+)
+from repro.tiling import tiled_align
+from tests.conftest import mutated_copy, random_dna
+
+
+class TestKmerCodes:
+    def test_codes_match_bruteforce(self):
+        seq = random_dna(60, seed=1)
+        k = 6
+        codes = kmer_codes(seq, k)
+        for i in range(len(seq) - k + 1):
+            expected = 0
+            for base in seq[i:i + k]:
+                expected = expected * 4 + base
+            assert codes[i] == expected
+
+    def test_short_sequence_yields_empty(self):
+        assert kmer_codes((0, 1, 2), 6).size == 0
+
+    def test_rejects_non_dna_codes(self):
+        with pytest.raises(ValueError, match="2-bit"):
+            kmer_codes((0, 1, 9, 2, 3), 4)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            kmer_codes((0,) * 40, 40)
+
+
+class TestKmerIndex:
+    def test_lookup_matches_bruteforce(self):
+        genome = random_dna(2000, seed=2)
+        k = 8
+        index = KmerIndex(genome, k=k, max_occ=64)
+        for probe in (0, 100, 777, 1500):
+            kmer = genome[probe:probe + k]
+            code = int(kmer_codes(kmer, k)[0])
+            expected = [
+                p for p in range(len(genome) - k + 1)
+                if genome[p:p + k] == kmer
+            ]
+            assert list(index.lookup(code)) == expected
+
+    def test_repeat_kmers_are_masked(self):
+        genome = (0,) * 500  # poly-A: every k-mer is the same repeat
+        index = KmerIndex(genome, k=8, max_occ=16)
+        assert index.lookup(0).size == 0
+        assert index.anchors((0,) * 20) == []
+
+    def test_anchor_cap_subsamples(self):
+        genome = random_dna(5000, seed=3)
+        index = KmerIndex(genome, k=6, max_occ=512)
+        read = genome[1000:1400]
+        capped = index.anchors(read, max_anchors=50)
+        assert len(capped) <= 50
+
+    def test_best_diagonal_recovers_origin(self):
+        genome = random_dna(3000, seed=4)
+        index = KmerIndex(genome, k=12)
+        read = mutated_copy(genome[800:1100], seed=5, error_rate=0.1)
+        diagonal, votes = index.best_diagonal(read)
+        assert votes > 3
+        assert abs(diagonal - 800) < 40
+
+    def test_window_clamps_to_genome(self):
+        genome = random_dna(500, seed=6)
+        index = KmerIndex(genome, k=12)
+        start, window = index.window(100, diagonal=-10, padding=32)
+        assert start == 0
+        start, window = index.window(100, diagonal=450, padding=32)
+        assert start + len(window) == 500
+
+    def test_genome_shorter_than_k_rejected(self):
+        with pytest.raises(ValueError, match="shorter than k"):
+            KmerIndex((0, 1, 2), k=12)
+
+
+class TestExtendBatchByteIdentity:
+    """The load-bearing claim: batched-across-reads stitching commits
+    exactly what the serial GACT walk commits, read for read."""
+
+    @pytest.mark.parametrize("backend", ["systolic", "compiled"])
+    def test_matches_tiled_align(self, backend):
+        spec = get_kernel(1)
+        tile_size, overlap = 48, 12
+        tasks = []
+        for seed, (qlen, rlen) in enumerate(
+            [(100, 110), (73, 73), (140, 120), (30, 160)]
+        ):
+            reference = random_dna(rlen, seed=40 + seed)
+            query = mutated_copy(reference, seed=50 + seed)[:qlen]
+            if not query:
+                query = (0,)
+            tasks.append((query, reference))
+        dispatcher = RuntimeTileDispatcher(
+            build_tile_runtime(tile_size=tile_size, n_pe=8, backend=backend)
+        )
+        outcomes = extend_batch(
+            tasks, dispatcher, tile_size=tile_size, overlap=overlap
+        )
+        for (query, reference), outcome in zip(tasks, outcomes):
+            serial = tiled_align(
+                spec, query, reference,
+                tile_size=tile_size, overlap=overlap, n_pe=8,
+            )
+            assert outcome.alignment.cigar == serial.cigar
+            assert outcome.tiles == serial.n_tiles
+
+    def test_count_matches_walks_the_path(self):
+        query = (0, 1, 2, 3)
+        reference = (0, 1, 0, 3, 2)
+        moves = (Move.MATCH, Move.MATCH, Move.MATCH, Move.INS, Move.MATCH)
+        # columns: 0==0, 1==1, 2!=0, (ins), 3!=2 -> 2 true matches
+        assert count_matches(moves, query, reference) == 2
+
+    def test_degenerate_overlap_rejected(self):
+        dispatcher = RuntimeTileDispatcher(build_tile_runtime(tile_size=32))
+        with pytest.raises(ValueError, match="overlap"):
+            extend_batch([((0,), (0,))], dispatcher,
+                         tile_size=32, overlap=32)
+
+
+class TestTraces:
+    def _dispatcher(self, tmp_path):
+        inner = RuntimeTileDispatcher(
+            build_tile_runtime(tile_size=32, n_pe=8, backend="compiled")
+        )
+        return TracingDispatcher(inner, tmp_path / "tiles.jsonl")
+
+    def test_trace_roundtrip(self, tmp_path):
+        tracer = self._dispatcher(tmp_path)
+        pairs = [
+            (random_dna(20, seed=9), random_dna(24, seed=10)),
+            (random_dna(16, seed=11), random_dna(16, seed=11)),
+        ]
+        results = tracer.run_tiles(pairs)
+        tracer.close()
+        assert len(results) == 2 and tracer.records == 2
+        entries = read_trace(tmp_path / "tiles.jsonl")
+        assert [(q, r) for _, q, r in entries] == [
+            (tuple(q), tuple(r)) for q, r in pairs
+        ]
+        assert all(k == tracer.kernel_id for k, _, _ in entries)
+
+    def test_summary_counts_duplicates(self, tmp_path):
+        tracer = self._dispatcher(tmp_path)
+        pair = (random_dna(12, seed=12), random_dna(12, seed=13))
+        tracer.run_tiles([pair, pair, pair])
+        other = (random_dna(10, seed=14), random_dna(10, seed=15))
+        tracer.run_tiles([other])
+        tracer.close()
+        summary = summarize_trace(read_trace(tmp_path / "tiles.jsonl"))
+        assert summary.requests == 4
+        assert summary.distinct == 2
+        assert summary.duplicate_fraction == 0.5
+        assert summary.kernels == (1,)
+
+    def test_malformed_trace_fails_loudly(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"kernel": 1, "query": [0], "reference": [1]})
+            + "\n{not json}\n"
+        )
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(path)
+
+    def test_empty_sequences_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text(
+            json.dumps({"kernel": 1, "query": [], "reference": [1]}) + "\n"
+        )
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)
+
+
+class TestRuntimeDispatcher:
+    def test_cached_runtime_attribution_flows_through(self):
+        from repro.cache.facade import CacheStack
+
+        runtime = build_tile_runtime(
+            tile_size=32, n_pe=8, backend="compiled", cache=CacheStack()
+        )
+        dispatcher = RuntimeTileDispatcher(runtime)
+        assert dispatcher.kernel_id == 1
+        pair = (random_dna(20, seed=16), random_dna(20, seed=17))
+        cold = dispatcher.run_tiles([pair])
+        warm = dispatcher.run_tiles([pair])
+        assert cold[0].cached is False
+        assert warm[0].cached is True
+        assert warm[0].moves == cold[0].moves
+        assert not any(m is Move.END for m in cold[0].moves)

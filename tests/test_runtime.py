@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.host import DeviceRuntime
+from repro.host import DeviceRuntime, RunOptions
 from repro.kernels import get_kernel
 from repro.kernels.global_linear import ScoringParams
 from repro.synth import LaunchConfig
@@ -98,39 +98,53 @@ class TestDeviceRuntime:
         assert result.cycles.ii == 4  # DTW's multiplier-bound II
 
 
-class TestDeprecatedShims:
-    """The historical trio warns but keeps its exact semantics."""
+class TestRunOptions:
+    """The unified RunOptions surface and its legacy-kwarg adapter."""
 
-    def test_align_one_warns_and_matches_run(self):
-        runtime = DeviceRuntime(get_kernel(1), small_config())
-        q, r = pairs(1)[0]
-        with pytest.warns(DeprecationWarning, match="align_one"):
-            legacy = runtime.align_one(q, r)
-        assert legacy == runtime.run([(q, r)]).results[0]
-
-    def test_align_one_still_raises_on_over_length(self):
-        runtime = DeviceRuntime(get_kernel(1), small_config())
-        long_pair = pairs(1, length=100)[0]
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="tiling"):
-                runtime.align_one(*long_pair)
-
-    def test_align_batch_warns_and_matches_run(self):
+    def test_options_workers_matches_legacy_workers(self):
         runtime = DeviceRuntime(get_kernel(1), small_config())
         batch = pairs(4)
-        with pytest.warns(DeprecationWarning, match="align_batch"):
-            legacy = runtime.align_batch(batch)
-        assert legacy.results == runtime.run(batch).results
+        via_options = runtime.run(batch, options=RunOptions(workers=1))
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            via_legacy = runtime.run(batch, workers=1)
+        assert via_options.results == via_legacy.results
+        assert via_options.schedule == via_legacy.schedule
 
-    def test_align_batch_still_rejects_empty(self):
+    def test_legacy_timeout_kwarg_warns(self):
         runtime = DeviceRuntime(get_kernel(1), small_config())
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                runtime.align_batch([])
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            outcome = runtime.run(pairs(1), timeout=60.0)
+        assert outcome.errors == []
 
-    def test_submit_warns_and_matches_run(self):
+    def test_options_and_legacy_kwargs_are_exclusive(self):
         runtime = DeviceRuntime(get_kernel(1), small_config())
-        batch = pairs(2)
-        with pytest.warns(DeprecationWarning, match="submit"):
-            legacy = runtime.submit(batch)
-        assert legacy.results == runtime.run(batch).results
+        with pytest.raises(TypeError, match="not both"):
+            runtime.run(pairs(1), options=RunOptions(), workers=1)
+
+    def test_unknown_kwarg_rejected(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            runtime.run(pairs(1), wrokers=2)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            RunOptions(workers=0)
+        with pytest.raises(ValueError, match="timeout"):
+            RunOptions(timeout=-1.0)
+
+    def test_per_call_backend_override_is_bit_identical(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        batch = pairs(3)
+        systolic = runtime.run(batch)
+        compiled = runtime.run(batch, options=RunOptions(backend="compiled"))
+        assert [r.score for r in systolic.results] == [
+            r.score for r in compiled.results
+        ]
+        assert [r.alignment.cigar for r in systolic.results] == [
+            r.alignment.cigar for r in compiled.results
+        ]
+
+    def test_deleted_shims_are_gone(self):
+        runtime = DeviceRuntime(get_kernel(1), small_config())
+        for name in ("align_one", "align_batch", "submit"):
+            assert not hasattr(runtime, name)
