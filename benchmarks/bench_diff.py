@@ -22,18 +22,28 @@ one with this tool:
 Usage::
 
     python benchmarks/bench_diff.py committed.json fresh.json \
-        [--band 25] [--skip cpus --skip valid_for_scaling]
+        [--band 25] [--skip cpus --skip valid_for_scaling] \
+        [--append-history benchmarks/output/BENCH_history.jsonl]
 
 Exit status 0 when the artifacts agree, 1 with one line per problem
 otherwise.
+
+``--append-history`` additionally appends one JSONL record per
+invocation — run id, git sha, artifact name, diff verdict, and the
+fresh artifact's headline metrics (its top-level scalars) — building a
+longitudinal history CI uploads as an artifact, so perf drift *within*
+the tolerance band is still visible across runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
-from typing import Any, List, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 #: Keys whose *values* are machine- or environment-dependent.  Their
 #: presence (and container shape) is still enforced.
@@ -120,6 +130,73 @@ def _kind(value: Any) -> str:
     return type(value).__name__
 
 
+def headline_metrics(doc: Any) -> Dict[str, Any]:
+    """The artifact's top-level scalars — its one-line summary.
+
+    Nested containers (per-point sweeps, raw samples) are history
+    noise; the top-level ints/floats/bools/strings are the numbers a
+    human would quote, so that is what a history record carries.
+    """
+    if not isinstance(doc, dict):
+        return {}
+    return {
+        key: value for key, value in doc.items()
+        if isinstance(value, (int, float, str, bool)) or value is None
+    }
+
+
+def _git_sha() -> str:
+    for env in ("GITHUB_SHA", "CI_COMMIT_SHA"):
+        sha = os.environ.get(env)
+        if sha:
+            return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def history_record(
+    fresh_path: str,
+    fresh: Any,
+    problems: Sequence[str],
+    band: float,
+) -> Dict[str, Any]:
+    """One JSONL history line for this diff invocation."""
+    return {
+        "schema": "bench-history/v1",
+        "run_id": os.environ.get("GITHUB_RUN_ID", "local"),
+        "git_sha": _git_sha(),
+        "artifact": Path(fresh_path).name,
+        "band": band,
+        "ok": not problems,
+        "problems": len(problems),
+        "headline": headline_metrics(fresh),
+    }
+
+
+def append_history(
+    history_path: str,
+    fresh_path: str,
+    fresh: Any,
+    problems: Sequence[str],
+    band: float,
+) -> None:
+    """Append this invocation's record to the JSONL history file."""
+    record = history_record(fresh_path, fresh, problems, band)
+    path = Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 def main(argv: Sequence[str] = None) -> int:
     parser = argparse.ArgumentParser(
         description="tolerance-band diff of two bench JSON artifacts"
@@ -135,6 +212,11 @@ def main(argv: Sequence[str] = None) -> int:
         help="value-exempt key (repeatable; default: "
              f"{', '.join(DEFAULT_SKIP_KEYS)})",
     )
+    parser.add_argument(
+        "--append-history", default=None, metavar="JSONL",
+        help="append a run record (run id, git sha, headline metrics, "
+             "verdict) to this JSONL history file",
+    )
     options = parser.parse_args(argv)
     skip = DEFAULT_SKIP_KEYS if options.skip is None else options.skip
     with open(options.committed) as fh:
@@ -142,6 +224,11 @@ def main(argv: Sequence[str] = None) -> int:
     with open(options.fresh) as fh:
         fresh = json.load(fh)
     problems = diff_docs(committed, fresh, band=options.band, skip_keys=skip)
+    if options.append_history:
+        append_history(
+            options.append_history, options.fresh, fresh, problems,
+            options.band,
+        )
     for problem in problems:
         print(problem)
     if problems:

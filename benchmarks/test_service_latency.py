@@ -150,6 +150,91 @@ def test_service_latency_vs_offered_load():
     ) + "\n")
 
 
+def test_service_latency_under_step_profile():
+    """Phase-wise latency under a shifting (step) load profile.
+
+    The open-loop generator multiplies its arrival rate 4x mid-run; the
+    report's completion-stamped samples let each phase be scored with
+    its own windowed percentiles — the same measurement the autoscaler
+    acts on (see ``docs/autoscale.md``), here against a *fixed* pool so
+    the table shows what congestion looks like when nobody intervenes.
+    """
+    from repro.service import LoadProfile
+
+    config = LaunchConfig(
+        n_pe=8, n_b=4, n_k=1, max_query_len=64, max_ref_len=64
+    )
+    pool = DevicePool([
+        DeviceRuntime(get_kernel(kernel_id), config)
+        for kernel_id in KERNEL_IDS
+    ])
+    workload = _workload()
+    capacity = _calibrate_capacity(pool, workload)
+    core = ServiceCore(pool, BatcherConfig(
+        max_batch=4, max_delay_ms=10.0, max_queue_depth=4096
+    )).start()
+    duration_s = 3.0
+    step_at = duration_s / 2.0
+    profile = LoadProfile(kind="step", t0_s=step_at, multiplier=4.0)
+    base_rate = max(20.0, capacity * 0.25)
+    try:
+        generator = LoadGenerator(InProcClient(core), workload, seed=13)
+        report = generator.run(
+            base_rate, duration_s=duration_s, profile=profile,
+            result_timeout=120.0,
+        )
+    finally:
+        core.stop()
+
+    assert report.errors == 0, report.summary()
+    assert report.ok > 0
+    before = report.window_latencies_ms(0.0, step_at)
+    after = report.window_latencies_ms(step_at, float("inf"))
+    # The step multiplies arrivals; the completion record must show it.
+    assert len(after) + report.rejected > len(before)
+
+    def _p(window, q):
+        value = report.window_percentile_ms(window[0], window[1], q)
+        return f"{value:8.2f}" if value is not None else f"{'-':>8}"
+
+    phases = [
+        ("baseline", (0.0, step_at)),
+        ("stepped", (step_at, float("inf"))),
+    ]
+    rows = [
+        "service latency under step profile "
+        f"({profile.describe()}, base {base_rate:.1f} rps, "
+        f"fixed pool, {report.ok} ok / {report.rejected} rejected)",
+        f"{'phase':>9} {'compl':>6} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'p99 ms':>8}",
+    ]
+    for name, window in phases:
+        count = len(report.window_latencies_ms(*window))
+        rows.append(
+            f"{name:>9} {count:>6} {_p(window, 0.50)} "
+            f"{_p(window, 0.95)} {_p(window, 0.99)}"
+        )
+    emit("service_step_profile", "\n".join(rows))
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "service_step_profile.json").write_text(json.dumps(
+        {
+            "profile": profile.describe(),
+            "base_rate_rps": base_rate,
+            "duration_s": duration_s,
+            "phases": {
+                name: {
+                    "completions": len(report.window_latencies_ms(*w)),
+                    "p99_ms": report.window_percentile_ms(*w, 0.99),
+                }
+                for name, w in phases
+            },
+            **report.to_dict(),
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n")
+
+
 # -- shard scaling -----------------------------------------------------
 
 SHARD_KERNEL = 1

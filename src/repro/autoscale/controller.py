@@ -1,0 +1,270 @@
+"""The control loop: watch -> plan -> actuate, with hysteresis.
+
+:class:`AutoscaleController` ties the pieces together.  Each
+:meth:`~AutoscaleController.step` polls the
+:class:`~repro.autoscale.signals.MetricsWatcher` for a windowed
+:class:`~repro.autoscale.signals.DemandSample`, asks the
+:class:`~repro.autoscale.planner.Planner` for a fitting fleet target,
+and hands any delta to the :class:`~repro.autoscale.actuator.Actuator`
+— unless hysteresis says no:
+
+* a per-kernel **cooldown** (``policy.cooldown_s``) refuses to touch a
+  kernel again before its last actuation has had time to show up in the
+  windowed metrics (otherwise one overload sample triggers a stampede
+  of scale-ups before the first new replica serves a single batch);
+* a fleet-wide **sliding-window cap**
+  (``policy.max_actions_per_window`` inside ``policy.window_s``) bounds
+  total reconfiguration churn no matter what the signals do — the
+  anti-flap invariant the property tests pin down.
+
+Every step emits ``autoscale.*`` metrics through the ambient recorder
+(decision counters, an ``autoscale.slo_violation`` gauge, per-kernel
+replica gauges) and returns a JSON-safe :class:`Decision` record, so a
+demo or an operator can replay exactly why the loop did what it did.
+:meth:`~AutoscaleController.start` runs steps on a daemon thread at a
+fixed interval; :meth:`~AutoscaleController.stop` joins it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.autoscale.actuator import Action, Actuator
+from repro.autoscale.planner import Plan, PlanInfeasible, Planner
+from repro.autoscale.policy import SloPolicy
+from repro.autoscale.signals import DemandSample, MetricsWatcher
+from repro.obs.recorder import get_recorder
+
+__all__ = ["Decision", "AutoscaleController"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One control step's full story: signals in, actions out."""
+
+    at_s: float
+    sample: DemandSample
+    plan: Optional[Plan]
+    actions: Tuple[Action, ...]
+    skipped: Tuple[Tuple[int, str], ...] = ()  #: (kernel_id, reason)
+    infeasible: str = ""
+
+    @property
+    def scaled_up(self) -> bool:
+        """Whether any replica was (or would be) added this step."""
+        return any(a.kind == "add" and a.ok for a in self.actions)
+
+    @property
+    def scaled_down(self) -> bool:
+        """Whether any replica was (or would be) retired this step."""
+        return any(a.kind == "retire" and a.ok for a in self.actions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering for decision logs and the demo report."""
+        return {
+            "at_s": round(self.at_s, 3),
+            "interval_s": round(self.sample.interval_s, 3),
+            "kernels": {
+                str(kernel_id): signal.to_dict()
+                for kernel_id, signal in sorted(self.sample.kernels.items())
+            },
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "actions": [action.to_dict() for action in self.actions],
+            "skipped": [
+                {"kernel_id": kernel_id, "reason": reason}
+                for kernel_id, reason in self.skipped
+            ],
+            "infeasible": self.infeasible,
+        }
+
+
+class AutoscaleController:
+    """Closed-loop autoscaler over one watcher, planner and actuator."""
+
+    def __init__(
+        self,
+        watcher: MetricsWatcher,
+        planner: Planner,
+        actuator: Actuator,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.watcher = watcher
+        self.planner = planner
+        self.actuator = actuator
+        self.policy: SloPolicy = planner.policy
+        self._clock = clock
+        self._last_action_at: Dict[int, float] = {}
+        self._action_times: Deque[float] = deque()
+        self.decisions: List[Decision] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- hysteresis ----------------------------------------------------
+
+    def _window_budget(self, now: float) -> int:
+        """How many more actions the sliding window still allows."""
+        horizon = now - self.policy.window_s
+        while self._action_times and self._action_times[0] <= horizon:
+            self._action_times.popleft()
+        return self.policy.max_actions_per_window - len(self._action_times)
+
+    def _cooling(self, kernel_id: int, now: float) -> bool:
+        """Whether a kernel's last actuation is still too recent."""
+        last = self._last_action_at.get(kernel_id)
+        return last is not None and (now - last) < self.policy.cooldown_s
+
+    # -- one step ------------------------------------------------------
+
+    def step(self) -> Decision:
+        """Run one watch->plan->actuate cycle and record the decision."""
+        recorder = get_recorder()
+        now = self._clock()
+        sample = self.watcher.sample()
+        recorder.count("autoscale.decisions_total")
+
+        violated = sum(
+            1 for signal in sample.kernels.values()
+            if self.policy.violated(
+                signal.latency_p99_ms
+                if signal.latency_p99_ms is not None
+                else signal.queue_p99_ms
+            ) or signal.rejection_rps > 0
+        )
+        recorder.gauge("autoscale.slo_violation", float(violated))
+        for kernel_id, signal in sample.kernels.items():
+            recorder.gauge(
+                f"autoscale.kernel.{kernel_id}.replicas",
+                float(signal.replicas),
+            )
+            if signal.latency_p99_ms is not None:
+                recorder.gauge(
+                    f"autoscale.kernel.{kernel_id}.p99_ms",
+                    signal.latency_p99_ms,
+                )
+
+        skipped: List[Tuple[int, str]] = []
+        eligible = {}
+        current = {
+            kernel_id: signal.replicas
+            for kernel_id, signal in sample.kernels.items()
+        }
+        for kernel_id, signal in sample.kernels.items():
+            if self._cooling(kernel_id, now):
+                skipped.append((kernel_id, "cooldown"))
+                continue
+            eligible[kernel_id] = signal
+
+        decision: Decision
+        if not eligible:
+            decision = Decision(
+                at_s=now, sample=sample, plan=None, actions=(),
+                skipped=tuple(skipped),
+            )
+            self.decisions.append(decision)
+            return decision
+
+        try:
+            plan = self.planner.plan(eligible, current=current)
+        except PlanInfeasible as exc:
+            recorder.count("autoscale.plan_infeasible_total")
+            decision = Decision(
+                at_s=now, sample=sample, plan=None, actions=(),
+                skipped=tuple(skipped), infeasible=str(exc),
+            )
+            self.decisions.append(decision)
+            return decision
+
+        # Drop no-op entries, then spend the sliding-window budget.
+        deltas = [
+            entry for entry in plan.kernels
+            if entry.replicas != current.get(entry.kernel_id, entry.replicas)
+        ]
+        budget = self._window_budget(now)
+        actionable = []
+        for entry in deltas:
+            if budget <= 0:
+                skipped.append((entry.kernel_id, "window_cap"))
+                continue
+            live = current.get(entry.kernel_id, entry.replicas)
+            need = abs(entry.replicas - live)
+            if need > budget:
+                # Clamp the move toward the target to the remaining
+                # window budget — partial progress beats a cap breach.
+                entry = entry.with_replicas(
+                    live + budget if entry.replicas > live
+                    else live - budget
+                )
+                need = budget
+            actionable.append(entry)
+            budget -= need
+
+        actions: Tuple[Action, ...] = ()
+        if actionable:
+            applied = self.actuator.apply(Plan(kernels=tuple(actionable)))
+            actions = tuple(applied)
+            for action in applied:
+                if not action.ok:
+                    continue
+                self._last_action_at[action.kernel_id] = now
+                self._action_times.append(now)
+                if action.kind == "add":
+                    recorder.count("autoscale.scale_up_total")
+                else:
+                    recorder.count("autoscale.scale_down_total")
+
+        decision = Decision(
+            at_s=now, sample=sample, plan=plan, actions=actions,
+            skipped=tuple(skipped),
+        )
+        self.decisions.append(decision)
+        return decision
+
+    # -- background loop ----------------------------------------------
+
+    def start(self, interval_s: float = 1.0) -> None:
+        """Run :meth:`step` every ``interval_s`` on a daemon thread."""
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if self._thread is not None:
+            raise RuntimeError("controller already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.step()
+                except Exception:
+                    get_recorder().count("autoscale.step_errors_total")
+
+        self._thread = threading.Thread(
+            target=loop, name="autoscale-controller", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop the background loop and join the thread."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout_s)
+        self._thread = None
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe roll-up of every decision taken so far."""
+        ups = sum(1 for d in self.decisions if d.scaled_up)
+        downs = sum(1 for d in self.decisions if d.scaled_down)
+        return {
+            "decisions": len(self.decisions),
+            "scale_ups": ups,
+            "scale_downs": downs,
+            "infeasible": sum(
+                1 for d in self.decisions if d.infeasible
+            ),
+            "log": [d.to_dict() for d in self.decisions],
+        }

@@ -1,0 +1,354 @@
+"""The planner: demand signals -> a (config, replicas) mix that fits.
+
+This is the online form of the paper's Table 2 search.  For each served
+kernel the planner re-solves :func:`repro.synth.dse.explore` — memoized,
+so every re-solve after the first is a lookup — to pick the per-replica
+(N_PE, N_B) point, then chooses replica counts from the demand signals:
+
+* windowed p99 above the SLO target (or any backpressure rejections)
+  asks for one more replica — or double, when the violation is severe —
+  the LAAFD explore-evaluate-reconfigure move with the evaluation coming
+  from live metrics instead of a model;
+* windowed p99 inside the scale-down band with an empty backlog gives
+  one replica back;
+* no evidence (an empty window) holds.
+
+Whatever demand asks for, the *inventory constraint* is enforced before
+a plan leaves this module: the sum over kernels of
+``replicas x per-replica resources`` must fit the policy's device
+budget.  Oversubscribed plans shed replicas from the largest holder
+(never below ``min_replicas``); if even the floor cannot place,
+:class:`PlanInfeasible` is raised rather than returning a plan the
+device cannot host.  Property tests drive this with randomized demand
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.autoscale.policy import SloPolicy
+from repro.autoscale.signals import KernelSignal
+from repro.kernels import get_kernel
+from repro.synth.compiler import SynthesisReport
+from repro.synth.dse import (
+    DEFAULT_NPE,
+    RESOURCE_KINDS,
+    budget_caps,
+    explore,
+    within_budget,
+)
+
+__all__ = ["KernelPlan", "Plan", "PlanInfeasible", "Planner"]
+
+#: N_B choices for a serving replica (N_K is always 1: a replica *is*
+#: one channel; channel fan-out is expressed as replicas instead).
+DEFAULT_REPLICA_NB = (1, 2, 4, 8)
+
+
+class PlanInfeasible(RuntimeError):
+    """Raised when even minimal replica counts cannot fit the device."""
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """One kernel's deployment: a per-replica config times a count."""
+
+    kernel_id: int
+    n_pe: int
+    n_b: int
+    replicas: int
+    #: Per-replica resource usage, keyed lut/ff/bram/dsp.
+    resources: Tuple[Tuple[str, float], ...]
+
+    @staticmethod
+    def from_report(
+        kernel_id: int, report: SynthesisReport, replicas: int
+    ) -> "KernelPlan":
+        """Build from the DSE-chosen per-replica synthesis report."""
+        return KernelPlan(
+            kernel_id=kernel_id,
+            n_pe=report.config.n_pe,
+            n_b=report.config.n_b,
+            replicas=replicas,
+            resources=(
+                ("lut", report.total.luts),
+                ("ff", report.total.ffs),
+                ("bram", report.total.bram36),
+                ("dsp", report.total.dsps),
+            ),
+        )
+
+    def usage(self) -> Dict[str, float]:
+        """Total resources this kernel's replicas occupy."""
+        return {
+            kind: amount * self.replicas for kind, amount in self.resources
+        }
+
+    def with_replicas(self, replicas: int) -> "KernelPlan":
+        """The same per-replica config at a different count."""
+        return KernelPlan(
+            kernel_id=self.kernel_id, n_pe=self.n_pe, n_b=self.n_b,
+            replicas=replicas, resources=self.resources,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering."""
+        return {
+            "kernel_id": self.kernel_id,
+            "n_pe": self.n_pe,
+            "n_b": self.n_b,
+            "replicas": self.replicas,
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A full-fleet target: one :class:`KernelPlan` per served kernel."""
+
+    kernels: Tuple[KernelPlan, ...]
+
+    @property
+    def by_kernel(self) -> Dict[int, KernelPlan]:
+        """Kernel id -> its plan entry."""
+        return {entry.kernel_id: entry for entry in self.kernels}
+
+    def usage(self) -> Dict[str, float]:
+        """Summed resource usage across every kernel and replica."""
+        totals = {kind: 0.0 for kind in RESOURCE_KINDS}
+        for entry in self.kernels:
+            for kind, amount in entry.usage().items():
+                totals[kind] += amount
+        return totals
+
+    def fits(self, policy: SloPolicy) -> bool:
+        """Whether the plan sits inside the policy's device budget."""
+        caps = budget_caps(policy.budget_fraction, policy.device)
+        usage = self.usage()
+        return all(usage[kind] <= caps[kind] for kind in caps)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering."""
+        return {"kernels": [entry.to_dict() for entry in self.kernels]}
+
+
+class Planner:
+    """Re-solves the DSE per kernel and sizes replica counts to demand."""
+
+    def __init__(
+        self,
+        policy: SloPolicy,
+        max_query_len: int = 64,
+        max_ref_len: int = 64,
+        n_pe_choices: Sequence[int] = DEFAULT_NPE,
+        n_b_choices: Sequence[int] = DEFAULT_REPLICA_NB,
+        severe_factor: float = 4.0,
+    ) -> None:
+        if severe_factor <= 1.0:
+            raise ValueError(
+                f"severe_factor must be > 1, got {severe_factor}"
+            )
+        self.policy = policy
+        self.max_query_len = max_query_len
+        self.max_ref_len = max_ref_len
+        self.n_pe_choices = tuple(n_pe_choices)
+        self.n_b_choices = tuple(n_b_choices)
+        self.severe_factor = severe_factor
+        self._reports: Dict[int, SynthesisReport] = {}
+        self._floor_reports: Dict[int, SynthesisReport] = {}
+
+    # -- per-replica configuration (the DSE half) ---------------------
+
+    def _explore(self, kernel_id: int):
+        spec = get_kernel(kernel_id)
+        return explore(
+            spec,
+            n_pe_choices=self.n_pe_choices,
+            n_b_choices=self.n_b_choices,
+            n_k_choices=(1,),
+            max_query_len=self.max_query_len,
+            max_ref_len=self.max_ref_len,
+            device=self.policy.device,
+        )
+
+    def replica_report(self, kernel_id: int) -> SynthesisReport:
+        """The per-replica (N_PE, N_B) point for one kernel.
+
+        Highest-throughput feasible configuration whose resources leave
+        room for a full fleet: the budget share offered is
+        ``budget_fraction / (n_kernels * max_replicas)`` and relaxes
+        (x ``max_replicas``, then the whole budget) until something
+        fits — a kernel too big for its fair share still deploys, it
+        just scales out less before hitting the inventory wall.
+        """
+        cached = self._reports.get(kernel_id)
+        if cached is not None:
+            return cached
+        result = self._explore(kernel_id)
+        if not result.feasible:
+            raise PlanInfeasible(
+                f"kernel #{kernel_id} has no feasible configuration on "
+                f"{self.policy.device.name}"
+            )
+        n_kernels = max(1, len(self._reports) + 1)
+        shares = [
+            self.policy.budget_fraction
+            / (n_kernels * self.policy.max_replicas),
+            self.policy.budget_fraction / n_kernels,
+            self.policy.budget_fraction,
+        ]
+        chosen: Optional[SynthesisReport] = None
+        for share in shares:
+            fitting = [
+                r for r in result.feasible if within_budget(
+                    r, {
+                        kind: cap for kind, cap in budget_caps(
+                            share, self.policy.device
+                        ).items()
+                    }
+                )
+            ]
+            if fitting:
+                chosen = max(fitting, key=lambda r: r.alignments_per_sec)
+                break
+        if chosen is None:
+            chosen = max(
+                result.feasible, key=lambda r: r.alignments_per_sec
+            )
+        self._reports[kernel_id] = chosen
+        return chosen
+
+    def floor_report(self, kernel_id: int) -> SynthesisReport:
+        """The smallest-LUT feasible configuration (the shedding floor)."""
+        cached = self._floor_reports.get(kernel_id)
+        if cached is not None:
+            return cached
+        result = self._explore(kernel_id)
+        if not result.feasible:
+            raise PlanInfeasible(
+                f"kernel #{kernel_id} has no feasible configuration on "
+                f"{self.policy.device.name}"
+            )
+        floor = min(result.feasible, key=lambda r: r.total.luts)
+        self._floor_reports[kernel_id] = floor
+        return floor
+
+    # -- replica sizing (the feedback half) ---------------------------
+
+    def desired_replicas(
+        self, signal: KernelSignal, current: int
+    ) -> Tuple[int, str]:
+        """(desired count, reason) for one kernel from its signal."""
+        policy = self.policy
+        p99 = signal.latency_p99_ms
+        if p99 is None:
+            p99 = signal.queue_p99_ms
+        current = max(policy.min_replicas, current)
+        if signal.rejection_rps > 0:
+            desired = min(policy.max_replicas, current * 2)
+            return desired, (
+                f"rejecting {signal.rejection_rps:.1f}/s — doubling"
+            )
+        if policy.violated(p99):
+            severe = p99 > policy.p99_target_ms * self.severe_factor
+            desired = current * 2 if severe else current + 1
+            desired = min(policy.max_replicas, desired)
+            return desired, (
+                f"p99 {p99:.0f}ms > target {policy.p99_target_ms:.0f}ms"
+                + (" (severe)" if severe else "")
+            )
+        if (
+            policy.underloaded(p99)
+            and signal.backlog == 0
+            and current > policy.min_replicas
+        ):
+            return current - 1, (
+                f"p99 {p99:.0f}ms under "
+                f"{policy.scale_down_factor:.0%} of target, backlog empty"
+            )
+        return current, "within band"
+
+    # -- the full plan ------------------------------------------------
+
+    def plan(
+        self,
+        signals: Mapping[int, KernelSignal],
+        current: Optional[Mapping[int, int]] = None,
+    ) -> Plan:
+        """A fitting fleet target for the observed demand.
+
+        ``current`` (kernel -> live replica count) defaults to the
+        replica counts the signals carry.  The returned plan always
+        satisfies the inventory constraint or :class:`PlanInfeasible`
+        is raised — never a silently oversubscribed plan.
+        """
+        entries: List[KernelPlan] = []
+        for kernel_id, signal in sorted(signals.items()):
+            live = (
+                current.get(kernel_id, signal.replicas)
+                if current is not None else signal.replicas
+            )
+            desired, _reason = self.desired_replicas(signal, live)
+            desired = max(
+                self.policy.min_replicas,
+                min(self.policy.max_replicas, desired),
+            )
+            entries.append(KernelPlan.from_report(
+                kernel_id, self.replica_report(kernel_id), desired
+            ))
+        return self._fit(entries)
+
+    def _fit(self, entries: List[KernelPlan]) -> Plan:
+        """Enforce the inventory constraint, shedding then shrinking."""
+        plan = Plan(kernels=tuple(entries))
+        # Shed replicas from the largest holder until the plan fits.
+        while not plan.fits(self.policy):
+            shrinkable = [
+                e for e in plan.kernels
+                if e.replicas > self.policy.min_replicas
+            ]
+            if not shrinkable:
+                break
+            biggest = max(shrinkable, key=lambda e: (e.replicas, e.kernel_id))
+            plan = Plan(kernels=tuple(
+                e.with_replicas(e.replicas - 1) if e is biggest else e
+                for e in plan.kernels
+            ))
+        if plan.fits(self.policy):
+            return plan
+        # Everyone is at the floor count; fall back to the smallest
+        # feasible per-replica configuration before giving up.
+        plan = Plan(kernels=tuple(
+            KernelPlan.from_report(
+                e.kernel_id, self.floor_report(e.kernel_id), e.replicas
+            )
+            for e in plan.kernels
+        ))
+        while not plan.fits(self.policy):
+            shrinkable = [
+                e for e in plan.kernels
+                if e.replicas > self.policy.min_replicas
+            ]
+            if not shrinkable:
+                break
+            biggest = max(shrinkable, key=lambda e: (e.replicas, e.kernel_id))
+            plan = Plan(kernels=tuple(
+                e.with_replicas(e.replicas - 1) if e is biggest else e
+                for e in plan.kernels
+            ))
+        if not plan.fits(self.policy):
+            usage = plan.usage()
+            caps = budget_caps(
+                self.policy.budget_fraction, self.policy.device
+            )
+            over = {
+                kind: usage[kind] - caps[kind]
+                for kind in caps if usage[kind] > caps[kind]
+            }
+            raise PlanInfeasible(
+                f"minimal deployment does not fit "
+                f"{self.policy.device.name} at budget "
+                f"{self.policy.budget_fraction:.0%}: over by {over}"
+            )
+        return plan

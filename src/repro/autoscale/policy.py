@@ -1,0 +1,93 @@
+"""The SLO policy: what "good" means and how fast we may chase it.
+
+One frozen value object holds every knob of the control loop —
+the latency objective, the resource envelope the planner may spend,
+the replica bounds, and the hysteresis that keeps the loop from
+flapping (a cooldown per kernel plus a hard cap on reconfigurations
+per sliding window).  Property tests pin the hysteresis bound; the
+planner pins the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.synth.device import XCVU9P, FpgaDevice
+
+__all__ = ["SloPolicy"]
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Objective + budget + hysteresis of one autoscale deployment.
+
+    * ``p99_target_ms`` — the latency SLO: windowed p99 above this is a
+      violation and asks for capacity;
+    * ``scale_down_factor`` — hysteresis band: scale-down is considered
+      only when the windowed p99 sits *below* ``factor * target`` (and
+      there is no backlog), so the loop never oscillates around the
+      threshold it scales up at;
+    * ``device`` / ``budget_fraction`` — the inventory the whole
+      deployment (every kernel x replica) must fit inside: at most
+      ``budget_fraction`` of the device's usable LUT/FF/BRAM/DSP;
+    * ``min_replicas`` / ``max_replicas`` — per-kernel replica bounds;
+    * ``cooldown_s`` — minimum spacing between actuations of the *same*
+      kernel;
+    * ``window_s`` / ``max_actions_per_window`` — fleet-wide cap on
+      scaling actions inside any sliding window (the anti-flap bound
+      the property tests enforce).
+    """
+
+    p99_target_ms: float = 250.0
+    scale_down_factor: float = 0.25
+    min_replicas: int = 1
+    max_replicas: int = 8
+    cooldown_s: float = 3.0
+    window_s: float = 30.0
+    max_actions_per_window: int = 8
+    budget_fraction: float = 1.0
+    device: FpgaDevice = XCVU9P
+
+    def __post_init__(self) -> None:
+        if self.p99_target_ms <= 0:
+            raise ValueError(
+                f"p99_target_ms must be positive, got {self.p99_target_ms}"
+            )
+        if not 0.0 < self.scale_down_factor < 1.0:
+            raise ValueError(
+                f"scale_down_factor must be in (0, 1), got "
+                f"{self.scale_down_factor}"
+            )
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.cooldown_s < 0 or self.window_s <= 0:
+            raise ValueError("cooldown_s must be >= 0 and window_s > 0")
+        if self.max_actions_per_window < 1:
+            raise ValueError(
+                f"max_actions_per_window must be >= 1, got "
+                f"{self.max_actions_per_window}"
+            )
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ValueError(
+                f"budget_fraction must be in (0, 1], got "
+                f"{self.budget_fraction}"
+            )
+
+    def violated(self, p99_ms: Optional[float]) -> bool:
+        """Whether a windowed p99 breaks the SLO (no evidence = no)."""
+        return p99_ms is not None and p99_ms > self.p99_target_ms
+
+    def underloaded(self, p99_ms: Optional[float]) -> bool:
+        """Whether a windowed p99 sits inside the scale-down band."""
+        return (
+            p99_ms is not None
+            and p99_ms < self.p99_target_ms * self.scale_down_factor
+        )

@@ -1,0 +1,283 @@
+"""Demand signals: turning metrics snapshots into per-kernel telemetry.
+
+The serving stack's instruments are *cumulative* — process-lifetime
+counters and histograms — because that is what cheap always-on metrics
+look like.  A feedback controller needs *windowed* signals: what the
+arrival rate and queueing delay were over the last control interval,
+not since boot (a recovered service would otherwise look violated
+forever, because the overload era still dominates the lifetime p99).
+
+:class:`MetricsWatcher` closes that gap.  It polls any snapshot source
+— an in-proc :meth:`~repro.service.server.ServiceCore.metrics_snapshot`
+or the shard front door's aggregated endpoint (both shapes are
+handled) — and differentiates consecutive snapshots:
+
+* per-kernel counters (``kernel.<id>.admitted_total`` /
+  ``completed_total`` / ``rejected_total``) difference into windowed
+  arrival/completion/rejection rates, and their running difference is
+  the exact backlog;
+* per-kernel histograms (``kernel.<id>.queue_ms`` / ``latency_ms``)
+  expose cumulative bucket counts, so differencing the buckets
+  recovers the *window's* distribution and an interpolated windowed
+  p99 — the textbook cumulative-bucket quantile, computed client-side;
+* pool stats give live replica counts, in-flight load and occupancy.
+
+The first ``sample()`` has no predecessor and reports an empty window
+(rates zero, quantiles ``None``); controllers simply treat it as
+"no evidence yet".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "KernelSignal",
+    "DemandSample",
+    "MetricsWatcher",
+    "flatten_snapshot",
+    "quantile_from_buckets",
+]
+
+#: One bucket: (upper bound, count); ``None`` bound = overflow bucket.
+Bucket = Tuple[Optional[float], int]
+
+
+def flatten_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalize an in-proc or front-door snapshot to one flat shape.
+
+    Returns ``{"counters": ..., "histograms": ..., "pool": [...],
+    "kernels": [...]}``.  A front-door snapshot already sums counters
+    and merges histogram buckets across shards, but keeps pool stats
+    only in its per-shard sections — those are concatenated here so the
+    watcher sees one fleet-wide member list either way.
+    """
+    counters = dict(snapshot.get("counters", {}))
+    histograms = dict(snapshot.get("histograms", {}))
+    pool: List[Dict[str, Any]] = list(snapshot.get("pool", []))
+    kernels = list(snapshot.get("kernels", []))
+    shards = snapshot.get("shards")
+    if isinstance(shards, Mapping):
+        for shard_snapshot in shards.values():
+            if not isinstance(shard_snapshot, Mapping):
+                continue
+            pool.extend(shard_snapshot.get("pool", []))
+            for kernel_id in shard_snapshot.get("kernels", []):
+                if kernel_id not in kernels:
+                    kernels.append(kernel_id)
+    return {
+        "counters": counters,
+        "histograms": histograms,
+        "pool": pool,
+        "kernels": sorted(kernels),
+    }
+
+
+def quantile_from_buckets(buckets: List[Bucket], q: float) -> Optional[float]:
+    """Interpolated ``q``-quantile of a (windowed) bucket distribution.
+
+    ``buckets`` are ascending ``(upper_bound, count)`` pairs with the
+    overflow bucket's bound ``None`` — exactly the histogram snapshot
+    shape (or a bucket-wise *difference* of two snapshots).  Returns
+    ``None`` for an empty window.  The overflow bucket clamps to its
+    lower bound: with geometric bounds out to 120 s that underestimate
+    is irrelevant to an SLO check, and never optimistic by more than
+    one bucket's width.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(count for _, count in buckets)
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    lower = 0.0
+    for bound, count in buckets:
+        if count > 0:
+            if cumulative + count >= rank:
+                if bound is None:
+                    return lower
+                fraction = (rank - cumulative) / count
+                return lower + (bound - lower) * fraction
+            cumulative += count
+        if bound is not None:
+            lower = bound
+    return lower
+
+
+@dataclass(frozen=True)
+class KernelSignal:
+    """One kernel's windowed demand over the last control interval."""
+
+    kernel_id: int
+    replicas: int            #: routable (non-draining) pool members
+    draining: int            #: members still draining out
+    in_flight: int           #: pairs currently booked on its members
+    arrival_rps: float       #: admitted requests / interval
+    completion_rps: float    #: completed (ok or error) / interval
+    rejection_rps: float     #: backpressure rejections / interval
+    backlog: int             #: admitted-but-not-completed, cumulative
+    queue_p99_ms: Optional[float]    #: windowed queueing-delay p99
+    latency_p99_ms: Optional[float]  #: windowed end-to-end p99
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (decision logs, the demo report)."""
+        return {
+            "kernel_id": self.kernel_id,
+            "replicas": self.replicas,
+            "draining": self.draining,
+            "in_flight": self.in_flight,
+            "arrival_rps": round(self.arrival_rps, 3),
+            "completion_rps": round(self.completion_rps, 3),
+            "rejection_rps": round(self.rejection_rps, 3),
+            "backlog": self.backlog,
+            "queue_p99_ms": self.queue_p99_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+        }
+
+
+@dataclass(frozen=True)
+class DemandSample:
+    """One watcher observation: every kernel's signal plus the window."""
+
+    at_s: float
+    interval_s: float
+    kernels: Dict[int, KernelSignal] = field(default_factory=dict)
+
+    @property
+    def total_arrival_rps(self) -> float:
+        """Fleet-wide windowed arrival rate."""
+        return sum(signal.arrival_rps for signal in self.kernels.values())
+
+
+class MetricsWatcher:
+    """Differentiates metrics snapshots into windowed demand samples.
+
+    ``source`` is any zero-argument callable returning a metrics
+    snapshot — ``core.metrics_snapshot``, ``shard_server.
+    metrics_snapshot``, or an :class:`~repro.service.client
+    .AlignmentClient`'s ``metrics`` bound method for a remote service.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Mapping[str, Any]],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.source = source
+        self._clock = clock
+        self._prev_at: Optional[float] = None
+        self._prev_counters: Dict[str, int] = {}
+        self._prev_buckets: Dict[str, Dict[Optional[float], int]] = {}
+
+    @staticmethod
+    def _bucket_map(stats: Mapping[str, Any]) -> Dict[Optional[float], int]:
+        return {
+            bound: count for bound, count in stats.get("buckets", [])
+        }
+
+    @staticmethod
+    def _bucket_delta(
+        now: Dict[Optional[float], int],
+        before: Dict[Optional[float], int],
+    ) -> List[Bucket]:
+        bounds = set(now) | set(before)
+        delta = [
+            (bound, now.get(bound, 0) - before.get(bound, 0))
+            for bound in bounds
+        ]
+        delta = [(bound, max(0, count)) for bound, count in delta]
+        delta.sort(key=lambda item: (item[0] is None, item[0] or 0.0))
+        return delta
+
+    def sample(self) -> DemandSample:
+        """Poll the source and return the windowed demand since last time."""
+        now = self._clock()
+        flat = flatten_snapshot(self.source())
+        counters: Dict[str, int] = flat["counters"]
+        interval = (
+            max(1e-9, now - self._prev_at)
+            if self._prev_at is not None else 0.0
+        )
+        first = self._prev_at is None
+
+        # Member accounting by kernel, straight from live pool stats.
+        members: Dict[int, Dict[str, int]] = {}
+        for entry in flat["pool"]:
+            kernel_id = entry.get("kernel_id")
+            if kernel_id is None:
+                continue
+            slot = members.setdefault(
+                kernel_id, {"replicas": 0, "draining": 0, "in_flight": 0}
+            )
+            if entry.get("draining"):
+                slot["draining"] += 1
+            else:
+                slot["replicas"] += 1
+            slot["in_flight"] += int(entry.get("in_flight", 0))
+
+        kernel_ids = set(flat["kernels"]) | set(members)
+        for name in counters:
+            if name.startswith("kernel.") and name.endswith(".admitted_total"):
+                try:
+                    kernel_ids.add(int(name.split(".")[1]))
+                except ValueError:
+                    pass
+
+        buckets_now: Dict[str, Dict[Optional[float], int]] = {}
+        signals: Dict[int, KernelSignal] = {}
+        for kernel_id in sorted(kernel_ids):
+            prefix = f"kernel.{kernel_id}."
+            admitted = counters.get(prefix + "admitted_total", 0)
+            completed = counters.get(prefix + "completed_total", 0)
+            rejected = counters.get(prefix + "rejected_total", 0)
+
+            def rate(name: str, value: int) -> float:
+                if first or interval <= 0:
+                    return 0.0
+                return max(0, value - self._prev_counters.get(name, 0)) \
+                    / interval
+
+            queue_p99 = latency_p99 = None
+            for stat_name, histogram_name in (
+                ("queue", prefix + "queue_ms"),
+                ("latency", prefix + "latency_ms"),
+            ):
+                stats = flat["histograms"].get(histogram_name)
+                if stats is None:
+                    continue
+                bucket_map = self._bucket_map(stats)
+                buckets_now[histogram_name] = bucket_map
+                if first:
+                    continue
+                delta = self._bucket_delta(
+                    bucket_map, self._prev_buckets.get(histogram_name, {})
+                )
+                p99 = quantile_from_buckets(delta, 0.99)
+                if stat_name == "queue":
+                    queue_p99 = p99
+                else:
+                    latency_p99 = p99
+
+            slot = members.get(
+                kernel_id, {"replicas": 0, "draining": 0, "in_flight": 0}
+            )
+            signals[kernel_id] = KernelSignal(
+                kernel_id=kernel_id,
+                replicas=slot["replicas"],
+                draining=slot["draining"],
+                in_flight=slot["in_flight"],
+                arrival_rps=rate(prefix + "admitted_total", admitted),
+                completion_rps=rate(prefix + "completed_total", completed),
+                rejection_rps=rate(prefix + "rejected_total", rejected),
+                backlog=max(0, admitted - completed),
+                queue_p99_ms=queue_p99,
+                latency_p99_ms=latency_p99,
+            )
+
+        self._prev_at = now
+        self._prev_counters = counters
+        self._prev_buckets = buckets_now
+        return DemandSample(at_s=now, interval_s=interval, kernels=signals)

@@ -365,6 +365,10 @@ def _validate_loadgen_sources(args) -> None:
         conflicts.append("--kernel")
     if args.concurrency is not None:
         conflicts.append("--concurrency")
+    if args.profile is not None:
+        conflicts.append("--profile")
+    if args.duration is not None:
+        conflicts.append("--duration")
     if conflicts:
         raise SystemExit(
             f"--trace replays a recorded workload and cannot be combined "
@@ -433,11 +437,22 @@ def cmd_loadgen(args) -> int:
             failures += report.errors
             print(report.summary())
         else:
+            profile = None
+            if args.profile is not None:
+                from repro.service import LoadProfile
+
+                profile = LoadProfile.parse(args.profile)
             for rate in args.rate or [100.0]:
-                report = generator.run_concurrent(
-                    rate, args.requests, args.concurrency,
-                    deadline_ms=args.deadline_ms,
-                )
+                if args.duration is not None:
+                    report = generator.run(
+                        rate, duration_s=args.duration,
+                        deadline_ms=args.deadline_ms, profile=profile,
+                    )
+                else:
+                    report = generator.run_concurrent(
+                        rate, args.requests, args.concurrency,
+                        deadline_ms=args.deadline_ms, profile=profile,
+                    )
                 failures += report.errors
                 print(report.summary())
         snapshot = client.metrics()
@@ -450,6 +465,65 @@ def cmd_loadgen(args) -> int:
         if core is not None:
             core.stop()
     return 0 if failures == 0 else 1
+
+
+def cmd_autoscale(args) -> int:
+    """Run the closed-loop autoscaling demo and judge the outcome.
+
+    Exit code 0 means the loop both *scaled up* under the shifted load
+    and *recovered* the p99 under the SLO in the tail window — the
+    assertion the smoke-autoscale CI job makes.  ``--dry-run`` rehearses
+    the loop without touching the pool and always exits 0.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.autoscale import run_autoscale_demo
+    from repro.service import LoadProfile
+
+    profile = (
+        LoadProfile.parse(args.profile) if args.profile is not None else None
+    )
+    kernels = [_kernel_arg(k).kernel_id for k in (args.kernel or ["1"])]
+    result = run_autoscale_demo(
+        kernels=kernels,
+        rate_rps=args.rate,
+        profile=profile,
+        duration_s=args.duration,
+        interval_s=args.interval,
+        slo_ms=args.slo_ms,
+        max_replicas=args.max_replicas,
+        cooldown_s=args.cooldown,
+        per_replica_rps=args.per_replica_rps,
+        length=args.length,
+        backend=args.backend,
+        dry_run=args.dry_run,
+        seed=args.seed,
+        keep_decisions=not args.no_decisions,
+    )
+    rendered = json_module.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+    print(rendered)
+
+    def fmt(value) -> str:
+        return "n/a" if value is None else f"{value:.0f}ms"
+
+    print(
+        f"autoscale: baseline p99 {fmt(result['baseline_p99_ms'])}, "
+        f"violation p99 {fmt(result['violation_p99_ms'])}, "
+        f"recovered p99 {fmt(result['recovered_p99_ms'])} "
+        f"(slo {result['slo_target_ms']:.0f}ms); "
+        f"{result['scale_up_decisions']} scale-up(s), "
+        f"replicas {result['replicas_initial']} -> "
+        f"{result['replicas_final']}"
+    )
+    if args.dry_run:
+        return 0
+    ok = result["scale_up_decisions"] >= 1 and result["recovered"]
+    if not ok:
+        print("autoscale: FAILED (no scale-up or no SLO recovery)")
+    return 0 if ok else 1
 
 
 def cmd_map(args) -> int:
@@ -875,12 +949,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--concurrency", type=int, default=None,
                    help="parallel open-loop firing threads splitting the "
                         "offered rate (default 1)")
+    p.add_argument("--profile", default=None,
+                   help="shift the offered load over the run: "
+                        "step:<t>:<mult> multiplies the rate after t "
+                        "seconds; ramp:<t0>:<t1>:<mult> ramps linearly "
+                        "between t0 and t1 (default constant)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="bound the run by wall time (seconds) instead "
+                        "of --requests; forces a single firing thread")
     p.add_argument("--connect-retries", type=int, default=5,
                    help="connection attempts (exponential backoff) while "
                         "the service comes up")
     p.add_argument("--read-timeout", type=float, default=None,
                    help="fail outstanding requests if the server goes "
                         "silent this long (seconds)")
+
+    p = sub.add_parser(
+        "autoscale",
+        help="closed-loop autoscaling demo: shifting load against an "
+             "in-proc service, live metrics drive replica counts",
+    )
+    p.add_argument("--kernel", action="append", default=[],
+                   help="kernel number/name to serve (repeatable; "
+                        "default 1)")
+    p.add_argument("--rate", type=float, default=5.0,
+                   help="baseline offered load in req/s")
+    p.add_argument("--profile", default=None,
+                   help="load shape: step:<t>:<mult> or "
+                        "ramp:<t0>:<t1>:<mult> (default "
+                        "step at duration/4, x8)")
+    p.add_argument("--duration", type=float, default=24.0,
+                   help="run length in seconds")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="control-loop sampling interval (seconds)")
+    p.add_argument("--slo-ms", type=float, default=400.0,
+                   help="p99 latency objective (milliseconds)")
+    p.add_argument("--max-replicas", type=int, default=6,
+                   help="per-kernel replica ceiling")
+    p.add_argument("--cooldown", type=float, default=1.5,
+                   help="per-kernel actuation cooldown (seconds)")
+    p.add_argument("--per-replica-rps", type=float, default=30.0,
+                   help="calibrated full-batch capacity of one replica")
+    p.add_argument("--length", type=int, default=48,
+                   help="sequence length of the synthetic workload")
+    p.add_argument("--backend", choices=("systolic", "compiled"),
+                   default="compiled")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--dry-run", action="store_true",
+                   help="rehearse the control loop without touching "
+                        "the pool (always exits 0)")
+    p.add_argument("--out", default=None,
+                   help="also write the full JSON report here")
+    p.add_argument("--no-decisions", action="store_true",
+                   help="omit the per-step decision log from the report")
 
     p = sub.add_parser(
         "map",
@@ -1009,6 +1130,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "matrix": cmd_matrix,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "autoscale": cmd_autoscale,
         "map": cmd_map,
         "trace": cmd_trace,
         "cache": cmd_cache,

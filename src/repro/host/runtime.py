@@ -38,6 +38,7 @@ would have done.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
@@ -181,13 +182,24 @@ class DeviceRuntime:
         config: Optional[LaunchConfig] = None,
         params: Any = None,
         backend: str = "systolic",
+        pace: Optional[float] = None,
     ) -> None:
         from repro.backend import get_backend, get_batch_backend
 
+        if pace is not None and pace <= 0:
+            raise ValueError(f"pace must be positive, got {pace}")
         self.spec = spec
         self.config = config or LaunchConfig()
         self.params = params if params is not None else spec.default_params
         self.backend = backend
+        #: Wall-clock pacing: when set, ``run`` sleeps until the batch
+        #: has taken at least ``pace`` x the modelled device time
+        #: (``makespan_cycles / fmax``).  This makes a runtime behave
+        #: like the device it models — service time scales with N_PE /
+        #: N_B and a replica is real, GIL-free parallel capacity (the
+        #: sleep releases the GIL) — which is what the autoscale demo
+        #: and capacity experiments need from a simulated fleet.
+        self.pace = pace
         self._align_fn = get_backend(backend)
         self._batch_fn = get_batch_backend(backend)
         if self._batch_fn is not None:
@@ -237,6 +249,7 @@ class DeviceRuntime:
         ``DeprecationWarning``) through :func:`resolve_run_options`.
         """
         opts = resolve_run_options(options, legacy)
+        started = time.monotonic()
         backend, align_fn, batch_fn = self._backend_fns(opts.backend)
         n_workers = opts.n_workers
         if opts.batch_exec and batch_fn is None:
@@ -315,6 +328,15 @@ class DeviceRuntime:
                     if result is not None:
                         batch.add(result.cycles.total)
                 schedule = self._scheduler.run(batch)
+            if self.pace is not None and schedule.makespan_cycles > 0:
+                modelled_s = (
+                    schedule.makespan_cycles / (self.report.fmax_mhz * 1e6)
+                )
+                remaining = (
+                    started + modelled_s * self.pace - time.monotonic()
+                )
+                if remaining > 0:
+                    time.sleep(remaining)
         if recorder.enabled:
             recorder.count("host.pairs", len(pairs))
             recorder.count("host.pair_errors", len(errors))

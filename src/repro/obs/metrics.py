@@ -134,7 +134,15 @@ class Histogram:
             return self._max
 
     def snapshot(self) -> Dict[str, Optional[float]]:
-        """JSON-safe summary with p50/p95/p99."""
+        """JSON-safe summary with p50/p95/p99.
+
+        ``buckets`` lists the non-empty cumulative buckets as
+        ``[upper_bound, count]`` pairs (the overflow bucket's bound is
+        ``null``), ascending.  Two snapshots of the same histogram can
+        therefore be *differenced* bucket-by-bucket to recover the
+        distribution of a time window — how the autoscale watcher turns
+        these process-lifetime histograms into windowed p99 signals.
+        """
         with self._lock:
             if self._count == 0:
                 return {"count": 0}
@@ -144,6 +152,15 @@ class Histogram:
                 "mean": self._sum / self._count,
                 "min": self._min,
                 "max": self._max,
+                "buckets": [
+                    [
+                        self.bounds[index] if index < len(self.bounds)
+                        else None,
+                        count,
+                    ]
+                    for index, count in enumerate(self._counts)
+                    if count
+                ],
             }
         summary["p50"] = self.quantile(0.50)
         summary["p95"] = self.quantile(0.95)

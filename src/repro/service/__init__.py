@@ -37,6 +37,7 @@ from repro.service.client import (
     ConnectError,
     InProcClient,
     LoadGenerator,
+    LoadProfile,
     LoadReport,
     RetryPolicy,
     connect_with_retry,
@@ -63,6 +64,7 @@ __all__ = [
     "Histogram",
     "InProcClient",
     "LoadGenerator",
+    "LoadProfile",
     "LoadReport",
     "MetricsRegistry",
     "ProtocolError",

@@ -57,6 +57,105 @@ def exact_percentile(samples: Sequence[float], q: float) -> float:
     return ordered[rank]
 
 
+@dataclass(frozen=True)
+class LoadProfile:
+    """A deterministic time-varying multiplier on the offered rate.
+
+    Three shapes cover the non-stationary traffic the autoscale demo
+    (and any capacity experiment) needs:
+
+    * ``const[:mult]`` — a flat multiplier (default 1.0; the identity
+      profile, equivalent to not passing one);
+    * ``step:<t>:<mult>`` — 1.0 until ``t`` seconds into the run, then
+      ``mult`` (the overload step an SLO-recovery demo applies);
+    * ``ramp:<t0>:<t1>:<mult>`` — 1.0 until ``t0``, linear up (or down)
+      to ``mult`` by ``t1``, then flat.
+
+    ``at(t)`` is the instantaneous multiplier; the generator draws each
+    Poisson gap at ``rate * at(elapsed)``, so the arrival process stays
+    open-loop and seeded-reproducible while its intensity shifts.
+    """
+
+    kind: str = "const"
+    t0_s: float = 0.0
+    t1_s: float = 0.0
+    multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("const", "step", "ramp"):
+            raise ValueError(
+                f"profile kind must be const/step/ramp, got {self.kind!r}"
+            )
+        if self.multiplier <= 0:
+            raise ValueError(
+                f"profile multiplier must be positive, got {self.multiplier}"
+            )
+        if self.t0_s < 0:
+            raise ValueError(f"profile start must be >= 0, got {self.t0_s}")
+        if self.kind == "ramp" and self.t1_s <= self.t0_s:
+            raise ValueError(
+                f"ramp needs t1 > t0, got t0={self.t0_s} t1={self.t1_s}"
+            )
+
+    @staticmethod
+    def parse(text: str) -> "LoadProfile":
+        """Parse the CLI spelling (``step:<t>:<mult>`` etc.)."""
+        parts = text.split(":")
+        try:
+            if parts[0] == "const" and len(parts) in (1, 2):
+                mult = float(parts[1]) if len(parts) == 2 else 1.0
+                return LoadProfile(kind="const", multiplier=mult)
+            if parts[0] == "step" and len(parts) == 3:
+                return LoadProfile(
+                    kind="step", t0_s=float(parts[1]),
+                    multiplier=float(parts[2]),
+                )
+            if parts[0] == "ramp" and len(parts) == 4:
+                return LoadProfile(
+                    kind="ramp", t0_s=float(parts[1]), t1_s=float(parts[2]),
+                    multiplier=float(parts[3]),
+                )
+        except ValueError as exc:
+            if "profile" in str(exc):
+                raise
+            raise ValueError(
+                f"cannot parse load profile {text!r}: {exc}"
+            ) from None
+        raise ValueError(
+            f"cannot parse load profile {text!r}; expected const[:mult], "
+            f"step:<t>:<mult> or ramp:<t0>:<t1>:<mult>"
+        )
+
+    def at(self, t_s: float) -> float:
+        """Instantaneous rate multiplier ``t_s`` seconds into the run."""
+        if self.kind == "const":
+            return self.multiplier
+        if self.kind == "step":
+            return self.multiplier if t_s >= self.t0_s else 1.0
+        if t_s <= self.t0_s:
+            return 1.0
+        if t_s >= self.t1_s:
+            return self.multiplier
+        fraction = (t_s - self.t0_s) / (self.t1_s - self.t0_s)
+        return 1.0 + (self.multiplier - 1.0) * fraction
+
+    def phase_bounds(self) -> List[float]:
+        """Run offsets (seconds) where the offered intensity changes."""
+        if self.kind == "step":
+            return [self.t0_s]
+        if self.kind == "ramp":
+            return [self.t0_s, self.t1_s]
+        return []
+
+    def describe(self) -> str:
+        """The parseable spelling back."""
+        if self.kind == "const":
+            return f"const:{self.multiplier:g}"
+        if self.kind == "step":
+            return f"step:{self.t0_s:g}:{self.multiplier:g}"
+        return f"ramp:{self.t0_s:g}:{self.t1_s:g}:{self.multiplier:g}"
+
+
 class InProcClient:
     """The client surface over an in-process :class:`ServiceCore`."""
 
@@ -420,6 +519,11 @@ class LoadReport:
     errors: int
     elapsed_s: float
     latencies_ms: List[float] = field(default_factory=list, repr=False)
+    #: (completion offset seconds, latency ms) per OK response — the
+    #: time-resolved view a shifting-load run is analysed with.
+    samples: List[Tuple[float, float]] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def achieved_rps(self) -> float:
@@ -431,6 +535,27 @@ class LoadReport:
         if not self.latencies_ms:
             return None
         return exact_percentile(self.latencies_ms, q)
+
+    def window_latencies_ms(self, t0_s: float, t1_s: float) -> List[float]:
+        """OK latencies whose requests completed in ``[t0_s, t1_s)``."""
+        return [
+            latency for done_s, latency in self.samples
+            if t0_s <= done_s < t1_s
+        ]
+
+    def window_percentile_ms(
+        self, t0_s: float, t1_s: float, q: float
+    ) -> Optional[float]:
+        """Exact latency percentile within one completion window.
+
+        This is how a non-stationary run is judged: the percentile of
+        the *recovery* window, not the whole-run percentile the overload
+        phase dominates.
+        """
+        window = self.window_latencies_ms(t0_s, t1_s)
+        if not window:
+            return None
+        return exact_percentile(window, q)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe summary (what the benchmark persists)."""
@@ -458,8 +583,11 @@ class LoadReport:
         if not reports:
             raise ValueError("need at least one report to merge")
         merged_latencies: List[float] = []
+        merged_samples: List[Tuple[float, float]] = []
         for report in reports:
             merged_latencies.extend(report.latencies_ms)
+            merged_samples.extend(report.samples)
+        merged_samples.sort()
         return LoadReport(
             offered_rps=sum(r.offered_rps for r in reports),
             sent=sum(r.sent for r in reports),
@@ -468,6 +596,7 @@ class LoadReport:
             errors=sum(r.errors for r in reports),
             elapsed_s=max(r.elapsed_s for r in reports),
             latencies_ms=merged_latencies,
+            samples=merged_samples,
         )
 
     def summary(self) -> str:
@@ -506,49 +635,92 @@ class LoadGenerator:
     def run(
         self,
         rate_rps: float,
-        n_requests: int,
+        n_requests: Optional[int] = None,
         deadline_ms: Optional[float] = None,
         result_timeout: float = 120.0,
+        duration_s: Optional[float] = None,
+        profile: Optional[LoadProfile] = None,
     ) -> LoadReport:
-        """Offer ``n_requests`` at ``rate_rps`` and collect every answer."""
+        """Offer open-loop Poisson load and collect every answer.
+
+        The run is bounded by ``n_requests``, ``duration_s``, or both
+        (whichever trips first); at least one must be given.  ``profile``
+        modulates the instantaneous rate over the run (step/ramp — see
+        :class:`LoadProfile`): each arrival gap is drawn at
+        ``rate_rps * profile.at(elapsed)``, keeping the process seeded
+        and reproducible while its intensity shifts.  The report's
+        ``samples`` carry per-response completion offsets, so phase-wise
+        percentiles (baseline / overload / recovery) come from
+        :meth:`LoadReport.window_percentile_ms`.
+        """
         if rate_rps <= 0:
             raise ValueError(f"rate must be positive, got {rate_rps}")
-        if n_requests < 1:
+        if n_requests is None and duration_s is None:
+            raise ValueError("bound the run with n_requests or duration_s")
+        if n_requests is not None and n_requests < 1:
             raise ValueError(f"need at least one request, got {n_requests}")
+        if duration_s is not None and duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
         rng = random.Random(self.seed)
         started = time.perf_counter()
         next_fire = started
         slots: List[ReplySlot] = []
-        for index in range(n_requests):
+        done_at: List[Optional[float]] = []
+        index = 0
+        while True:
+            if n_requests is not None and index >= n_requests:
+                break
+            if duration_s is not None and next_fire - started >= duration_s:
+                break
             delay = next_fire - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
             kernel_id, query, reference = self.workload[index % len(self.workload)]
-            slots.append(self.client.submit(
+            slot = self.client.submit(
                 kernel_id, query, reference, deadline_ms=deadline_ms
-            ))
-            next_fire += rng.expovariate(rate_rps)
+            )
+            slots.append(slot)
+            done_at.append(None)
+
+            def _stamp(_response, _i=index, _list=done_at):
+                _list[_i] = time.perf_counter() - started
+
+            slot.add_done_callback(_stamp)
+            instant_rate = rate_rps * (
+                profile.at(next_fire - started) if profile is not None else 1.0
+            )
+            next_fire += rng.expovariate(instant_rate)
+            index += 1
         ok = rejected = errors = 0
         latencies: List[float] = []
-        for slot in slots:
+        samples: List[Tuple[float, float]] = []
+        for slot_index, slot in enumerate(slots):
             response = slot.result(timeout=result_timeout)
             if response.status is Status.OK:
                 ok += 1
                 if response.latency_ms is not None:
                     latencies.append(response.latency_ms)
+                    completed = done_at[slot_index]
+                    if completed is None:
+                        # done-callback raced result(); harvest time is
+                        # an upper bound good enough for windowing
+                        completed = time.perf_counter() - started
+                    samples.append((completed, response.latency_ms))
             elif response.status is Status.REJECTED:
                 rejected += 1
             else:
                 errors += 1
         elapsed = time.perf_counter() - started
+        samples.sort()
         return LoadReport(
             offered_rps=rate_rps,
-            sent=n_requests,
+            sent=len(slots),
             ok=ok,
             rejected=rejected,
             errors=errors,
             elapsed_s=elapsed,
             latencies_ms=latencies,
+            samples=samples,
         )
 
     def replay(
@@ -612,6 +784,7 @@ class LoadGenerator:
         concurrency: int,
         deadline_ms: Optional[float] = None,
         result_timeout: float = 120.0,
+        profile: Optional[LoadProfile] = None,
     ) -> LoadReport:
         """Offer the load from ``concurrency`` firing threads.
 
@@ -630,6 +803,7 @@ class LoadGenerator:
             return self.run(
                 rate_rps, n_requests,
                 deadline_ms=deadline_ms, result_timeout=result_timeout,
+                profile=profile,
             )
         share, remainder = divmod(n_requests, concurrency)
         results: List[Optional[LoadReport]] = [None] * concurrency
@@ -648,6 +822,7 @@ class LoadGenerator:
                 results[index] = generator.run(
                     rate_rps / concurrency, count,
                     deadline_ms=deadline_ms, result_timeout=result_timeout,
+                    profile=profile,
                 )
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)

@@ -23,12 +23,23 @@ Passing a :class:`~repro.cache.CacheStack` wraps every member in a
 content-addressed cache, so a pair served by any replica is a hit on
 every other, and batch outcomes carry per-pair ``fingerprints``/
 ``cached`` attribution the serving core forwards to clients.
+
+Membership is *online*: :meth:`DevicePool.add_member` deploys another
+runtime into a live pool and :meth:`DevicePool.retire_member` removes
+one with drain-before-retire semantics — the member leaves the routing
+table immediately (no new batches land on it) but stays until every
+in-flight pair it holds has resolved, so retirement never drops work.
+Each member also executes exclusively (one batch at a time), which is
+what makes a replica an honest unit of serving capacity: a simulated
+device channel, like the FPGA block it models, cannot time-slice two
+batches.  The :mod:`repro.autoscale` actuator drives both operations.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.host.runtime import BatchOutcome, DeviceRuntime, RunOptions
@@ -46,6 +57,12 @@ class PoolMember:
     in_flight: int = 0
     batches_served: int = 0
     pairs_served: int = 0
+    draining: bool = False
+    #: One batch at a time per member — the device-channel exclusivity
+    #: that makes replica count equal serving concurrency.
+    exclusive: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def kernel_id(self) -> int:
@@ -58,10 +75,12 @@ class PoolMember:
             "name": self.name,
             "kernel_id": self.kernel_id,
             "kernel": self.runtime.spec.name,
+            "n_pe": self.runtime.config.n_pe,
             "n_b": self.runtime.config.n_b,
             "in_flight": self.in_flight,
             "batches_served": self.batches_served,
             "pairs_served": self.pairs_served,
+            "draining": self.draining,
         }
 
 
@@ -91,14 +110,7 @@ class DevicePool:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = cache
-        if cache is not None:
-            from repro.cache import CachedRuntime
-
-            runtimes = [
-                rt if isinstance(rt, CachedRuntime)
-                else CachedRuntime(rt, cache)
-                for rt in runtimes
-            ]
+        runtimes = [self._wrap(rt) for rt in runtimes]
         self.members: List[PoolMember] = [
             PoolMember(runtime=rt, name=f"rt{k}:{rt.spec.name}")
             for k, rt in enumerate(runtimes)
@@ -107,6 +119,18 @@ class DevicePool:
         for member in self.members:
             self._by_kernel.setdefault(member.kernel_id, []).append(member)
         self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._next_index = len(self.members)
+
+    def _wrap(self, runtime: DeviceRuntime) -> DeviceRuntime:
+        """Apply the pool's shared cache to a runtime (idempotent)."""
+        if self.cache is None:
+            return runtime
+        from repro.cache import CachedRuntime
+
+        if isinstance(runtime, CachedRuntime):
+            return runtime
+        return CachedRuntime(runtime, self.cache)
 
     @classmethod
     def from_linked_design(
@@ -146,6 +170,101 @@ class DevicePool:
         ]
         return cls(runtimes, workers=workers, cache=cache)
 
+    # -- online membership --------------------------------------------
+
+    def add_member(
+        self, runtime: DeviceRuntime, name: Optional[str] = None
+    ) -> PoolMember:
+        """Deploy another runtime into the live pool.
+
+        The new member joins the routing table immediately and is
+        eligible for the next flushed batch of its kernel.  Returns the
+        created :class:`PoolMember` (its ``name`` is unique within the
+        pool's lifetime).
+        """
+        runtime = self._wrap(runtime)
+        with self._lock:
+            if name is None:
+                name = f"rt{self._next_index}:{runtime.spec.name}"
+            self._next_index += 1
+            if any(m.name == name for m in self.members):
+                raise ValueError(f"pool already has a member named {name!r}")
+            member = PoolMember(runtime=runtime, name=name)
+            self.members.append(member)
+            self._by_kernel.setdefault(member.kernel_id, []).append(member)
+        get_recorder().count("pool.members_added_total")
+        return member
+
+    def retire_member(
+        self,
+        name: str,
+        timeout_s: Optional[float] = 30.0,
+        allow_last: bool = False,
+    ) -> PoolMember:
+        """Drain and remove one member; in-flight work always completes.
+
+        The member leaves the routing table at once — no further batch
+        acquires it — then this call blocks until its booked load drains
+        to zero before removing it from ``members``.  Nothing in flight
+        is dropped: every pair the member holds resolves normally.
+
+        Retiring the last active member of a kernel is refused (it would
+        turn that kernel's traffic into rejections) unless
+        ``allow_last=True``.  On drain timeout the member stays out of
+        the routing table, marked ``draining``, and ``TimeoutError`` is
+        raised — a later call with the same name finishes the removal.
+        """
+        with self._drained:
+            member = next((m for m in self.members if m.name == name), None)
+            if member is None:
+                raise KeyError(f"no pool member named {name!r}")
+            siblings = self._by_kernel.get(member.kernel_id, [])
+            if not allow_last and not member.draining and len(siblings) <= 1:
+                raise ValueError(
+                    f"refusing to retire {name!r}: it is the last active "
+                    f"member serving kernel #{member.kernel_id} "
+                    f"(pass allow_last=True to undeploy the kernel)"
+                )
+            member.draining = True
+            if member in siblings:
+                siblings.remove(member)
+                if not siblings:
+                    del self._by_kernel[member.kernel_id]
+            deadline = (
+                None if timeout_s is None
+                else time.monotonic() + timeout_s
+            )
+            while member.in_flight > 0:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"member {name!r} still holds {member.in_flight} "
+                        f"in-flight pair(s) after {timeout_s}s; it is out "
+                        f"of routing — retry retire_member to finish"
+                    )
+                self._drained.wait(remaining)
+            self.members.remove(member)
+        get_recorder().count("pool.members_retired_total")
+        return member
+
+    def active_members(self, kernel_id: int) -> List[PoolMember]:
+        """Routable (non-draining) members serving ``kernel_id``."""
+        with self._lock:
+            return list(self._by_kernel.get(kernel_id, []))
+
+    def replica_counts(self) -> Dict[int, int]:
+        """Routable member count per kernel id."""
+        with self._lock:
+            return {
+                kernel_id: len(members)
+                for kernel_id, members in sorted(self._by_kernel.items())
+            }
+
+    # -- routing ------------------------------------------------------
+
     def kernel_ids(self) -> List[int]:
         """Kernels this pool can serve, ascending."""
         return sorted(self._by_kernel)
@@ -180,6 +299,8 @@ class DevicePool:
             member.in_flight -= n_pairs
             member.batches_served += 1
             member.pairs_served += n_pairs
+            if member.draining and member.in_flight <= 0:
+                self._drained.notify_all()
 
     def execute(
         self,
@@ -198,10 +319,11 @@ class DevicePool:
                 "pool.execute", member=member.name, kernel=kernel_id,
                 pairs=len(pairs),
             ):
-                outcome = member.runtime.run(
-                    list(pairs),
-                    options=RunOptions(workers=self.workers),
-                )
+                with member.exclusive:
+                    outcome = member.runtime.run(
+                        list(pairs),
+                        options=RunOptions(workers=self.workers),
+                    )
         finally:
             self._release(member, len(pairs))
         return outcome, member

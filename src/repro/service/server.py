@@ -193,6 +193,9 @@ class ServiceCore:
             )
             if not admitted:
                 self.recorder.count("rejected_total")
+                self.recorder.count(
+                    f"kernel.{request.kernel_id}.rejected_total"
+                )
                 slot.resolve(
                     rejection(
                         request.request_id,
@@ -202,6 +205,9 @@ class ServiceCore:
                 )
                 return slot
             self.recorder.count("admitted_total")
+            # Per-kernel admission/queue/latency instruments carry the
+            # demand signal the autoscale watcher differentiates.
+            self.recorder.count(f"kernel.{request.kernel_id}.admitted_total")
         return slot
 
     def _validate(self, request: AlignRequest) -> Optional[str]:
@@ -271,9 +277,9 @@ class ServiceCore:
         ]
         dispatched_at = self._clock()
         for entry in entries:
-            self.recorder.observe(
-                "queue_ms", (dispatched_at - entry.enqueued_at) * 1000.0
-            )
+            queued_ms = (dispatched_at - entry.enqueued_at) * 1000.0
+            self.recorder.observe("queue_ms", queued_ms)
+            self.recorder.observe(f"kernel.{kernel_id}.queue_ms", queued_ms)
         try:
             with self.recorder.span(
                 "service.batch", kernel=kernel_id, size=len(entries),
@@ -282,6 +288,9 @@ class ServiceCore:
                 outcome, _member = self.pool.execute(kernel_id, pairs)
         except (PoolRejection, ValueError) as exc:
             self.recorder.count("errors_total", len(entries))
+            self.recorder.count(
+                f"kernel.{kernel_id}.completed_total", len(entries)
+            )
             for entry in entries:
                 self._resolve_entry(
                     entry,
@@ -323,6 +332,8 @@ class ServiceCore:
                     ),
                 )
             self.recorder.observe("latency_ms", latency_ms)
+            self.recorder.observe(f"kernel.{kernel_id}.latency_ms", latency_ms)
+            self.recorder.count(f"kernel.{kernel_id}.completed_total")
             # The queueing + compute interval of this request, anchored at
             # its enqueue time — visible as an async lane in trace exports.
             self.recorder.record_span(

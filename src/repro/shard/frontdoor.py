@@ -503,9 +503,13 @@ class FrontDoor:
         """Deployment-wide metrics: aggregate + per-shard + topology.
 
         Counters sum exactly across shards.  Histogram summaries merge
-        only their exact envelope (count/sum/mean/min/max) — quantiles
-        of pre-summarized histograms cannot be combined soundly, so the
-        per-shard sections keep the authoritative p50/p95/p99.
+        their exact envelope (count/sum/mean/min/max) — quantiles of
+        pre-summarized histograms cannot be combined soundly, so the
+        per-shard sections keep the authoritative p50/p95/p99 — plus
+        the cumulative bucket counts (summed per bound: shards share
+        one geometric bucket grid), which *can* be combined exactly and
+        let an autoscale watcher derive windowed quantiles for the
+        whole deployment from this one endpoint.
         """
         replies = await self._collect("metrics")
         shard_snapshots = {
@@ -514,6 +518,7 @@ class FrontDoor:
         }
         counters: Dict[str, int] = {}
         histograms: Dict[str, Dict[str, Any]] = {}
+        buckets: Dict[str, Dict[Optional[float], int]] = {}
         for snapshot in shard_snapshots.values():
             for name, value in snapshot.get("counters", {}).items():
                 counters[name] = counters.get(name, 0) + value
@@ -529,9 +534,22 @@ class FrontDoor:
                             pick(merged[stat], stats[stat])
                             if stat in merged else stats[stat]
                         )
-        for merged in histograms.values():
+                summed = buckets.setdefault(name, {})
+                for bound, count in stats.get("buckets", []):
+                    summed[bound] = summed.get(bound, 0) + count
+        for name, merged in histograms.items():
             if merged["count"]:
                 merged["mean"] = merged["sum"] / merged["count"]
+            if buckets.get(name):
+                # None (the overflow bucket) sorts last, finite bounds
+                # ascending — the same shape one shard emits.
+                merged["buckets"] = [
+                    [bound, count]
+                    for bound, count in sorted(
+                        buckets[name].items(),
+                        key=lambda item: (item[0] is None, item[0] or 0.0),
+                    )
+                ]
         local = self.metrics.snapshot()
         counters.update(local.get("counters", {}))
         return {

@@ -6,13 +6,28 @@ not place, and keep the highest-throughput point.  ``explore`` returns
 every feasible report; ``find_optimal_config`` the best one;
 ``pareto_frontier`` the throughput-vs-LUT trade-off curve a deployer
 sharing the device with other logic would consult.
+
+Two serving-oriented extensions support re-solving the search *online*
+(the :mod:`repro.autoscale` controller does this every few seconds):
+
+* ``explore`` memoizes its sweeps — the spec space is static, so one
+  (kernel, choices, lengths, device) sweep is computed once per process
+  and every later re-solve is a dictionary lookup
+  (:func:`explore_memo_stats` / :func:`clear_explore_memo` expose and
+  reset the cache for tests);
+* ``find_optimal_config`` takes a ``budget=`` resource cap — either a
+  fraction of the device's usable resources or absolute per-kind caps —
+  so a planner sharing the device across kernels and replicas can ask
+  for "the fastest configuration that fits *this slice*" instead of the
+  whole fabric.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from itertools import product
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.spec import KernelSpec
 from repro.synth.compiler import LaunchConfig, SynthesisReport, synthesize
@@ -21,6 +36,12 @@ from repro.synth.device import XCVU9P, FpgaDevice
 DEFAULT_NPE = (8, 16, 32, 64)
 DEFAULT_NB = (1, 2, 4, 8, 16)
 DEFAULT_NK = (1, 2, 3, 4, 5, 6, 7)
+
+#: The resource kinds a budget may cap (the device's inventory axes).
+RESOURCE_KINDS = ("lut", "ff", "bram", "dsp")
+
+#: A resource cap: a usable-fraction in (0, 1] or per-kind absolute caps.
+Budget = Union[float, Mapping[str, float]]
 
 
 @dataclass(frozen=True)
@@ -38,6 +59,47 @@ class DseResult:
         return max(self.feasible, key=lambda r: r.alignments_per_sec)
 
 
+_memo_lock = threading.Lock()
+_memo: Dict[Tuple, DseResult] = {}
+_memo_hits = 0
+_memo_misses = 0
+
+
+def _memo_key(
+    spec: KernelSpec,
+    n_pe_choices: Sequence[int],
+    n_b_choices: Sequence[int],
+    n_k_choices: Sequence[int],
+    max_query_len: int,
+    max_ref_len: int,
+    device: FpgaDevice,
+) -> Tuple:
+    return (
+        spec.kernel_id, spec.name,
+        tuple(n_pe_choices), tuple(n_b_choices), tuple(n_k_choices),
+        max_query_len, max_ref_len, device.name,
+    )
+
+
+def explore_memo_stats() -> Dict[str, int]:
+    """Hit/miss/entry counts of the process-wide exploration memo."""
+    with _memo_lock:
+        return {
+            "hits": _memo_hits,
+            "misses": _memo_misses,
+            "entries": len(_memo),
+        }
+
+
+def clear_explore_memo() -> None:
+    """Drop every memoized sweep and reset the hit/miss counters."""
+    global _memo_hits, _memo_misses
+    with _memo_lock:
+        _memo.clear()
+        _memo_hits = 0
+        _memo_misses = 0
+
+
 def explore(
     spec: KernelSpec,
     n_pe_choices: Sequence[int] = DEFAULT_NPE,
@@ -46,8 +108,26 @@ def explore(
     max_query_len: int = 256,
     max_ref_len: int = 256,
     device: FpgaDevice = XCVU9P,
+    use_memo: bool = True,
 ) -> DseResult:
-    """Sweep the parallelism space, keeping feasible configurations."""
+    """Sweep the parallelism space, keeping feasible configurations.
+
+    Sweeps are memoized per (kernel, choices, lengths, device) — the
+    models are pure functions of the spec, so an online re-solve of an
+    already-explored point returns the cached :class:`DseResult`
+    (``use_memo=False`` forces a fresh sweep).
+    """
+    global _memo_hits, _memo_misses
+    key = _memo_key(
+        spec, n_pe_choices, n_b_choices, n_k_choices,
+        max_query_len, max_ref_len, device,
+    )
+    if use_memo:
+        with _memo_lock:
+            cached = _memo.get(key)
+            if cached is not None:
+                _memo_hits += 1
+                return cached
     feasible: List[SynthesisReport] = []
     explored = 0
     for n_pe, n_b, n_k in product(n_pe_choices, n_b_choices, n_k_choices):
@@ -62,12 +142,75 @@ def explore(
         )
         if report.feasible:
             feasible.append(report)
-    return DseResult(feasible=tuple(feasible), explored=explored)
+    result = DseResult(feasible=tuple(feasible), explored=explored)
+    if use_memo:
+        with _memo_lock:
+            _memo[key] = result
+            _memo_misses += 1
+    return result
 
 
-def find_optimal_config(spec: KernelSpec, **kwargs) -> SynthesisReport:
-    """The Table 2 procedure: best feasible throughput point."""
-    return explore(spec, **kwargs).best
+def budget_caps(
+    budget: Budget, device: FpgaDevice = XCVU9P
+) -> Dict[str, float]:
+    """Absolute per-kind resource caps a budget value denotes.
+
+    A float is a fraction of the device's *usable* resources (shared
+    uniformly across kinds); a mapping gives absolute caps per kind
+    (``lut``/``ff``/``bram``/``dsp``; missing kinds are uncapped beyond
+    device feasibility).
+    """
+    if isinstance(budget, Mapping):
+        unknown = set(budget) - set(RESOURCE_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown resource kind(s) {sorted(unknown)}; "
+                f"expected a subset of {RESOURCE_KINDS}"
+            )
+        caps = {kind: float(cap) for kind, cap in budget.items()}
+        if any(cap < 0 for cap in caps.values()):
+            raise ValueError(f"budget caps must be non-negative: {budget!r}")
+        return caps
+    fraction = float(budget)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(
+            f"a fractional budget must be in (0, 1], got {fraction}"
+        )
+    return {kind: device.usable(kind) * fraction for kind in RESOURCE_KINDS}
+
+
+def within_budget(report: SynthesisReport, budget: Budget) -> bool:
+    """Whether a report's *total* resources fit under a budget."""
+    caps = budget_caps(budget, report.device)
+    usage = {
+        "lut": report.total.luts,
+        "ff": report.total.ffs,
+        "bram": report.total.bram36,
+        "dsp": report.total.dsps,
+    }
+    return all(usage[kind] <= cap for kind, cap in caps.items())
+
+
+def find_optimal_config(
+    spec: KernelSpec, budget: Optional[Budget] = None, **kwargs
+) -> SynthesisReport:
+    """The Table 2 procedure: best feasible throughput point.
+
+    ``budget`` additionally caps the winning configuration's total
+    resources (see :func:`budget_caps`) — the online-planner form of the
+    search, where one kernel's deployment must leave room for the
+    others.  Raises ``ValueError`` when nothing feasible fits the cap.
+    """
+    result = explore(spec, **kwargs)
+    if budget is None:
+        return result.best
+    fitting = [r for r in result.feasible if within_budget(r, budget)]
+    if not fitting:
+        raise ValueError(
+            f"no feasible configuration of {spec.name} fits the "
+            f"resource budget {budget!r}"
+        )
+    return max(fitting, key=lambda r: r.alignments_per_sec)
 
 
 def pareto_frontier(result: DseResult) -> List[SynthesisReport]:

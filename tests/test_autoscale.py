@@ -1,0 +1,432 @@
+"""Tests for the closed-loop autoscaling subsystem (repro.autoscale)."""
+
+import pytest
+
+from repro.autoscale import (
+    Actuator,
+    AutoscaleController,
+    KernelSignal,
+    MetricsWatcher,
+    Plan,
+    PlanInfeasible,
+    Planner,
+    SloPolicy,
+    default_runtime_factory,
+    flatten_snapshot,
+    quantile_from_buckets,
+)
+from repro.host import DeviceRuntime
+from repro.kernels import get_kernel
+from repro.service.pool import DevicePool
+from repro.synth import LaunchConfig
+from repro.synth.device import FpgaDevice
+from repro.synth.dse import budget_caps, clear_explore_memo
+
+SMALL_PLANNER = dict(
+    max_query_len=64, max_ref_len=64,
+    n_pe_choices=(16, 32), n_b_choices=(1, 4),
+)
+
+
+def small_config(**overrides):
+    base = dict(n_pe=8, n_b=2, n_k=1, max_query_len=64, max_ref_len=64)
+    base.update(overrides)
+    return LaunchConfig(**base)
+
+
+def make_signal(kernel_id=1, replicas=1, **overrides):
+    base = dict(
+        kernel_id=kernel_id, replicas=replicas, draining=0, in_flight=0,
+        arrival_rps=1.0, completion_rps=1.0, rejection_rps=0.0,
+        backlog=0, queue_p99_ms=None, latency_p99_ms=None,
+    )
+    base.update(overrides)
+    return KernelSignal(**base)
+
+
+class TestQuantileFromBuckets:
+    def test_empty_window_is_none(self):
+        assert quantile_from_buckets([], 0.99) is None
+        assert quantile_from_buckets([(10.0, 0), (None, 0)], 0.5) is None
+
+    def test_interpolates_within_bucket(self):
+        buckets = [(10.0, 0), (100.0, 10)]
+        # rank 5 of 10 falls halfway through the (10, 100] bucket.
+        assert quantile_from_buckets(buckets, 0.5) == pytest.approx(55.0)
+
+    def test_overflow_clamps_to_lower_bound(self):
+        buckets = [(10.0, 1), (None, 9)]
+        assert quantile_from_buckets(buckets, 0.99) == pytest.approx(10.0)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets([(1.0, 1)], 1.5)
+
+
+class TestFlattenSnapshot:
+    def test_inproc_shape_passthrough(self):
+        flat = flatten_snapshot({
+            "counters": {"a": 1},
+            "histograms": {"h": {"count": 0}},
+            "pool": [{"kernel_id": 1}],
+            "kernels": [1],
+        })
+        assert flat["counters"] == {"a": 1}
+        assert flat["pool"] == [{"kernel_id": 1}]
+
+    def test_frontdoor_shape_concatenates_shard_pools(self):
+        flat = flatten_snapshot({
+            "counters": {"a": 3},
+            "histograms": {},
+            "shards": {
+                "0": {"pool": [{"kernel_id": 1}], "kernels": [1]},
+                "1": {"pool": [{"kernel_id": 2}], "kernels": [2, 1]},
+            },
+        })
+        assert len(flat["pool"]) == 2
+        assert flat["kernels"] == [1, 2]
+
+
+class TestMetricsWatcher:
+    def _snapshots(self):
+        pool = [{
+            "kernel_id": 1, "draining": False, "in_flight": 2,
+        }]
+        snap1 = {
+            "counters": {
+                "kernel.1.admitted_total": 10,
+                "kernel.1.completed_total": 8,
+                "kernel.1.rejected_total": 0,
+            },
+            "histograms": {
+                "kernel.1.latency_ms": {
+                    "buckets": [[10.0, 5], [100.0, 3]],
+                },
+            },
+            "pool": pool,
+            "kernels": [1],
+        }
+        snap2 = {
+            "counters": {
+                "kernel.1.admitted_total": 30,
+                "kernel.1.completed_total": 24,
+                "kernel.1.rejected_total": 4,
+            },
+            "histograms": {
+                "kernel.1.latency_ms": {
+                    "buckets": [[10.0, 5], [100.0, 13]],
+                },
+            },
+            "pool": pool,
+            "kernels": [1],
+        }
+        return [snap1, snap2]
+
+    def test_first_sample_is_empty_window(self):
+        snaps = iter(self._snapshots())
+        watcher = MetricsWatcher(lambda: next(snaps), clock=lambda: 0.0)
+        sample = watcher.sample()
+        signal = sample.kernels[1]
+        assert sample.interval_s == 0.0
+        assert signal.arrival_rps == 0.0
+        assert signal.latency_p99_ms is None
+        assert signal.replicas == 1
+        assert signal.in_flight == 2
+        assert signal.backlog == 2
+
+    def test_second_sample_differentiates(self):
+        snaps = iter(self._snapshots())
+        clock = iter([0.0, 10.0])
+        watcher = MetricsWatcher(
+            lambda: next(snaps), clock=lambda: next(clock)
+        )
+        watcher.sample()
+        sample = watcher.sample()
+        signal = sample.kernels[1]
+        assert sample.interval_s == pytest.approx(10.0)
+        assert signal.arrival_rps == pytest.approx(2.0)
+        assert signal.completion_rps == pytest.approx(1.6)
+        assert signal.rejection_rps == pytest.approx(0.4)
+        assert signal.backlog == 6
+        # The window saw 10 new observations, all in the (10, 100]
+        # bucket: windowed p99 interpolates inside it, while the
+        # lifetime histogram would be dragged down by the 5 early ones.
+        assert signal.latency_p99_ms == pytest.approx(99.1)
+
+    def test_shard_shape_supported(self):
+        shard_snaps = [
+            {
+                "counters": snap["counters"],
+                "histograms": snap["histograms"],
+                "shards": {"0": {"pool": snap["pool"], "kernels": [1]}},
+            }
+            for snap in self._snapshots()
+        ]
+        snaps = iter(shard_snaps)
+        clock = iter([0.0, 5.0])
+        watcher = MetricsWatcher(
+            lambda: next(snaps), clock=lambda: next(clock)
+        )
+        watcher.sample()
+        sample = watcher.sample()
+        assert sample.kernels[1].arrival_rps == pytest.approx(4.0)
+        assert sample.kernels[1].replicas == 1
+
+
+class TestPlanner:
+    def setup_method(self):
+        clear_explore_memo()
+
+    def test_scale_up_on_violation(self):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        desired, reason = planner.desired_replicas(
+            make_signal(latency_p99_ms=250.0), current=1
+        )
+        assert desired == 2
+        assert "p99" in reason
+
+    def test_severe_violation_doubles(self):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        desired, _ = planner.desired_replicas(
+            make_signal(replicas=2, latency_p99_ms=900.0), current=2
+        )
+        assert desired == 4
+
+    def test_rejections_double(self):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        desired, reason = planner.desired_replicas(
+            make_signal(replicas=2, rejection_rps=3.0), current=2
+        )
+        assert desired == 4
+        assert "rejecting" in reason
+
+    def test_scale_down_when_underloaded(self):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        desired, _ = planner.desired_replicas(
+            make_signal(replicas=3, latency_p99_ms=10.0), current=3
+        )
+        assert desired == 2
+
+    def test_no_scale_down_with_backlog(self):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        desired, _ = planner.desired_replicas(
+            make_signal(replicas=3, latency_p99_ms=10.0, backlog=5),
+            current=3,
+        )
+        assert desired == 3
+
+    def test_empty_window_holds(self):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        desired, reason = planner.desired_replicas(
+            make_signal(replicas=2), current=2
+        )
+        assert desired == 2
+        assert reason == "within band"
+
+    def test_plan_fits_budget(self):
+        policy = SloPolicy(p99_target_ms=100.0, max_replicas=8)
+        planner = Planner(policy, **SMALL_PLANNER)
+        plan = planner.plan({
+            1: make_signal(kernel_id=1, latency_p99_ms=900.0),
+            2: make_signal(kernel_id=2, replicas=2, latency_p99_ms=900.0),
+        })
+        assert plan.fits(policy)
+        usage = plan.usage()
+        caps = budget_caps(policy.budget_fraction, policy.device)
+        assert all(usage[kind] <= caps[kind] for kind in caps)
+
+    def test_oversubscription_sheds_replicas(self):
+        # A tiny budget forces the fitting loop to shed what demand
+        # asked for; the plan that comes back still fits.
+        policy = SloPolicy(
+            p99_target_ms=100.0, max_replicas=8, budget_fraction=0.05
+        )
+        planner = Planner(policy, **SMALL_PLANNER)
+        plan = planner.plan({
+            1: make_signal(kernel_id=1, replicas=4, latency_p99_ms=900.0),
+        })
+        assert plan.fits(policy)
+        assert plan.by_kernel[1].replicas < 8
+
+    def test_infeasible_raises_not_oversubscribes(self):
+        tiny = FpgaDevice("tiny", luts=1000, ffs=2000, bram36=2, dsps=2)
+        policy = SloPolicy(p99_target_ms=100.0, device=tiny)
+        planner = Planner(policy, **SMALL_PLANNER)
+        with pytest.raises(PlanInfeasible):
+            planner.plan({1: make_signal(latency_p99_ms=900.0)})
+
+
+class TestActuator:
+    def setup_method(self):
+        clear_explore_memo()
+
+    def _pool(self, n=1):
+        return DevicePool([
+            DeviceRuntime(get_kernel(1), small_config()) for _ in range(n)
+        ])
+
+    def _plan(self, replicas):
+        planner = Planner(SloPolicy(p99_target_ms=100.0), **SMALL_PLANNER)
+        entry = planner.plan(
+            {1: make_signal()}
+        ).by_kernel[1].with_replicas(replicas)
+        return Plan(kernels=(entry,))
+
+    def test_scale_up_adds_members(self):
+        pool = self._pool(1)
+        actuator = Actuator(
+            pool, runtime_factory=default_runtime_factory(64, 64)
+        )
+        actions = actuator.apply(self._plan(3))
+        assert [a.kind for a in actions] == ["add", "add"]
+        assert all(a.ok for a in actions)
+        assert pool.replica_counts() == {1: 3}
+
+    def test_scale_down_retires_newest(self):
+        pool = self._pool(3)
+        newest = pool.active_members(1)[-1].name
+        actuator = Actuator(pool)
+        actions = actuator.apply(self._plan(2))
+        assert [a.kind for a in actions] == ["retire"]
+        assert actions[0].member == newest
+        assert pool.replica_counts() == {1: 2}
+
+    def test_dry_run_never_mutates(self):
+        pool = self._pool(1)
+        actuator = Actuator(pool, dry_run=True)
+        actions = actuator.apply(self._plan(4))
+        assert len(actions) == 3
+        assert all(a.dry_run and a.ok for a in actions)
+        assert pool.replica_counts() == {1: 1}
+
+    def test_never_retires_last_member(self):
+        pool = self._pool(1)
+        actuator = Actuator(pool)
+        plan = self._plan(1)
+        entry = plan.kernels[0].with_replicas(0)
+        actions = actuator.apply(Plan(kernels=(entry,)))
+        assert actions == []
+        assert pool.replica_counts() == {1: 1}
+
+
+class _StubWatcher:
+    """Feeds a controller a scripted sequence of demand samples."""
+
+    def __init__(self, samples):
+        self._samples = iter(samples)
+
+    def sample(self):
+        return next(self._samples)
+
+
+def demand(at_s, signals):
+    from repro.autoscale import DemandSample
+
+    return DemandSample(
+        at_s=at_s, interval_s=1.0,
+        kernels={s.kernel_id: s for s in signals},
+    )
+
+
+class TestController:
+    def setup_method(self):
+        clear_explore_memo()
+
+    def _controller(self, samples, clock_values, policy=None, pool_n=1):
+        policy = policy or SloPolicy(
+            p99_target_ms=100.0, cooldown_s=3.0, window_s=30.0,
+            max_actions_per_window=8,
+        )
+        pool = DevicePool([
+            DeviceRuntime(get_kernel(1), small_config())
+            for _ in range(pool_n)
+        ])
+        clock = iter(clock_values)
+        controller = AutoscaleController(
+            _StubWatcher(samples),
+            Planner(policy, **SMALL_PLANNER),
+            Actuator(pool, runtime_factory=default_runtime_factory(64, 64)),
+            clock=lambda: next(clock),
+        )
+        return controller, pool
+
+    def test_step_scales_up_on_violation(self):
+        controller, pool = self._controller(
+            [demand(0.0, [make_signal(latency_p99_ms=500.0)])],
+            [0.0],
+        )
+        decision = controller.step()
+        assert decision.scaled_up
+        assert pool.replica_counts() == {1: 2}
+        assert controller.decisions == [decision]
+
+    def test_cooldown_skips_recently_touched_kernel(self):
+        controller, pool = self._controller(
+            [
+                demand(0.0, [make_signal(latency_p99_ms=500.0)]),
+                demand(1.0, [make_signal(replicas=2,
+                                         latency_p99_ms=500.0)]),
+            ],
+            [0.0, 1.0],
+        )
+        controller.step()
+        second = controller.step()
+        assert not second.scaled_up
+        assert (1, "cooldown") in second.skipped
+        assert pool.replica_counts() == {1: 2}
+
+    def test_cooldown_expires(self):
+        controller, pool = self._controller(
+            [
+                demand(0.0, [make_signal(latency_p99_ms=500.0)]),
+                demand(5.0, [make_signal(replicas=2,
+                                         latency_p99_ms=150.0)]),
+            ],
+            [0.0, 5.0],
+        )
+        controller.step()
+        second = controller.step()
+        assert second.scaled_up
+        assert pool.replica_counts() == {1: 3}
+
+    def test_window_cap_clamps_actions(self):
+        policy = SloPolicy(
+            p99_target_ms=100.0, cooldown_s=0.0, window_s=30.0,
+            max_actions_per_window=1, max_replicas=8,
+        )
+        controller, pool = self._controller(
+            [demand(0.0, [make_signal(replicas=2,
+                                      latency_p99_ms=900.0)])],
+            [0.0],
+            policy=policy,
+            pool_n=2,
+        )
+        decision = controller.step()
+        # Severe violation wants 2 -> 4, but the window budget of one
+        # clamps the move to a single added replica.
+        assert len([a for a in decision.actions if a.ok]) == 1
+        assert pool.replica_counts() == {1: 3}
+
+    def test_infeasible_plan_is_reported_not_raised(self):
+        tiny = FpgaDevice("tiny", luts=1000, ffs=2000, bram36=2, dsps=2)
+        policy = SloPolicy(p99_target_ms=100.0, device=tiny)
+        controller, pool = self._controller(
+            [demand(0.0, [make_signal(latency_p99_ms=500.0)])],
+            [0.0],
+            policy=policy,
+        )
+        decision = controller.step()
+        assert decision.infeasible
+        assert decision.actions == ()
+        assert pool.replica_counts() == {1: 1}
+
+    def test_summary_rolls_up(self):
+        controller, _ = self._controller(
+            [demand(0.0, [make_signal(latency_p99_ms=500.0)])],
+            [0.0],
+        )
+        controller.step()
+        summary = controller.summary()
+        assert summary["decisions"] == 1
+        assert summary["scale_ups"] == 1
+        assert summary["log"][0]["actions"][0]["kind"] == "add"

@@ -1,0 +1,208 @@
+"""Property tests pinning the autoscaler's safety invariants.
+
+Three invariants, each driven adversarially:
+
+* **inventory safety** — whatever randomized demand says, a plan that
+  leaves the planner fits the device budget (or ``PlanInfeasible`` is
+  raised; an oversubscribed plan is never returned);
+* **hysteresis bound** — however violated the signals are and however
+  the clock advances, the number of successful scaling actions inside
+  any ``window_s`` sliding window never exceeds
+  ``max_actions_per_window``;
+* **drain safety** — concurrent executes racing a ``retire_member``
+  never lose a pair: every submitted batch resolves, error-free, even
+  when its member is retired mid-flight.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autoscale import (
+    Actuator,
+    AutoscaleController,
+    DemandSample,
+    KernelSignal,
+    PlanInfeasible,
+    Planner,
+    SloPolicy,
+    default_runtime_factory,
+)
+from repro.host import DeviceRuntime
+from repro.kernels import get_kernel
+from repro.service.pool import DevicePool
+from repro.synth import LaunchConfig
+from repro.synth.dse import budget_caps
+from tests.conftest import mutated_copy, random_dna
+
+SMALL_PLANNER = dict(
+    max_query_len=64, max_ref_len=64,
+    n_pe_choices=(16, 32), n_b_choices=(1, 4),
+)
+
+signal_st = st.builds(
+    KernelSignal,
+    kernel_id=st.just(0),  # overwritten below
+    replicas=st.integers(1, 8),
+    draining=st.integers(0, 2),
+    in_flight=st.integers(0, 64),
+    arrival_rps=st.floats(0.0, 500.0),
+    completion_rps=st.floats(0.0, 500.0),
+    rejection_rps=st.floats(0.0, 100.0),
+    backlog=st.integers(0, 200),
+    queue_p99_ms=st.one_of(st.none(), st.floats(0.0, 10_000.0)),
+    latency_p99_ms=st.one_of(st.none(), st.floats(0.0, 10_000.0)),
+)
+
+
+@given(
+    raw=st.dictionaries(
+        st.sampled_from([1, 2, 3]), signal_st, min_size=1, max_size=3
+    ),
+    budget_fraction=st.floats(0.02, 1.0),
+    max_replicas=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_planner_never_exceeds_inventory(raw, budget_fraction, max_replicas):
+    """Random demand -> the plan fits the budget, or it raises."""
+    policy = SloPolicy(
+        p99_target_ms=100.0,
+        max_replicas=max_replicas,
+        budget_fraction=budget_fraction,
+    )
+    planner = Planner(policy, **SMALL_PLANNER)
+    signals = {
+        kernel_id: KernelSignal(**{
+            **{f: getattr(sig, f) for f in sig.__dataclass_fields__},
+            "kernel_id": kernel_id,
+        })
+        for kernel_id, sig in raw.items()
+    }
+    try:
+        plan = planner.plan(signals)
+    except PlanInfeasible:
+        return  # refusing is the safe outcome
+    caps = budget_caps(budget_fraction, policy.device)
+    usage = plan.usage()
+    for kind, cap in caps.items():
+        assert usage[kind] <= cap + 1e-9
+    for entry in plan.kernels:
+        assert 1 <= entry.replicas <= max_replicas
+
+
+class _MirrorWatcher:
+    """Signals that track the live pool but stay maximally violated."""
+
+    def __init__(self, pool, p99s):
+        self.pool = pool
+        self._p99s = iter(p99s)
+        self.at = 0.0
+
+    def sample(self):
+        counts = self.pool.replica_counts()
+        p99 = next(self._p99s)
+        return DemandSample(
+            at_s=self.at, interval_s=1.0,
+            kernels={
+                kernel_id: KernelSignal(
+                    kernel_id=kernel_id, replicas=n, draining=0,
+                    in_flight=0, arrival_rps=50.0, completion_rps=10.0,
+                    rejection_rps=0.0, backlog=10,
+                    queue_p99_ms=None, latency_p99_ms=p99,
+                )
+                for kernel_id, n in counts.items()
+            },
+        )
+
+
+@given(
+    deltas=st.lists(st.floats(0.05, 4.0), min_size=4, max_size=12),
+    p99s=st.lists(st.floats(150.0, 5000.0), min_size=12, max_size=12),
+    cap=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_hysteresis_bounds_actions_per_window(deltas, p99s, cap):
+    """No clock pattern squeezes more actions into a window than the cap."""
+    window_s = 5.0
+    policy = SloPolicy(
+        p99_target_ms=100.0, cooldown_s=0.0, window_s=window_s,
+        max_actions_per_window=cap, max_replicas=8,
+    )
+    pool = DevicePool([DeviceRuntime(
+        get_kernel(1),
+        LaunchConfig(n_pe=8, n_b=2, n_k=1,
+                     max_query_len=64, max_ref_len=64),
+    )])
+    watcher = _MirrorWatcher(pool, p99s)
+    now = {"t": 0.0}
+    controller = AutoscaleController(
+        watcher,
+        Planner(policy, **SMALL_PLANNER),
+        Actuator(pool, runtime_factory=default_runtime_factory(64, 64)),
+        clock=lambda: now["t"],
+    )
+    events = []
+    for delta in deltas:
+        now["t"] += delta
+        watcher.at = now["t"]
+        decision = controller.step()
+        events.extend(
+            (decision.at_s, action)
+            for action in decision.actions if action.ok
+        )
+    # Every sliding window anchored at an action start holds <= cap.
+    times = [at for at, _ in events]
+    for anchor in times:
+        in_window = [t for t in times if anchor < t <= anchor + window_s]
+        assert len(in_window) <= cap
+
+
+def test_retire_never_loses_in_flight_work():
+    """Batches racing a retirement all resolve without errors."""
+    config = LaunchConfig(
+        n_pe=8, n_b=2, n_k=1, max_query_len=64, max_ref_len=64
+    )
+    # pace stretches each batch to real wall time so executes genuinely
+    # overlap the retirement instead of finishing before it starts.
+    pool = DevicePool([
+        DeviceRuntime(get_kernel(1), config, backend="compiled",
+                      pace=3000.0)
+        for _ in range(2)
+    ])
+    pairs = [
+        (mutated_copy(random_dna(24, seed=10 + k), 20 + k)[:24],
+         random_dna(24, seed=10 + k))
+        for k in range(4)
+    ]
+    outcomes = []
+    errors = []
+
+    def worker(seed):
+        try:
+            outcome, _ = pool.execute(1, pairs)
+            outcomes.append(outcome)
+        except Exception as exc:  # noqa: BLE001 - the assertion target
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(k,)) for k in range(6)
+    ]
+    for thread in threads:
+        thread.start()
+    victim = pool.active_members(1)[-1]
+    retired = pool.retire_member(victim.name, timeout_s=30.0)
+    for thread in threads:
+        thread.join(30.0)
+
+    assert errors == []
+    assert len(outcomes) == 6
+    for outcome in outcomes:
+        assert outcome.errors == []
+        assert all(r is not None for r in outcome.results)
+    assert retired.in_flight == 0
+    assert pool.replica_counts() == {1: 1}
+    # The survivor still serves traffic.
+    outcome, _ = pool.execute(1, pairs)
+    assert outcome.errors == []

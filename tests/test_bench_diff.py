@@ -2,7 +2,13 @@
 
 import pytest
 
-from benchmarks.bench_diff import DEFAULT_SKIP_KEYS, diff_docs
+from benchmarks.bench_diff import (
+    DEFAULT_SKIP_KEYS,
+    append_history,
+    diff_docs,
+    headline_metrics,
+    history_record,
+)
 
 
 BASE = {
@@ -77,3 +83,69 @@ class TestBenchDiff:
     def test_band_below_one_rejected(self):
         with pytest.raises(ValueError):
             diff_docs(BASE, _fresh(), band=0.5)
+
+
+class TestHistory:
+    def test_headline_keeps_top_level_scalars_only(self):
+        doc = {
+            "schema": "bench/v1",
+            "p99_ms": 12.5,
+            "reps": 3,
+            "recovered": True,
+            "note": None,
+            "points": [{"p50_ms": 1.0}],
+            "backends": {"compiled": {}},
+        }
+        headline = headline_metrics(doc)
+        assert headline == {
+            "schema": "bench/v1", "p99_ms": 12.5, "reps": 3,
+            "recovered": True, "note": None,
+        }
+        assert headline_metrics([1, 2]) == {}
+
+    def test_history_record_shape(self):
+        record = history_record(
+            "out/BENCH_x.json", {"p99_ms": 1.0}, [], 25.0
+        )
+        assert record["schema"] == "bench-history/v1"
+        assert record["artifact"] == "BENCH_x.json"
+        assert record["ok"] is True
+        assert record["problems"] == 0
+        assert record["headline"] == {"p99_ms": 1.0}
+        assert isinstance(record["git_sha"], str) and record["git_sha"]
+
+    def test_append_history_accumulates_jsonl(self, tmp_path):
+        import json
+
+        history = tmp_path / "BENCH_history.jsonl"
+        append_history(str(history), "BENCH_a.json", {"m": 1.0}, [], 25.0)
+        append_history(
+            str(history), "BENCH_b.json", {"m": 2.0}, ["$.m: bad"], 25.0
+        )
+        lines = [
+            json.loads(line)
+            for line in history.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert lines[0]["artifact"] == "BENCH_a.json"
+        assert lines[0]["ok"] is True
+        assert lines[1]["ok"] is False
+        assert lines[1]["problems"] == 1
+
+    def test_main_appends_history(self, tmp_path):
+        import json
+
+        from benchmarks.bench_diff import main
+
+        committed = tmp_path / "committed.json"
+        fresh = tmp_path / "fresh.json"
+        committed.write_text(json.dumps({"p99_ms": 10.0}))
+        fresh.write_text(json.dumps({"p99_ms": 12.0}))
+        history = tmp_path / "hist.jsonl"
+        code = main([
+            str(committed), str(fresh), "--append-history", str(history)
+        ])
+        assert code == 0
+        record = json.loads(history.read_text())
+        assert record["ok"] is True
+        assert record["headline"] == {"p99_ms": 12.0}

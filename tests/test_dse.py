@@ -4,9 +4,13 @@ import pytest
 
 from repro.kernels import get_kernel
 from repro.synth.device import FpgaDevice
+from repro.synth.device import XCVU9P
 from repro.synth.dse import (
     DseResult,
+    budget_caps,
+    clear_explore_memo,
     explore,
+    explore_memo_stats,
     find_optimal_config,
     pareto_frontier,
 )
@@ -68,3 +72,72 @@ class TestPareto:
 
     def test_empty_frontier(self):
         assert pareto_frontier(DseResult(feasible=(), explored=0)) == []
+
+
+class TestMemo:
+    def setup_method(self):
+        clear_explore_memo()
+
+    def test_repeat_explore_hits_memo(self):
+        stats0 = explore_memo_stats()
+        first = explore(get_kernel(1), **SMALL_SPACE)
+        mid = explore_memo_stats()
+        assert mid["misses"] == stats0["misses"] + 1
+        second = explore(get_kernel(1), **SMALL_SPACE)
+        after = explore_memo_stats()
+        assert after["hits"] == mid["hits"] + 1
+        assert after["misses"] == mid["misses"]
+        assert second is first  # the memo returns the same result object
+
+    def test_distinct_keys_do_not_collide(self):
+        explore(get_kernel(1), **SMALL_SPACE)
+        explore(get_kernel(2), **SMALL_SPACE)
+        explore(get_kernel(1), max_query_len=128, **SMALL_SPACE)
+        assert explore_memo_stats()["entries"] == 3
+
+    def test_use_memo_false_bypasses(self):
+        explore(get_kernel(1), **SMALL_SPACE)
+        before = explore_memo_stats()
+        explore(get_kernel(1), use_memo=False, **SMALL_SPACE)
+        after = explore_memo_stats()
+        assert after == before
+
+
+class TestBudget:
+    def setup_method(self):
+        clear_explore_memo()
+
+    def test_fractional_budget_caps(self):
+        caps = budget_caps(0.5, XCVU9P)
+        assert caps["lut"] == pytest.approx(0.5 * XCVU9P.usable("lut"))
+        assert set(caps) == {"lut", "ff", "bram", "dsp"}
+
+    def test_mapping_budget_validates_kinds(self):
+        with pytest.raises(ValueError):
+            budget_caps({"luts": 100.0}, XCVU9P)
+        with pytest.raises(ValueError):
+            budget_caps({"lut": -1.0}, XCVU9P)
+        with pytest.raises(ValueError):
+            budget_caps(1.5, XCVU9P)
+
+    def test_budgeted_optimum_respects_caps(self):
+        unconstrained = find_optimal_config(get_kernel(1), **SMALL_SPACE)
+        budget = 0.5
+        constrained = find_optimal_config(
+            get_kernel(1), budget=budget, **SMALL_SPACE
+        )
+        caps = budget_caps(budget, XCVU9P)
+        assert constrained.total.luts <= caps["lut"]
+        assert constrained.total.ffs <= caps["ff"]
+        assert constrained.total.bram36 <= caps["bram"]
+        assert constrained.total.dsps <= caps["dsp"]
+        assert (
+            constrained.alignments_per_sec
+            <= unconstrained.alignments_per_sec
+        )
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError):
+            find_optimal_config(
+                get_kernel(1), budget={"lut": 1.0}, **SMALL_SPACE
+            )

@@ -130,3 +130,96 @@ class TestLinkedDesignDeployment:
             assert member.runtime.config.n_b == channel.n_b
         outcome, _member = pool.execute(3, make_pairs(2))
         assert not outcome.errors
+
+
+class TestMembership:
+    """Online add/retire: the autoscale actuator's substrate."""
+
+    def _pool(self, n=2):
+        return DevicePool([
+            DeviceRuntime(get_kernel(1), small_config()) for _ in range(n)
+        ])
+
+    def test_add_member_joins_routing(self):
+        pool = self._pool(1)
+        member = pool.add_member(
+            DeviceRuntime(get_kernel(1), small_config())
+        )
+        assert member in pool.active_members(1)
+        assert pool.replica_counts() == {1: 2}
+        outcome, _ = pool.execute(1, make_pairs(2))
+        assert outcome.errors == []
+
+    def test_add_member_names_are_unique(self):
+        pool = self._pool(1)
+        first = pool.add_member(
+            DeviceRuntime(get_kernel(1), small_config())
+        )
+        second = pool.add_member(
+            DeviceRuntime(get_kernel(1), small_config())
+        )
+        assert first.name != second.name
+        with pytest.raises(ValueError):
+            pool.add_member(
+                DeviceRuntime(get_kernel(1), small_config()),
+                name=first.name,
+            )
+
+    def test_retire_member_removes_idle(self):
+        pool = self._pool(2)
+        victim = pool.active_members(1)[-1]
+        retired = pool.retire_member(victim.name)
+        assert retired is victim
+        assert pool.replica_counts() == {1: 1}
+        assert victim not in pool.members
+
+    def test_retire_unknown_raises(self):
+        pool = self._pool(1)
+        with pytest.raises(KeyError):
+            pool.retire_member("nope")
+
+    def test_retire_last_member_refused(self):
+        pool = self._pool(1)
+        only = pool.members[0]
+        with pytest.raises(ValueError):
+            pool.retire_member(only.name)
+        retired = pool.retire_member(only.name, allow_last=True)
+        assert retired is only
+        assert not pool.supports(1)
+
+    def test_retire_waits_for_in_flight_work(self):
+        import threading
+        import time as time_module
+
+        pool = self._pool(2)
+        busy = pool._acquire(1, 3)  # book load as execute() would
+        done = threading.Event()
+
+        def retire():
+            pool.retire_member(busy.name, timeout_s=10.0)
+            done.set()
+
+        thread = threading.Thread(target=retire, daemon=True)
+        thread.start()
+        time_module.sleep(0.1)
+        # The drain is still blocked on the booked load, but the member
+        # already left the routing table.
+        assert not done.is_set()
+        assert busy not in pool.active_members(1)
+        pool._release(busy, 3)
+        thread.join(5.0)
+        assert done.is_set()
+        assert busy not in pool.members
+
+    def test_retire_timeout_leaves_member_draining(self):
+        pool = self._pool(2)
+        busy = pool._acquire(1, 1)
+        with pytest.raises(TimeoutError):
+            pool.retire_member(busy.name, timeout_s=0.05)
+        assert busy.draining
+        assert busy in pool.members
+        assert busy not in pool.active_members(1)
+        pool._release(busy, 1)
+        retired = pool.retire_member(busy.name, timeout_s=5.0)
+        assert retired is busy
+        assert busy not in pool.members
